@@ -1,0 +1,59 @@
+package drsnet
+
+import (
+	"time"
+
+	"drsnet/internal/availability"
+	"drsnet/internal/survival"
+)
+
+// AllPairsPSuccess returns the probability that EVERY pair of servers
+// in an n-node dual-rail cluster can still communicate when exactly f
+// components have failed — full-cluster survivability, a strictly
+// stronger criterion than the paper's designated-pair PSuccess. The
+// closed form is this reproduction's extension, validated against
+// brute-force enumeration.
+func AllPairsPSuccess(n, f int) float64 {
+	return survival.AllPairsPSuccessFloat(n, f)
+}
+
+// Availability is the time-based view of survivability: with every
+// component independently down with its steady-state probability
+// (MTTR / (MTBF+MTTR)), the fraction of time the designated pair can
+// communicate, and the effective figure after charging the DRS's
+// failure-detection window.
+type Availability struct {
+	// Q is the per-component steady-state unavailability.
+	Q float64
+	// Structural assumes instantaneous rerouting.
+	Structural float64
+	// Effective subtracts the first-order detection penalty.
+	Effective float64
+	// Nines is the whole number of nines of Effective.
+	Nines int
+	// DowntimePerYear is the expected yearly downtime at Effective.
+	DowntimePerYear time.Duration
+}
+
+// ClusterAvailability computes the availability of an n-node DRS
+// cluster whose components fail every mtbf on average and take mttr
+// to repair, with the DRS detecting failures within repairWindow
+// (≈ miss-threshold × probe interval).
+func ClusterAvailability(n int, mtbf, mttr, repairWindow time.Duration) (Availability, error) {
+	res, err := availability.Effective(availability.Params{
+		Nodes:        n,
+		MTBF:         mtbf,
+		MTTR:         mttr,
+		RepairWindow: repairWindow,
+	})
+	if err != nil {
+		return Availability{}, err
+	}
+	return Availability{
+		Q:               res.Q,
+		Structural:      res.Structural,
+		Effective:       res.Effective,
+		Nines:           availability.Nines(res.Effective),
+		DowntimePerYear: availability.DowntimePerYear(1 - res.Effective),
+	}, nil
+}

@@ -1,0 +1,90 @@
+package drsnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterSwitchedFabricWorks(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes:         5,
+		ProbeInterval: 200 * time.Millisecond,
+		Switched:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Run(time.Second)
+	if err := c.Send(0, 1, []byte("switched")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100 * time.Millisecond)
+	if len(c.Delivered()) != 1 {
+		t.Fatal("switched fabric did not deliver")
+	}
+	// Failover still works on a switch.
+	if err := c.FailNIC(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	rt, err := c.RouteOf(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Kind != "direct" || rt.Rail != 1 {
+		t.Fatalf("route = %+v", rt)
+	}
+}
+
+func TestClusterSwitchedLowerUtilization(t *testing.T) {
+	run := func(switched bool) float64 {
+		c, err := NewCluster(ClusterConfig{
+			Nodes:         10,
+			ProbeInterval: 500 * time.Millisecond,
+			Switched:      switched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		c.Run(10 * time.Second)
+		u, err := c.Utilization(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	hub := run(false)
+	sw := run(true)
+	if !(sw < hub) {
+		t.Fatalf("switched utilization %v not below hub %v", sw, hub)
+	}
+}
+
+func TestClusterStaggeredStillDetects(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes:         4,
+		ProbeInterval: 200 * time.Millisecond,
+		StaggerProbes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Run(time.Second)
+	if err := c.FailBackplane(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	if c.LinkUp(0, 1, 0) {
+		t.Fatal("staggered cluster missed the backplane failure")
+	}
+	if err := c.Send(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(200 * time.Millisecond)
+	if len(c.Delivered()) != 1 {
+		t.Fatal("no delivery after staggered failover")
+	}
+}

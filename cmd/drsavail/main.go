@@ -1,0 +1,119 @@
+// Command drsavail explores cluster availability — the time-based
+// extension of the paper's survivability model. It prints the IID
+// availability surface (per-component unavailability q × cluster
+// size), the effective availability including the DRS detection
+// window, and optionally a packet-level measurement of the same
+// regime.
+//
+// Usage:
+//
+//	drsavail [-nodes n] [-mtbf d] [-mttr d] [-probe d] [-miss k]
+//	         [-allpairs] [-measure] [-horizon d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drsnet/internal/availability"
+	"drsnet/internal/experiments"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 10, "cluster size")
+	mtbf := flag.Duration("mtbf", 1000*time.Hour, "per-component mean time between failures")
+	mttr := flag.Duration("mttr", 4*time.Hour, "per-component mean time to repair")
+	probe := flag.Duration("probe", time.Second, "DRS probe interval")
+	miss := flag.Int("miss", 2, "DRS miss threshold")
+	allPairs := flag.Bool("allpairs", false, "also print full-cluster (all-pairs) availability")
+	measure := flag.Bool("measure", false, "run the packet-level measurement alongside the model")
+	horizon := flag.Duration("horizon", 2*time.Hour, "measurement horizon (with -measure)")
+	flag.Parse()
+
+	q, err := availability.SteadyStateQ(*mtbf, *mttr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# per-component steady state: MTBF %v, MTTR %v → q = %.6f\n\n", *mtbf, *mttr, q)
+
+	// Availability surface over q and cluster size.
+	fmt.Printf("# pair availability under IID component failures (Equation 1 mixture)\n")
+	fmt.Printf("%8s", "q \\ N")
+	sizes := []int{4, 8, 12, 16, 32, 64}
+	for _, n := range sizes {
+		fmt.Printf(" %9d", n)
+	}
+	fmt.Println()
+	for _, qq := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		fmt.Printf("%8.3f", qq)
+		for _, n := range sizes {
+			p, err := availability.PSuccessIID(n, qq)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf(" %9.6f", p)
+		}
+		fmt.Println()
+	}
+
+	if *allPairs {
+		fmt.Printf("\n# full-cluster (all-pairs) availability\n")
+		fmt.Printf("%8s", "q \\ N")
+		for _, n := range sizes {
+			fmt.Printf(" %9d", n)
+		}
+		fmt.Println()
+		for _, qq := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
+			fmt.Printf("%8.3f", qq)
+			for _, n := range sizes {
+				p, err := availability.AllPairsIID(n, qq)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf(" %9.6f", p)
+			}
+			fmt.Println()
+		}
+	}
+
+	res, err := availability.Effective(availability.Params{
+		Nodes:        *nodes,
+		MTBF:         *mtbf,
+		MTTR:         *mttr,
+		RepairWindow: time.Duration(float64(*miss)+0.5) * *probe,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n# effective pair availability at N=%d (probe %v, miss %d)\n", *nodes, *probe, *miss)
+	fmt.Printf("structural: %.6f   detection penalty: %.6f   effective: %.6f (%d nines, %v downtime/yr)\n",
+		res.Structural, res.DetectionPenalty, res.Effective,
+		availability.Nines(res.Effective),
+		availability.DowntimePerYear(1-res.Effective).Round(time.Minute))
+
+	if *measure {
+		cfg := experiments.DefaultAvailabilityConfig()
+		cfg.Nodes = *nodes
+		cfg.ProbeInterval = *probe
+		cfg.MissThreshold = *miss
+		cfg.Horizon = *horizon
+		// Scale failure pressure so a short horizon still sees churn.
+		cfg.MTBF = 20 * time.Minute
+		cfg.MTTR = time.Minute
+		fmt.Printf("\n")
+		mres, err := experiments.MeasureAvailability(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteAvailability(os.Stdout, mres); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "drsavail: %v\n", err)
+	os.Exit(1)
+}

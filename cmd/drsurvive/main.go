@@ -1,0 +1,109 @@
+// Command drsurvive regenerates the paper's Figure 2 (the analytic
+// P[Success] curves of Equation 1) and the 0.99 thresholds the paper
+// highlights (N=18 for f=2, N=32 for f=3, N=45 for f=4), optionally
+// cross-checked by Monte Carlo simulation.
+//
+// Usage:
+//
+//	drsurvive [-f list] [-nmax n] [-target p] [-mc iterations] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"drsnet/internal/experiments"
+	"drsnet/internal/montecarlo"
+	"drsnet/internal/survival"
+	"drsnet/internal/topology"
+)
+
+func main() {
+	fs := flag.String("f", "2,3,4,5,6,7,8,9,10", "failure counts, comma separated")
+	nmax := flag.Int("nmax", 63, "largest cluster size (paper: f < N < 64)")
+	target := flag.Float64("target", 0.99, "threshold target probability")
+	mc := flag.Int64("mc", 0, "if > 0, also Monte Carlo-estimate each curve with this many iterations")
+	seed := flag.Uint64("seed", 1, "Monte Carlo seed")
+	rails := flag.Bool("rails", false, "also print the redundancy ablation (1/2/3 rails, Monte Carlo)")
+	plot := flag.Bool("plot", false, "render Figure 2 as an ASCII chart instead of a table")
+	railsN := flag.Int("railsn", 12, "cluster size for the rails ablation")
+	flag.Parse()
+
+	var failures []int
+	for _, tok := range strings.Split(*fs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drsurvive: bad failure count %q: %v\n", tok, err)
+			os.Exit(1)
+		}
+		failures = append(failures, v)
+	}
+
+	res, err := experiments.Figure2(failures, *nmax)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+		os.Exit(1)
+	}
+	write := res.WriteTable
+	if *plot {
+		write = res.WritePlot
+	}
+	if err := write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+
+	rows, err := experiments.Thresholds(failures, *target, 4*(*nmax))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteThresholds(os.Stdout, rows, *target); err != nil {
+		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *rails {
+		iters := *mc
+		if iters <= 0 {
+			iters = 100000
+		}
+		res, err := experiments.RailsComparison(*railsN, []int{1, 2, 3}, failures, iters, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *mc > 0 {
+		fmt.Printf("\n# Monte Carlo cross-check (%d iterations per point)\n", *mc)
+		fmt.Printf("%4s %6s %10s %10s %10s\n", "f", "N", "analytic", "simulated", "|diff|")
+		for _, f := range failures {
+			for _, n := range []int{f + 1, (f + 1 + *nmax) / 2, *nmax} {
+				est, err := montecarlo.Estimate(montecarlo.Config{
+					Cluster: topology.Dual(n), Failures: f,
+					Iterations: *mc, Seed: *seed,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
+					os.Exit(1)
+				}
+				a := survival.PSuccessFloat(n, f)
+				diff := est.P - a
+				if diff < 0 {
+					diff = -diff
+				}
+				fmt.Printf("%4d %6d %10.5f %10.5f %10.5f\n", f, n, a, est.P, diff)
+			}
+		}
+	}
+}

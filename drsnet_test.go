@@ -1,0 +1,254 @@
+package drsnet
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPSuccessHeadlines(t *testing.T) {
+	if p := PSuccess(18, 2); p < 0.99 {
+		t.Fatalf("PSuccess(18,2) = %v, want > 0.99", p)
+	}
+	if p := PSuccess(17, 2); p >= 0.99 {
+		t.Fatalf("PSuccess(17,2) = %v, want < 0.99", p)
+	}
+	r := PSuccessExact(18, 2)
+	if got := r.RatString(); got != "696/703" {
+		t.Fatalf("PSuccessExact(18,2) = %s, want 696/703", got)
+	}
+}
+
+func TestSurvivabilityThresholds(t *testing.T) {
+	for _, tc := range []struct{ f, want int }{{2, 18}, {3, 32}, {4, 45}} {
+		n, err := SurvivabilityThreshold(tc.f, 0.99, 100)
+		if err != nil || n != tc.want {
+			t.Fatalf("Threshold(f=%d) = %d, %v; paper says %d", tc.f, n, err, tc.want)
+		}
+	}
+	if _, err := SurvivabilityThreshold(8, 0.99, 10); err == nil {
+		t.Fatal("unreachable threshold accepted")
+	}
+}
+
+func TestSurvivabilitySeries(t *testing.T) {
+	s := SurvivabilitySeries(2, 63)
+	if len(s) != 61 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[len(s)-1] <= s[0] {
+		t.Fatal("series not increasing toward 1")
+	}
+}
+
+func TestSimulateSurvivabilityAgreesWithAnalytic(t *testing.T) {
+	p, ci, err := SimulateSurvivability(20, 3, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PSuccess(20, 3)
+	if math.Abs(p-want) > 4*ci+1e-9 {
+		t.Fatalf("simulated %v vs analytic %v (ci %v)", p, want, ci)
+	}
+	if _, _, err := SimulateSurvivability(1, 3, 100, 7); err == nil {
+		t.Fatal("bad cluster accepted")
+	}
+}
+
+func TestCostModelHeadline(t *testing.T) {
+	var m CostModel // zero value = paper defaults
+	rt, err := m.ResponseTime(90, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt >= time.Second {
+		t.Fatalf("90 hosts at 10%% = %v, paper says < 1 s", rt)
+	}
+	n, err := m.MaxNodes(0.10, time.Second)
+	if err != nil || n < 90 {
+		t.Fatalf("MaxNodes = %d, %v", n, err)
+	}
+	over, err := m.Overhead(90, rt)
+	if err != nil || math.Abs(over-0.10) > 1e-9 {
+		t.Fatalf("Overhead = %v, %v", over, err)
+	}
+	if _, err := m.ResponseTime(1, 0.1); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+}
+
+func TestSimulateFleet(t *testing.T) {
+	s, err := SimulateFleet(100, 365, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalFailures == 0 || s.NetworkFailures == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.NetworkFraction-0.13) > 0.09 {
+		t.Fatalf("network fraction = %v, want ≈ 0.13", s.NetworkFraction)
+	}
+	if _, err := SimulateFleet(0, 365, 1); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+func TestClusterFailoverEndToEnd(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 5, ProbeInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Run(time.Second)
+	if err := c.Send(0, 1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100 * time.Millisecond)
+	if err := c.FailNIC(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Second)
+	rt, err := c.RouteOf(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Kind != "direct" || rt.Rail != 1 {
+		t.Fatalf("route = %+v, want direct rail 1", rt)
+	}
+	if err := c.Send(0, 1, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(200 * time.Millisecond)
+	msgs := c.Delivered()
+	if len(msgs) != 2 || string(msgs[1].Data) != "after" || msgs[1].To != 1 {
+		t.Fatalf("delivered = %v", msgs)
+	}
+	if reps := c.Repairs(); len(reps) == 0 {
+		t.Fatal("no repairs recorded")
+	}
+	if c.LinkUp(0, 1, 0) {
+		t.Fatal("failed link still reported up")
+	}
+	u, err := c.Utilization(0)
+	if err != nil || u <= 0 {
+		t.Fatalf("utilization = %v, %v", u, err)
+	}
+}
+
+func TestClusterCrossRailRelay(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 4, ProbeInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Run(time.Second)
+	if err := c.FailNIC(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNIC(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Second)
+	rt, err := c.RouteOf(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Kind != "relay" {
+		t.Fatalf("route = %+v, want relay", rt)
+	}
+	if err := c.Send(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(500 * time.Millisecond)
+	if len(c.Delivered()) != 1 {
+		t.Fatal("relay path did not deliver")
+	}
+}
+
+func TestClusterRestore(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 3, ProbeInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Run(500 * time.Millisecond)
+	if err := c.FailBackplane(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	if c.LinkUp(0, 1, 0) {
+		t.Fatal("backplane failure unnoticed")
+	}
+	if err := c.RestoreBackplane(0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Second)
+	if !c.LinkUp(0, 1, 0) {
+		t.Fatal("restored backplane unnoticed")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 1}); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Nodes: 1 << 20}); err == nil {
+		t.Fatal("absurd cluster accepted")
+	}
+	c, err := NewCluster(ClusterConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Send(0, 9, nil); err == nil {
+		t.Error("bad destination accepted")
+	}
+	if err := c.FailNIC(9, 0); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := c.FailNIC(0, 9); err == nil {
+		t.Error("bad rail accepted")
+	}
+	if err := c.FailBackplane(3); err == nil {
+		t.Error("bad backplane accepted")
+	}
+	if _, err := c.RouteOf(0, 9); err == nil {
+		t.Error("bad peer accepted")
+	}
+	if _, err := c.Utilization(7); err == nil {
+		t.Error("bad rail accepted")
+	}
+	if c.Nodes() != 3 || c.Now() != 0 {
+		t.Error("basic accessors wrong")
+	}
+}
+
+func TestCompareProtocolsOrdering(t *testing.T) {
+	results, err := CompareProtocols(8, FailureNIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results, want drs/linkstate/reactive/static", len(results))
+	}
+	byName := map[string]ProtocolResult{}
+	for _, r := range results {
+		byName[r.Protocol] = r
+	}
+	if !byName["drs"].Recovered {
+		t.Fatal("DRS did not recover")
+	}
+	if byName["static"].Recovered {
+		t.Fatal("static recovered")
+	}
+	if byName["drs"].Outage >= byName["reactive"].Outage {
+		t.Fatalf("drs outage %v not better than reactive %v",
+			byName["drs"].Outage, byName["reactive"].Outage)
+	}
+	if _, err := CompareProtocols(8, "meteor"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := CompareProtocols(0, FailureNIC); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package drsnet_test
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet"
+)
+
+// The analytic survivability model (Equation 1): the paper's headline
+// thresholds fall out directly.
+func ExamplePSuccess() {
+	fmt.Printf("P(17,2) = %.5f\n", drsnet.PSuccess(17, 2))
+	fmt.Printf("P(18,2) = %.5f\n", drsnet.PSuccess(18, 2))
+	n, _ := drsnet.SurvivabilityThreshold(4, 0.99, 100)
+	fmt.Printf("f=4 crosses 0.99 at N=%d\n", n)
+	// Output:
+	// P(17,2) = 0.98889
+	// P(18,2) = 0.99004
+	// f=4 crosses 0.99 at N=45
+}
+
+// The probing cost model (Figure 1): how long a full link-check round
+// takes, and how large a cluster fits a detection budget.
+func ExampleCostModel() {
+	var m drsnet.CostModel // zero value = the paper's 100 Mb/s network
+	rt, _ := m.ResponseTime(90, 0.10)
+	fmt.Printf("90 hosts at 10%% budget: %.0f ms per round\n", float64(rt.Milliseconds()))
+	n, _ := m.MaxNodes(0.10, time.Second)
+	fmt.Printf("1-second ceiling at 10%%: %d hosts\n", n)
+	// Output:
+	// 90 hosts at 10% budget: 538 ms per round
+	// 1-second ceiling at 10%: 122 hosts
+}
+
+// A packet-level cluster simulation: fail a NIC and watch the DRS
+// reroute before the application's next message.
+func ExampleNewCluster() {
+	cluster, err := drsnet.NewCluster(drsnet.ClusterConfig{
+		Nodes:         5,
+		ProbeInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Stop()
+
+	cluster.Run(time.Second)
+	cluster.FailNIC(1, 0) // server 1 loses its primary NIC
+	cluster.Run(time.Second)
+
+	route, _ := cluster.RouteOf(0, 1)
+	fmt.Printf("route 0→1 after failover: %s rail %d\n", route.Kind, route.Rail)
+
+	cluster.Send(0, 1, []byte("hello"))
+	cluster.Run(100 * time.Millisecond)
+	fmt.Printf("delivered: %d message(s)\n", len(cluster.Delivered()))
+	// Output:
+	// route 0→1 after failover: direct rail 1
+	// delivered: 1 message(s)
+}
+
+// Monte Carlo validation of Equation 1 (the Figure 3 machinery).
+func ExampleSimulateSurvivability() {
+	p, ci, _ := drsnet.SimulateSurvivability(18, 2, 500000, 1)
+	analytic := drsnet.PSuccess(18, 2)
+	fmt.Printf("within CI: %v\n", p-analytic < 4*ci && analytic-p < 4*ci)
+	// Output:
+	// within CI: true
+}
+
+// Time-based availability: what an operator gets from MTBF/MTTR plus
+// the DRS detection window.
+func ExampleClusterAvailability() {
+	av, _ := drsnet.ClusterAvailability(10, 1000*time.Hour, 4*time.Hour, 2500*time.Millisecond)
+	fmt.Printf("nines: %d\n", av.Nines)
+	fmt.Printf("downtime/year: %v\n", av.DowntimePerYear.Round(time.Minute))
+	// Output:
+	// nines: 3
+	// downtime/year: 59m0s
+}

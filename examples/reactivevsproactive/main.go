@@ -1,0 +1,53 @@
+// Reactive vs proactive: the paper's core argument, measured. The same
+// failure is replayed on identical clusters under three protocols —
+// the proactive DRS, a RIP-like reactive protocol that only discovers
+// failures when routes time out, and static routing — and the
+// application-visible outage is compared against what TCP can mask.
+//
+//	go run ./examples/reactivevsproactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drsnet"
+)
+
+func main() {
+	scenarios := []struct {
+		name, key, blurb string
+	}{
+		{"single NIC", drsnet.FailureNIC,
+			"the destination's primary NIC dies; the second rail survives"},
+		{"back plane", drsnet.FailureBackplane,
+			"an entire shared network dies; every node must fail over at once"},
+		{"cross rail", drsnet.FailureCrossRail,
+			"sender and receiver lose opposite rails; only a relay server reconnects them"},
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("== %s failure — %s\n", sc.name, sc.blurb)
+		results, err := drsnet.CompareProtocols(10, sc.key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10s %7s %14s %14s %8s\n",
+			"protocol", "lost", "recov", "outage", "repair", "masked")
+		for _, r := range results {
+			outage := r.Outage.String()
+			if !r.Recovered {
+				outage = "never (>" + outage + ")"
+			}
+			fmt.Printf("%-10s %10d %7v %14s %14v %8v\n",
+				r.Protocol, r.Lost, r.Recovered, outage, r.RepairLatency, r.MaskedFromTCP)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The DRS recovers within its detection budget (miss-threshold × probe")
+	fmt.Println("interval); the reactive protocol waits for its route timeout; static")
+	fmt.Println("routing never recovers. Shrink the probe interval and the DRS outage")
+	fmt.Println("drops inside a single TCP retransmission — the paper's \"applications")
+	fmt.Println("are unaware\" regime (see cmd/drsim -probe 200ms).")
+}

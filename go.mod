@@ -1,0 +1,3 @@
+module drsnet
+
+go 1.22

@@ -1,0 +1,280 @@
+package availability
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"drsnet/internal/conn"
+	"drsnet/internal/survival"
+	"drsnet/internal/topology"
+)
+
+func TestSteadyStateQ(t *testing.T) {
+	q, err := SteadyStateQ(99*time.Hour, time.Hour)
+	if err != nil || math.Abs(q-0.01) > 1e-12 {
+		t.Fatalf("q = %v, %v; want 0.01", q, err)
+	}
+	if _, err := SteadyStateQ(0, time.Hour); err == nil {
+		t.Fatal("zero MTBF accepted")
+	}
+	q, err = SteadyStateQ(time.Hour, 0)
+	if err != nil || q != 0 {
+		t.Fatalf("zero MTTR: q = %v, %v", q, err)
+	}
+}
+
+func TestIIDEdgeCases(t *testing.T) {
+	p, err := PSuccessIID(10, 0)
+	if err != nil || p != 1 {
+		t.Fatalf("q=0: %v, %v", p, err)
+	}
+	p, err = PSuccessIID(10, 1)
+	if err != nil || p != 0 {
+		t.Fatalf("q=1: %v, %v", p, err)
+	}
+	if _, err := PSuccessIID(1, 0.1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := PSuccessIID(10, -0.1); err == nil {
+		t.Fatal("negative q accepted")
+	}
+	if _, err := PSuccessIID(10, 1.1); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+// refIID computes the IID success probability by enumerating every
+// subset of components — an independent check of the mixture.
+func refIID(t *testing.T, n int, q float64, allPairs bool) float64 {
+	t.Helper()
+	cluster := topology.Dual(n)
+	eval, err := conn.NewEvaluator(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cluster.Components()
+	total := 0.0
+	for mask := 0; mask < 1<<m; mask++ {
+		var failed []topology.Component
+		for c := 0; c < m; c++ {
+			if mask&(1<<c) != 0 {
+				failed = append(failed, topology.Component(c))
+			}
+		}
+		ok := false
+		if allPairs {
+			ok = eval.AllConnected(failed)
+		} else {
+			ok = eval.PairConnected(failed, 0, 1)
+		}
+		if !ok {
+			continue
+		}
+		f := len(failed)
+		total += math.Pow(q, float64(f)) * math.Pow(1-q, float64(m-f))
+	}
+	return total
+}
+
+func TestIIDMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, q := range []float64{0.01, 0.1, 0.3, 0.7} {
+			got, err := PSuccessIID(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refIID(t, n, q, false)
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("PSuccessIID(%d, %v) = %v, enumeration %v", n, q, got, want)
+			}
+			gotAll, err := AllPairsIID(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAll := refIID(t, n, q, true)
+			if math.Abs(gotAll-wantAll) > 1e-10 {
+				t.Errorf("AllPairsIID(%d, %v) = %v, enumeration %v", n, q, gotAll, wantAll)
+			}
+			if gotAll > got+1e-12 {
+				t.Errorf("all-pairs %v exceeds pair %v", gotAll, got)
+			}
+		}
+	}
+}
+
+func TestIIDMonotoneInQ(t *testing.T) {
+	prev := 1.0
+	for _, q := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.5, 0.9, 1} {
+		p, err := PSuccessIID(12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("PSuccessIID not monotone at q=%v: %v > %v", q, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestIIDMatchesMonteCarlo(t *testing.T) {
+	for _, tc := range []struct {
+		n        int
+		q        float64
+		allPairs bool
+	}{
+		{10, 0.05, false},
+		{10, 0.05, true},
+		{20, 0.02, false},
+	} {
+		analytic, err := PSuccessIID(tc.n, tc.q)
+		if tc.allPairs {
+			analytic, err = AllPairsIID(tc.n, tc.q)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, ci, err := EstimateIID(tc.n, tc.q, tc.allPairs, 200000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-analytic) > 4*ci+1e-9 {
+			t.Errorf("n=%d q=%v allPairs=%v: MC %v vs analytic %v (ci %v)",
+				tc.n, tc.q, tc.allPairs, est, analytic, ci)
+		}
+	}
+}
+
+func TestEstimateIIDDeterministic(t *testing.T) {
+	a, _, err := EstimateIID(8, 0.1, false, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := EstimateIID(8, 0.1, false, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEstimateIIDValidation(t *testing.T) {
+	if _, _, err := EstimateIID(1, 0.1, false, 100, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := EstimateIID(4, 2, false, 100, 1); err == nil {
+		t.Error("q=2 accepted")
+	}
+	if _, _, err := EstimateIID(4, 0.1, false, 0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestIIDConsistentWithFixedFModel(t *testing.T) {
+	// The mixture must agree with Σ_f Binom(M,f,q)·P(n,f).
+	n, q := 8, 0.07
+	m := 2*n + 2
+	want := 0.0
+	for f := 0; f <= m; f++ {
+		pmf := binomPMF(m, f, q)
+		want += pmf * survival.PSuccessFloat(n, f)
+	}
+	got, err := PSuccessIID(n, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("mixture %v vs pmf-weighted %v", got, want)
+	}
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	c, _ := survival.Binomial(n, k).Float64()
+	_ = c
+	// survival.Binomial returns *big.Int; use floats carefully.
+	bf := 1.0
+	for i := 0; i < k; i++ {
+		bf = bf * float64(n-i) / float64(i+1)
+	}
+	return bf * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+}
+
+func TestEffective(t *testing.T) {
+	p := Params{
+		Nodes:        10,
+		MTBF:         1000 * time.Hour,
+		MTTR:         2 * time.Hour,
+		RepairWindow: 2 * time.Second,
+	}
+	res, err := Effective(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Q <= 0 || res.Q >= 1 {
+		t.Fatalf("q = %v", res.Q)
+	}
+	if res.Structural <= 0.99 || res.Structural >= 1 {
+		t.Fatalf("structural = %v", res.Structural)
+	}
+	if res.DetectionPenalty <= 0 {
+		t.Fatal("no detection penalty")
+	}
+	if !(res.Effective < res.Structural) {
+		t.Fatal("effective not below structural")
+	}
+	// Faster probing (smaller repair window) must improve things.
+	p2 := p
+	p2.RepairWindow = 200 * time.Millisecond
+	res2, err := Effective(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res2.Effective > res.Effective) {
+		t.Fatalf("faster repair did not help: %v vs %v", res2.Effective, res.Effective)
+	}
+}
+
+func TestEffectiveValidation(t *testing.T) {
+	good := Params{Nodes: 8, MTBF: time.Hour, MTTR: time.Minute, RepairWindow: time.Second}
+	for name, mutate := range map[string]func(*Params){
+		"nodes":       func(p *Params) { p.Nodes = 1 },
+		"mtbf":        func(p *Params) { p.MTBF = 0 },
+		"neg mttr":    func(p *Params) { p.MTTR = -time.Second },
+		"huge window": func(p *Params) { p.RepairWindow = p.MTBF },
+	} {
+		p := good
+		mutate(&p)
+		if _, err := Effective(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNines(t *testing.T) {
+	for _, tc := range []struct {
+		a    float64
+		want int
+	}{
+		{0.5, 0}, {0.9, 1}, {0.95, 1}, {0.99, 2}, {0.999, 3},
+		{0.9999, 4}, {1.0, 9}, {0, 0},
+	} {
+		if got := Nines(tc.a); got != tc.want {
+			t.Errorf("Nines(%v) = %d, want %d", tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestDowntimePerYear(t *testing.T) {
+	d := DowntimePerYear(0.001)
+	want := time.Duration(0.001 * 365 * 24 * float64(time.Hour))
+	if d != want {
+		t.Fatalf("downtime = %v, want %v", d, want)
+	}
+	if DowntimePerYear(-1) != 0 {
+		t.Fatal("negative unavailability not clamped")
+	}
+	if DowntimePerYear(2) != 365*24*time.Hour {
+		t.Fatal("unavailability > 1 not clamped")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"drsnet/internal/netsim"
+)
+
+func TestRTTMeasuredOnHealthyLinks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProbeInterval = 100 * time.Millisecond
+	c := newCluster(t, 3, cfg)
+	defer c.stop()
+	c.runFor(2 * time.Second)
+
+	// Expected: request tx + propagation, then reply tx + propagation.
+	// Both frames are minimum-size (84 B at 100 Mb/s ≈ 6.72 µs) plus
+	// 5 µs latency each way ≈ 23 µs, with queueing jitter on top from
+	// the burst of probes sharing the segment.
+	perFrame := time.Duration(84 * 8 * float64(time.Second) / netsim.DefaultRate)
+	floor := 2*perFrame + 2*netsim.DefaultLatency
+
+	for peer := 1; peer < 3; peer++ {
+		for rail := 0; rail < 2; rail++ {
+			rtt, ok := c.daemons[0].RTT(peer, rail)
+			if !ok {
+				t.Fatalf("no RTT for (%d,%d)", peer, rail)
+			}
+			if rtt.Samples < 10 {
+				t.Fatalf("(%d,%d): only %d samples", peer, rail, rtt.Samples)
+			}
+			if rtt.SRTT < floor {
+				t.Fatalf("(%d,%d): SRTT %v below physical floor %v", peer, rail, rtt.SRTT, floor)
+			}
+			// Bursty probes serialize behind each other: allow up to
+			// ~20 frame times of queueing.
+			if rtt.SRTT > floor+20*perFrame {
+				t.Fatalf("(%d,%d): SRTT %v implausibly high", peer, rail, rtt.SRTT)
+			}
+			if rtt.RTTVar < 0 {
+				t.Fatalf("(%d,%d): negative RTTVar", peer, rail)
+			}
+		}
+	}
+}
+
+func TestRTTGrowsUnderContention(t *testing.T) {
+	// Saturating background traffic on rail 0 queues the probes there;
+	// rail 1 stays quiet. The RTT estimator must see the difference.
+	cfg := DefaultConfig()
+	cfg.ProbeInterval = 100 * time.Millisecond
+	c := newCluster(t, 3, cfg)
+	defer c.stop()
+	c.runFor(500 * time.Millisecond)
+
+	// Background blast: node 2 floods node 1 on rail 0 via raw frames.
+	payload := make([]byte, 1400)
+	var blast func()
+	blast = func() {
+		for i := 0; i < 20; i++ {
+			_ = c.net.Send(2, 0, 1, payload)
+		}
+		c.sched.After(2*time.Millisecond, blast)
+	}
+	c.sched.After(0, blast)
+	c.runFor(3 * time.Second)
+
+	busy, ok := c.daemons[0].RTT(1, 0)
+	if !ok {
+		t.Fatal("no RTT on busy rail")
+	}
+	quiet, ok := c.daemons[0].RTT(1, 1)
+	if !ok {
+		t.Fatal("no RTT on quiet rail")
+	}
+	if busy.SRTT < 4*quiet.SRTT {
+		t.Fatalf("contention invisible: busy rail %v vs quiet rail %v", busy.SRTT, quiet.SRTT)
+	}
+}
+
+func TestRTTUnknownPeer(t *testing.T) {
+	c := newCluster(t, 2, DefaultConfig())
+	defer c.stop()
+	if _, ok := c.daemons[0].RTT(0, 0); ok {
+		t.Fatal("RTT for self reported")
+	}
+	if _, ok := c.daemons[0].RTT(9, 0); ok {
+		t.Fatal("RTT for out-of-range peer reported")
+	}
+	if _, ok := c.daemons[0].RTT(1, 9); ok {
+		t.Fatal("RTT for bad rail reported")
+	}
+	// Before any probe completes there is no estimate.
+	if _, ok := c.daemons[0].RTT(1, 0); ok {
+		t.Fatal("RTT before first round reported")
+	}
+}
+
+func TestObserveRTTSmoothing(t *testing.T) {
+	var st linkState
+	st.observeRTT(100 * time.Microsecond)
+	if st.srtt != 100*time.Microsecond || st.rttvar != 50*time.Microsecond {
+		t.Fatalf("first sample: srtt=%v rttvar=%v", st.srtt, st.rttvar)
+	}
+	// A constant stream converges: variance decays toward zero.
+	for i := 0; i < 100; i++ {
+		st.observeRTT(100 * time.Microsecond)
+	}
+	if st.srtt != 100*time.Microsecond {
+		t.Fatalf("constant stream moved srtt to %v", st.srtt)
+	}
+	if st.rttvar > time.Microsecond {
+		t.Fatalf("rttvar did not decay: %v", st.rttvar)
+	}
+	// A spike moves the estimate by 1/8 of the error.
+	st.observeRTT(900 * time.Microsecond)
+	if st.srtt != 200*time.Microsecond {
+		t.Fatalf("spike handling: srtt=%v, want 200µs", st.srtt)
+	}
+	// Negative samples (clock confusion) are ignored.
+	before := st
+	st.observeRTT(-time.Second)
+	if st != before {
+		t.Fatal("negative sample accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// congestRail keeps a ~67% background load on one rail of the test
+// cluster: enough queueing to inflate probe RTTs an order of
+// magnitude, not enough to starve the probes into a false link-down
+// (12 × 1438-byte wire frames per 2 ms ≈ 67 Mb/s of 100).
+func congestRail(c *cluster, rail int) {
+	payload := make([]byte, 1400)
+	var blast func()
+	blast = func() {
+		for i := 0; i < 12; i++ {
+			// A bystander pair (last two nodes) generates the load.
+			_ = c.net.Send(len(c.daemons)-1, rail, len(c.daemons)-2, payload)
+		}
+		c.sched.After(2*time.Millisecond, blast)
+	}
+	c.sched.After(0, blast)
+}
+
+func TestLatencySteeringMovesOffCongestedRail(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProbeInterval = 100 * time.Millisecond
+	cfg.PreferLowLatency = true
+	c := newCluster(t, 4, cfg)
+	defer c.stop()
+
+	// Initial route 0→1 is direct rail 0. Congest rail 0 heavily.
+	congestRail(c, 0)
+	c.runFor(5 * time.Second)
+
+	rt := c.daemons[0].RouteTo(1)
+	if rt.Kind != RouteDirect || rt.Rail != 0 {
+		// Steering should have moved it — check it did, to rail 1.
+		if rt.Rail != 1 {
+			t.Fatalf("route = %+v", rt)
+		}
+	}
+	if rt.Rail != 1 {
+		t.Fatalf("route stayed on the congested rail: %+v", rt)
+	}
+	// Sanity: the RTT gap really is what drove it.
+	busy, _ := c.daemons[0].RTT(1, 0)
+	quiet, _ := c.daemons[0].RTT(1, 1)
+	if busy.SRTT < 2*quiet.SRTT {
+		t.Fatalf("test precondition broken: busy %v vs quiet %v", busy.SRTT, quiet.SRTT)
+	}
+	// Data follows the steered route.
+	if err := c.daemons[0].SendData(1, []byte("steered")); err != nil {
+		t.Fatal(err)
+	}
+	c.runFor(200 * time.Millisecond)
+	if len(c.delivered[1]) != 1 {
+		t.Fatal("steered route did not deliver")
+	}
+}
+
+func TestLatencySteeringOffByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProbeInterval = 100 * time.Millisecond
+	c := newCluster(t, 4, cfg)
+	defer c.stop()
+	congestRail(c, 0)
+	c.runFor(5 * time.Second)
+	rt := c.daemons[0].RouteTo(1)
+	if rt.Rail != 0 {
+		t.Fatalf("deployed behaviour changed: route moved to %+v without opting in", rt)
+	}
+}
+
+func TestLatencySteeringHysteresisNoFlap(t *testing.T) {
+	// Comparable load on both rails: routes must not oscillate.
+	cfg := DefaultConfig()
+	cfg.ProbeInterval = 100 * time.Millisecond
+	cfg.PreferLowLatency = true
+	c := newCluster(t, 4, cfg)
+	defer c.stop()
+	congestRail(c, 0)
+	congestRail(c, 1)
+	c.runFor(5 * time.Second)
+	// Count route installs for peer 1 at node 0 beyond the initial
+	// one: flapping would rack them up.
+	moves := 0
+	for _, r := range c.daemons[0].Repairs() {
+		if r.Peer == 1 {
+			moves++
+		}
+	}
+	if moves > 2 {
+		t.Fatalf("route to peer 1 moved %d times under symmetric load", moves)
+	}
+}
+
+func TestLatencySteeringStillFailsOver(t *testing.T) {
+	// Steering must not interfere with failure handling.
+	cfg := DefaultConfig()
+	cfg.ProbeInterval = 100 * time.Millisecond
+	cfg.PreferLowLatency = true
+	c := newCluster(t, 4, cfg)
+	defer c.stop()
+	c.runFor(2 * time.Second)
+	c.net.Fail(c.net.Cluster().NIC(1, 0))
+	c.runFor(time.Second)
+	rt := c.daemons[0].RouteTo(1)
+	if rt.Kind != RouteDirect || rt.Rail != 1 {
+		t.Fatalf("failover broken with steering enabled: %+v", rt)
+	}
+}

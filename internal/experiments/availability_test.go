@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureAvailabilityAgainstModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon availability in -short mode")
+	}
+	cfg := DefaultAvailabilityConfig()
+	res, err := MeasureAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Delivered == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures injected at MTBF << horizon")
+	}
+	// The measurement must land in the model's neighborhood. The
+	// first-order model ignores repair bursts and queue flushes, so
+	// allow a ±5-point absolute band — tight enough to catch a broken
+	// protocol (which lands far below) or a broken injector (1.0).
+	if math.Abs(res.Measured-res.Model.Effective) > 0.05 {
+		t.Fatalf("measured %v vs model %v", res.Measured, res.Model.Effective)
+	}
+	// Availability must be visibly below 1 (failures hurt) and above
+	// the no-protocol floor.
+	if res.Measured >= 0.9999 {
+		t.Fatal("measured availability suspiciously perfect")
+	}
+	if res.Measured < 0.8 {
+		t.Fatalf("measured availability %v too low for a working DRS", res.Measured)
+	}
+	var sb strings.Builder
+	if err := WriteAvailability(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "measured") {
+		t.Fatalf("availability report: %q", sb.String())
+	}
+}
+
+func TestMeasureAvailabilityFasterProbesHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon availability in -short mode")
+	}
+	slow := DefaultAvailabilityConfig()
+	slow.Horizon = time.Hour
+	slow.ProbeInterval = 5 * time.Second
+	fast := slow
+	fast.ProbeInterval = 500 * time.Millisecond
+
+	sres, err := MeasureAvailability(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := MeasureAvailability(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fres.Measured > sres.Measured) {
+		t.Fatalf("faster probing did not improve availability: %v vs %v",
+			fres.Measured, sres.Measured)
+	}
+}
+
+func TestMeasureAvailabilityValidation(t *testing.T) {
+	good := DefaultAvailabilityConfig()
+	for name, mutate := range map[string]func(*AvailabilityConfig){
+		"nodes":   func(c *AvailabilityConfig) { c.Nodes = 1 },
+		"mtbf":    func(c *AvailabilityConfig) { c.MTBF = 0 },
+		"mttr":    func(c *AvailabilityConfig) { c.MTTR = 0 },
+		"horizon": func(c *AvailabilityConfig) { c.Horizon = 0 },
+		"probe":   func(c *AvailabilityConfig) { c.ProbeInterval = 0 },
+		"miss":    func(c *AvailabilityConfig) { c.MissThreshold = 0 },
+		"traffic": func(c *AvailabilityConfig) { c.TrafficInterval = 0 },
+	} {
+		cfg := good
+		mutate(&cfg)
+		if _, err := MeasureAvailability(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"drsnet/internal/conn"
+	"drsnet/internal/core"
+	"drsnet/internal/netsim"
+	"drsnet/internal/routing"
+	"drsnet/internal/simtime"
+	"drsnet/internal/topology"
+)
+
+// CoverageConfig describes a fault-coverage campaign: EVERY failure
+// scenario up to MaxFaults simultaneous component failures is injected
+// into a fresh packet-level cluster, and the running DRS's behaviour
+// is checked against the analytic connectivity predicate — the
+// systematic version of the paper's survivability claim.
+type CoverageConfig struct {
+	Nodes     int
+	MaxFaults int
+	// DRS tunables.
+	ProbeInterval time.Duration
+	MissThreshold int
+	// Timing: failure injected at FailAt; outcome judged at Deadline.
+	TrafficInterval time.Duration
+	FailAt          time.Duration
+	Deadline        time.Duration
+	Seed            uint64
+}
+
+// DefaultCoverageConfig covers all single and double faults of an
+// 8-node cluster (18 components → 18 + 153 = 171 scenarios).
+func DefaultCoverageConfig() CoverageConfig {
+	return CoverageConfig{
+		Nodes:           8,
+		MaxFaults:       2,
+		ProbeInterval:   500 * time.Millisecond,
+		MissThreshold:   2,
+		TrafficInterval: 100 * time.Millisecond,
+		FailAt:          3 * time.Second,
+		Deadline:        12 * time.Second,
+	}
+}
+
+func (c CoverageConfig) validate() error {
+	if c.Nodes < 3 {
+		return fmt.Errorf("experiments: coverage needs ≥ 3 nodes")
+	}
+	if c.MaxFaults < 1 || c.MaxFaults > 3 {
+		return fmt.Errorf("experiments: MaxFaults must be 1..3 (got %d); larger campaigns explode combinatorially", c.MaxFaults)
+	}
+	if c.ProbeInterval <= 0 || c.MissThreshold <= 0 || c.TrafficInterval <= 0 {
+		return fmt.Errorf("experiments: positive probe interval, miss threshold and traffic interval required")
+	}
+	if c.FailAt <= 0 || c.Deadline <= c.FailAt {
+		return fmt.Errorf("experiments: bad coverage timing")
+	}
+	return nil
+}
+
+// ClassStats aggregates scenarios of one fault class (e.g. "nic+nic").
+type ClassStats struct {
+	Scenarios    int
+	Connected    int // analytically survivable for the pair (0,1)
+	Recovered    int // the running DRS delivered after the failure
+	Inconsistent int // simulation disagreed with the predicate
+	MaxOutage    time.Duration
+	TotalOutage  time.Duration
+}
+
+// MeanOutage returns the average outage over recovered scenarios.
+func (c ClassStats) MeanOutage() time.Duration {
+	if c.Recovered == 0 {
+		return 0
+	}
+	return c.TotalOutage / time.Duration(c.Recovered)
+}
+
+// CoverageResult is the campaign outcome.
+type CoverageResult struct {
+	Config  CoverageConfig
+	Total   ClassStats
+	Classes map[string]ClassStats
+	// FirstInconsistency describes the first scenario (if any) where
+	// the simulation disagreed with the analytic predicate.
+	FirstInconsistency string
+}
+
+// FaultCoverage runs the campaign.
+func FaultCoverage(cfg CoverageConfig) (*CoverageResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cluster := topology.Dual(cfg.Nodes)
+	eval, err := conn.NewEvaluator(cluster)
+	if err != nil {
+		return nil, err
+	}
+	res := &CoverageResult{Config: cfg, Classes: make(map[string]ClassStats)}
+
+	m := cluster.Components()
+	var scenario []topology.Component
+	var walk func(start int) error
+	walk = func(start int) error {
+		if len(scenario) > 0 {
+			if err := res.runScenario(cluster, eval, scenario); err != nil {
+				return err
+			}
+		}
+		if len(scenario) == cfg.MaxFaults {
+			return nil
+		}
+		for c := start; c < m; c++ {
+			scenario = append(scenario, topology.Component(c))
+			if err := walk(c + 1); err != nil {
+				return err
+			}
+			scenario = scenario[:len(scenario)-1]
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// classKey names a scenario's fault class by component kinds.
+func classKey(cluster topology.Cluster, scenario []topology.Component) string {
+	kinds := make([]string, 0, len(scenario))
+	for _, comp := range scenario {
+		kind, _, _ := cluster.Describe(comp)
+		if kind == topology.KindBackplane {
+			kinds = append(kinds, "backplane")
+		} else {
+			kinds = append(kinds, "nic")
+		}
+	}
+	sort.Strings(kinds)
+	key := kinds[0]
+	for _, k := range kinds[1:] {
+		key += "+" + k
+	}
+	return key
+}
+
+func (res *CoverageResult) runScenario(cluster topology.Cluster, eval *conn.Evaluator, scenario []topology.Component) error {
+	cfg := res.Config
+	want := eval.PairConnected(scenario, 0, 1)
+
+	sched := simtime.NewScheduler()
+	net, err := netsim.New(sched, cluster, netsim.DefaultParams(), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	clock := routing.SimClock{Sched: sched}
+	daemons := make([]*core.Daemon, cfg.Nodes)
+	var deliveries []time.Duration
+	for node := 0; node < cfg.Nodes; node++ {
+		dcfg := core.DefaultConfig()
+		dcfg.ProbeInterval = cfg.ProbeInterval
+		dcfg.MissThreshold = cfg.MissThreshold
+		d, err := core.New(routing.NewSimNode(net, node), clock, dcfg)
+		if err != nil {
+			return err
+		}
+		if node == 1 {
+			d.SetDeliverFunc(func(src int, data []byte) {
+				if src == 0 {
+					deliveries = append(deliveries, sched.Now().Duration())
+				}
+			})
+		}
+		daemons[node] = d
+	}
+	for _, d := range daemons {
+		if err := d.Start(); err != nil {
+			return err
+		}
+	}
+	var tick func()
+	tick = func() {
+		_ = daemons[0].SendData(1, []byte("c"))
+		sched.After(cfg.TrafficInterval, tick)
+	}
+	sched.After(cfg.TrafficInterval, tick)
+	for _, comp := range scenario {
+		comp := comp
+		sched.At(simtime.Time(cfg.FailAt), func() { net.Fail(comp) })
+	}
+	sched.RunUntil(simtime.Time(cfg.Deadline))
+	for _, d := range daemons {
+		d.Stop()
+	}
+
+	var firstAfter time.Duration = -1
+	for _, at := range deliveries {
+		if at >= cfg.FailAt {
+			firstAfter = at
+			break
+		}
+	}
+	recovered := firstAfter >= 0
+
+	key := classKey(cluster, scenario)
+	cs := res.Classes[key]
+	cs.Scenarios++
+	res.Total.Scenarios++
+	if want {
+		cs.Connected++
+		res.Total.Connected++
+	}
+	if recovered {
+		cs.Recovered++
+		res.Total.Recovered++
+		outage := firstAfter - cfg.FailAt
+		cs.TotalOutage += outage
+		res.Total.TotalOutage += outage
+		if outage > cs.MaxOutage {
+			cs.MaxOutage = outage
+		}
+		if outage > res.Total.MaxOutage {
+			res.Total.MaxOutage = outage
+		}
+	}
+	if recovered != want {
+		cs.Inconsistent++
+		res.Total.Inconsistent++
+		if res.FirstInconsistency == "" {
+			names := ""
+			for i, comp := range scenario {
+				if i > 0 {
+					names += ", "
+				}
+				names += cluster.Name(comp)
+			}
+			res.FirstInconsistency = fmt.Sprintf("{%s}: simulated recovered=%v, predicate=%v",
+				names, recovered, want)
+		}
+	}
+	res.Classes[key] = cs
+	return nil
+}
+
+// WriteCoverage renders the campaign as the fault-coverage matrix.
+func WriteCoverage(w io.Writer, res *CoverageResult) error {
+	cfg := res.Config
+	if _, err := fmt.Fprintf(w, "# Fault coverage: %d nodes, all scenarios up to %d faults (%d total)\n",
+		cfg.Nodes, cfg.MaxFaults, res.Total.Scenarios); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-24s %9s %10s %10s %12s %12s %8s\n",
+		"class", "scenarios", "survivable", "recovered", "mean-outage", "max-outage", "inconsis")
+	keys := make([]string, 0, len(res.Classes))
+	for k := range res.Classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	write := func(name string, cs ClassStats) {
+		fmt.Fprintf(w, "%-24s %9d %10d %10d %12v %12v %8d\n",
+			name, cs.Scenarios, cs.Connected, cs.Recovered,
+			cs.MeanOutage().Round(time.Millisecond), cs.MaxOutage.Round(time.Millisecond),
+			cs.Inconsistent)
+	}
+	for _, k := range keys {
+		write(k, res.Classes[k])
+	}
+	write("TOTAL", res.Total)
+	if res.FirstInconsistency != "" {
+		fmt.Fprintf(w, "first inconsistency: %s\n", res.FirstInconsistency)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"drsnet/internal/core"
+	"drsnet/internal/flowsim"
+	"drsnet/internal/netsim"
+	"drsnet/internal/routing"
+	"drsnet/internal/simtime"
+	"drsnet/internal/topology"
+)
+
+// FlowRecoveryConfig describes the connection-level E5 variant: a
+// reliable retransmitting stream (flowsim) rides the router under test
+// across an injected failure, and the connection's fate is observed.
+type FlowRecoveryConfig struct {
+	Protocol Protocol
+	Nodes    int
+	Scenario Scenario
+	// SegmentInterval is the application's send cadence.
+	SegmentInterval time.Duration
+	// FailAt and Duration bound the run.
+	FailAt, Duration time.Duration
+	// DRS and reactive tunables (as in RecoveryConfig).
+	ProbeInterval     time.Duration
+	MissThreshold     int
+	AdvertiseInterval time.Duration
+	RouteTimeout      time.Duration
+	// Flow is the transport configuration (zero value = TCP-like
+	// defaults).
+	Flow flowsim.FlowConfig
+	Seed uint64
+}
+
+// DefaultFlowRecoveryConfig mirrors DefaultRecoveryConfig with a
+// 200 ms-probing DRS — the regime in which the paper claims
+// applications never notice.
+func DefaultFlowRecoveryConfig(p Protocol, s Scenario) FlowRecoveryConfig {
+	return FlowRecoveryConfig{
+		Protocol:          p,
+		Nodes:             10,
+		Scenario:          s,
+		SegmentInterval:   100 * time.Millisecond,
+		FailAt:            10 * time.Second,
+		Duration:          60 * time.Second,
+		ProbeInterval:     200 * time.Millisecond,
+		MissThreshold:     2,
+		AdvertiseInterval: time.Second,
+		RouteTimeout:      6 * time.Second,
+		Flow:              flowsim.DefaultFlowConfig(),
+		Seed:              1,
+	}
+}
+
+// FlowRecoveryResult is the connection-level outcome.
+type FlowRecoveryResult struct {
+	Config FlowRecoveryConfig
+	// Sender-side stats.
+	Flow flowsim.FlowStats
+	// Receiver-side stats.
+	Sink flowsim.SinkStats
+	// Survived is the connection-level verdict: everything enqueued
+	// was acknowledged and the retry budget never ran out.
+	Survived bool
+}
+
+// FlowRecovery runs one connection-level recovery experiment.
+func FlowRecovery(cfg FlowRecoveryConfig) (*FlowRecoveryResult, error) {
+	rc := RecoveryConfig{
+		Protocol:          cfg.Protocol,
+		Nodes:             cfg.Nodes,
+		Scenario:          cfg.Scenario,
+		TrafficInterval:   cfg.SegmentInterval,
+		FailAt:            cfg.FailAt,
+		Duration:          cfg.Duration,
+		ProbeInterval:     cfg.ProbeInterval,
+		MissThreshold:     cfg.MissThreshold,
+		AdvertiseInterval: cfg.AdvertiseInterval,
+		RouteTimeout:      cfg.RouteTimeout,
+		Seed:              cfg.Seed,
+	}
+	if err := rc.normalize(); err != nil {
+		return nil, err
+	}
+
+	sched := simtime.NewScheduler()
+	cl := topology.Dual(cfg.Nodes)
+	net, err := netsim.New(sched, cl, netsim.DefaultParams(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clock := routing.SimClock{Sched: sched}
+
+	routers := make([]routing.Router, cfg.Nodes)
+	for node := 0; node < cfg.Nodes; node++ {
+		tr := routing.NewSimNode(net, node)
+		switch cfg.Protocol {
+		case ProtoDRS:
+			c := core.DefaultConfig()
+			c.ProbeInterval = cfg.ProbeInterval
+			c.MissThreshold = cfg.MissThreshold
+			d, err := core.New(tr, clock, c)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = d
+		case ProtoReactive:
+			rcfg := routing.DefaultReactiveConfig()
+			rcfg.AdvertiseInterval = cfg.AdvertiseInterval
+			rcfg.RouteTimeout = cfg.RouteTimeout
+			r, err := routing.NewReactive(tr, clock, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = r
+		case ProtoLinkState:
+			lc := routing.DefaultLinkStateConfig()
+			lc.HelloInterval = cfg.AdvertiseInterval
+			l, err := routing.NewLinkState(tr, clock, lc)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = l
+		case ProtoStatic:
+			s, err := routing.NewStatic(tr, 0)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = s
+		}
+	}
+	for _, r := range routers {
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	sender, err := flowsim.NewEndpoint(routers[0], clock)
+	if err != nil {
+		return nil, err
+	}
+	receiver, err := flowsim.NewEndpoint(routers[1], clock)
+	if err != nil {
+		return nil, err
+	}
+	flow, err := sender.Dial(1, 1, cfg.Flow)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := receiver.Listen(0, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// The application stops sending early enough for in-flight
+	// segments (and their retransmissions) to drain before the
+	// horizon; otherwise a healthy tail segment would read as loss.
+	drain := 8 * cfg.Flow.RTO
+	if drain < 5*time.Second {
+		drain = 5 * time.Second
+	}
+	stopAt := cfg.Duration - drain
+	var tick func()
+	tick = func() {
+		if time.Duration(sched.Now()) >= stopAt {
+			return
+		}
+		// A dead connection stops the application; nothing more to do.
+		if err := flow.Send([]byte("segment")); err != nil {
+			return
+		}
+		sched.After(cfg.SegmentInterval, tick)
+	}
+	// One warm-up interval before the stream starts.
+	sched.After(cfg.SegmentInterval, tick)
+
+	for _, comp := range rc.components(cl) {
+		comp := comp
+		sched.At(simtime.Time(cfg.FailAt), func() { net.Fail(comp) })
+	}
+
+	sched.RunUntil(simtime.Time(cfg.Duration))
+	for _, r := range routers {
+		r.Stop()
+	}
+
+	fs := flow.Stats()
+	res := &FlowRecoveryResult{
+		Config:   cfg,
+		Flow:     fs,
+		Sink:     sink.Stats(),
+		Survived: !fs.Dead && fs.Acked == fs.Enqueued,
+	}
+	return res, nil
+}
+
+// CompareFlowRecovery runs the connection-level scenario under every
+// protocol.
+func CompareFlowRecovery(base FlowRecoveryConfig) ([]*FlowRecoveryResult, error) {
+	out := make([]*FlowRecoveryResult, 0, 4)
+	for _, p := range []Protocol{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic} {
+		cfg := base
+		cfg.Protocol = p
+		res, err := FlowRecovery(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// WriteFlowRecovery renders the connection-level comparison.
+func WriteFlowRecovery(w io.Writer, results []*FlowRecoveryResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	c := results[0].Config
+	if _, err := fmt.Fprintf(w, "# Connection-level recovery: scenario=%s nodes=%d segment every %v, failure at %v, RTO %v\n",
+		c.Scenario, c.Nodes, c.SegmentInterval, c.FailAt, c.Flow.RTO); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-9s %9s %9s %9s %12s %12s %9s\n",
+		"protocol", "enqueued", "acked", "retrans", "max-stall", "recv-gap", "survived")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-9s %9d %9d %9d %12v %12v %9v\n",
+			r.Config.Protocol, r.Flow.Enqueued, r.Flow.Acked, r.Flow.Retransmissions,
+			r.Flow.MaxAckStall, r.Sink.MaxGap, r.Survived)
+	}
+	return nil
+}

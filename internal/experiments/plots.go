@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drsnet/internal/asciiplot"
+)
+
+// WritePlot renders Figure 1 as an ASCII chart.
+func (r *Figure1Result) WritePlot(w io.Writer) error {
+	xs := make([]float64, len(r.Nodes))
+	for i, n := range r.Nodes {
+		xs[i] = float64(n)
+	}
+	series := make([]asciiplot.Series, 0, len(r.Budgets))
+	for b, bud := range r.Budgets {
+		series = append(series, asciiplot.Series{
+			Name: fmt.Sprintf("%.0f%%", bud*100),
+			X:    xs,
+			Y:    r.Times[b],
+		})
+	}
+	return asciiplot.Render(w, asciiplot.Config{
+		Title:  "Figure 1: link-check round time vs cluster size",
+		XLabel: "nodes",
+		YLabel: "response time (s)",
+	}, series...)
+}
+
+// WritePlot renders Figure 2 as an ASCII chart.
+func (r *Figure2Result) WritePlot(w io.Writer) error {
+	series := make([]asciiplot.Series, 0, len(r.Failures))
+	for fi, f := range r.Failures {
+		xs := make([]float64, 0, len(r.P[fi]))
+		for n := f + 1; n <= r.NMax; n++ {
+			xs = append(xs, float64(n))
+		}
+		series = append(series, asciiplot.Series{
+			Name: fmt.Sprintf("f=%d", f),
+			X:    xs,
+			Y:    r.P[fi],
+		})
+	}
+	return asciiplot.Render(w, asciiplot.Config{
+		Title:  "Figure 2: P[Success] vs cluster size (Equation 1)",
+		XLabel: "nodes",
+		YLabel: "P[Success]",
+	}, series...)
+}
+
+// WritePlot renders Figure 3 as an ASCII chart (log10 x-axis, as in
+// the paper).
+func (r *Figure3Result) WritePlot(w io.Writer) error {
+	xs := make([]float64, len(r.Config.Iterations))
+	for i, it := range r.Config.Iterations {
+		xs[i] = float64(it)
+	}
+	series := make([]asciiplot.Series, 0, len(r.Series))
+	for _, s := range r.Series {
+		series = append(series, asciiplot.Series{
+			Name: fmt.Sprintf("f=%d", s.F),
+			X:    xs,
+			Y:    s.MAD,
+		})
+	}
+	return asciiplot.Render(w, asciiplot.Config{
+		Title:  "Figure 3: mean |simulated - analytic| vs iterations",
+		XLabel: "iterations (log scale)",
+		YLabel: "mean absolute deviation",
+		LogX:   true,
+	}, series...)
+}

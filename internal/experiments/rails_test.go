@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"drsnet/internal/survival"
+)
+
+// singleRailAnalytic: with one rail, the pair communicates iff none of
+// {backplane, A's NIC, B's NIC} is among the f failures (relays cannot
+// help when there is only one medium): C(M-3, f) / C(M, f), M = n+1.
+func singleRailAnalytic(n, f int) float64 {
+	num := survival.Binomial(n+1-3, f)
+	den := survival.Binomial(n+1, f)
+	nf, _ := num.Float64()
+	df, _ := den.Float64()
+	if df == 0 {
+		return 0
+	}
+	return nf / df
+}
+
+func TestRailsComparison(t *testing.T) {
+	res, err := RailsComparison(10, []int{1, 2, 3}, []int{2, 4}, 200000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, f := range res.Failures {
+		// More rails never hurt.
+		for ri := 1; ri < len(res.Rails); ri++ {
+			if res.P[fi][ri]+res.CI[fi][ri]+res.CI[fi][ri-1] < res.P[fi][ri-1] {
+				t.Errorf("f=%d: %d rails (%v) worse than %d rails (%v)",
+					f, res.Rails[ri], res.P[fi][ri], res.Rails[ri-1], res.P[fi][ri-1])
+			}
+		}
+		// Rail-2 estimate matches Equation 1.
+		want := survival.PSuccessFloat(10, f)
+		if diff := math.Abs(res.P[fi][1] - want); diff > 4*res.CI[fi][1]+1e-9 {
+			t.Errorf("f=%d: dual-rail estimate %v vs Equation 1 %v", f, res.P[fi][1], want)
+		}
+		// Rail-1 estimate matches the single-rail closed form.
+		want1 := singleRailAnalytic(10, f)
+		if diff := math.Abs(res.P[fi][0] - want1); diff > 4*res.CI[fi][0]+1e-9 {
+			t.Errorf("f=%d: single-rail estimate %v vs analytic %v", f, res.P[fi][0], want1)
+		}
+		// The dual rail is dramatically better than a single rail —
+		// the paper's core design argument.
+		if res.P[fi][1] < res.P[fi][0]+0.1 {
+			t.Errorf("f=%d: dual rail %v does not clearly beat single rail %v",
+				f, res.P[fi][1], res.P[fi][0])
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Redundancy ablation") {
+		t.Fatalf("table: %q", sb.String())
+	}
+}
+
+func TestRailsComparisonValidation(t *testing.T) {
+	if _, err := RailsComparison(1, []int{2}, []int{2}, 100, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := RailsComparison(5, nil, []int{2}, 100, 1); err == nil {
+		t.Error("empty rails accepted")
+	}
+	if _, err := RailsComparison(5, []int{2}, nil, 100, 1); err == nil {
+		t.Error("empty failures accepted")
+	}
+}
+
+func TestRailsComparisonOversizedF(t *testing.T) {
+	// f larger than the 1-rail universe (n+1 = 4 components): that
+	// cell reports 0, while the 2-rail topology (8 components) can
+	// still survive 5 failures (e.g. the whole rail-0 side plus both
+	// relay NICs).
+	res, err := RailsComparison(3, []int{1, 2}, []int{5}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P[0][0] != 0 {
+		t.Fatalf("oversized-f cell = %v, want 0", res.P[0][0])
+	}
+	if res.P[0][1] <= 0 {
+		t.Fatal("2-rail cell should still estimate")
+	}
+}

@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"drsnet/internal/core"
+	"drsnet/internal/costmodel"
+	"drsnet/internal/netsim"
+	"drsnet/internal/routing"
+	"drsnet/internal/simtime"
+	"drsnet/internal/tcpmodel"
+	"drsnet/internal/topology"
+	"drsnet/internal/trace"
+)
+
+// Protocol selects the routing implementation under test in E5.
+type Protocol string
+
+// Protocols available to the recovery experiment.
+const (
+	ProtoDRS       Protocol = "drs"
+	ProtoReactive  Protocol = "reactive"
+	ProtoLinkState Protocol = "linkstate"
+	ProtoStatic    Protocol = "static"
+)
+
+// Scenario names a canned failure to inject.
+type Scenario string
+
+// Scenarios for the recovery experiment.
+const (
+	// ScenarioNIC fails the destination's primary-rail NIC: the
+	// classic single-component failure the DRS hides behind a
+	// second-NIC failover.
+	ScenarioNIC Scenario = "nic"
+	// ScenarioBackplane fails the primary back plane, forcing every
+	// node onto the second rail at once.
+	ScenarioBackplane Scenario = "backplane"
+	// ScenarioCrossRail fails the sender's rail-0 NIC and the
+	// receiver's rail-1 NIC: no direct path remains and only the DRS
+	// relay discovery (or the reactive two-hop route) can reconnect.
+	ScenarioCrossRail Scenario = "crossrail"
+)
+
+// RecoveryConfig describes one E5 run.
+type RecoveryConfig struct {
+	// Protocol under test.
+	Protocol Protocol
+	// Nodes is the cluster size (the deployed clusters were 8–12).
+	Nodes int
+	// Scenario selects the injected failure.
+	Scenario Scenario
+	// TrafficInterval is the period of the application flow 0 → 1.
+	TrafficInterval time.Duration
+	// FailAt is when the failure is injected.
+	FailAt time.Duration
+	// Duration is the total simulated time.
+	Duration time.Duration
+	// DRS tunables (used when Protocol == ProtoDRS).
+	ProbeInterval time.Duration
+	MissThreshold int
+	// Reactive tunables (used when Protocol == ProtoReactive).
+	AdvertiseInterval time.Duration
+	RouteTimeout      time.Duration
+	// Seed drives the simulator's stochastic pieces.
+	Seed uint64
+	// TraceSink, if non-nil, receives every protocol event of the run
+	// (probe results are too chatty to log; link transitions, route
+	// changes, discovery and forwarding are recorded).
+	TraceSink *trace.Log
+}
+
+// DefaultRecoveryConfig returns the standard E5 run: a 10-node
+// cluster, failure at t = 10 s, application messages every 100 ms.
+func DefaultRecoveryConfig(p Protocol, s Scenario) RecoveryConfig {
+	return RecoveryConfig{
+		Protocol:          p,
+		Nodes:             10,
+		Scenario:          s,
+		TrafficInterval:   100 * time.Millisecond,
+		FailAt:            10 * time.Second,
+		Duration:          40 * time.Second,
+		ProbeInterval:     time.Second,
+		MissThreshold:     2,
+		AdvertiseInterval: time.Second,
+		RouteTimeout:      6 * time.Second,
+		Seed:              1,
+	}
+}
+
+func (c *RecoveryConfig) normalize() error {
+	if c.Nodes < 3 {
+		return fmt.Errorf("experiments: recovery needs ≥ 3 nodes (a relay), have %d", c.Nodes)
+	}
+	if c.TrafficInterval <= 0 || c.FailAt <= 0 || c.Duration <= c.FailAt {
+		return fmt.Errorf("experiments: bad timing (interval %v, fail %v, duration %v)",
+			c.TrafficInterval, c.FailAt, c.Duration)
+	}
+	switch c.Protocol {
+	case ProtoDRS, ProtoReactive, ProtoLinkState, ProtoStatic:
+	default:
+		return fmt.Errorf("experiments: unknown protocol %q", c.Protocol)
+	}
+	switch c.Scenario {
+	case ScenarioNIC, ScenarioBackplane, ScenarioCrossRail:
+	default:
+		return fmt.Errorf("experiments: unknown scenario %q", c.Scenario)
+	}
+	return nil
+}
+
+// components returns the components the scenario fails.
+func (c RecoveryConfig) components(cl topology.Cluster) []topology.Component {
+	switch c.Scenario {
+	case ScenarioNIC:
+		return []topology.Component{cl.NIC(1, 0)}
+	case ScenarioBackplane:
+		return []topology.Component{cl.Backplane(0)}
+	case ScenarioCrossRail:
+		return []topology.Component{cl.NIC(0, 0), cl.NIC(1, 1)}
+	default:
+		return nil
+	}
+}
+
+// RecoveryResult reports what the application experienced.
+type RecoveryResult struct {
+	Config RecoveryConfig
+	// Sent and Delivered count application messages on the 0 → 1 flow.
+	Sent, Delivered, Lost int
+	// Recovered reports whether delivery resumed after the failure.
+	Recovered bool
+	// Outage is the application-visible gap: the time from the
+	// injected failure to the first post-failure delivery.
+	Outage time.Duration
+	// DetectionLatency is how long the protocol took to notice the
+	// failure (DRS link-down event; zero for protocols that never
+	// detect anything).
+	DetectionLatency time.Duration
+	// RepairLatency is how long until a replacement route was
+	// installed at the sender (DRS only; zero otherwise).
+	RepairLatency time.Duration
+	// MaskedFromTCP reports whether the outage fits inside one TCP
+	// retransmission (tcpmodel defaults) — the paper's "server
+	// applications are unaware that a network failure has occurred".
+	MaskedFromTCP bool
+	// SurvivedByTCP reports whether a TCP connection (default
+	// parameters) would have survived the outage at all.
+	SurvivedByTCP bool
+}
+
+// Recovery runs one E5 experiment.
+func Recovery(cfg RecoveryConfig) (*RecoveryResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sched := simtime.NewScheduler()
+	cl := topology.Dual(cfg.Nodes)
+	net, err := netsim.New(sched, cl, netsim.DefaultParams(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clock := routing.SimClock{Sched: sched}
+	log := cfg.TraceSink
+	if log == nil {
+		log = trace.NewLog(0)
+	}
+
+	routers := make([]routing.Router, cfg.Nodes)
+	var drsSender *core.Daemon
+	for node := 0; node < cfg.Nodes; node++ {
+		tr := routing.NewSimNode(net, node)
+		switch cfg.Protocol {
+		case ProtoDRS:
+			c := core.DefaultConfig()
+			c.ProbeInterval = cfg.ProbeInterval
+			c.MissThreshold = cfg.MissThreshold
+			c.Trace = log
+			d, err := core.New(tr, clock, c)
+			if err != nil {
+				return nil, err
+			}
+			if node == 0 {
+				drsSender = d
+			}
+			routers[node] = d
+		case ProtoReactive:
+			rc := routing.DefaultReactiveConfig()
+			rc.AdvertiseInterval = cfg.AdvertiseInterval
+			rc.RouteTimeout = cfg.RouteTimeout
+			rc.Trace = log
+			r, err := routing.NewReactive(tr, clock, rc)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = r
+		case ProtoLinkState:
+			lc := routing.DefaultLinkStateConfig()
+			lc.HelloInterval = cfg.AdvertiseInterval
+			lc.Trace = log
+			l, err := routing.NewLinkState(tr, clock, lc)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = l
+		case ProtoStatic:
+			s, err := routing.NewStatic(tr, 0)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = s
+		}
+	}
+
+	// The application flow: node 0 sends a message to node 1 every
+	// TrafficInterval; node 1 records delivery times.
+	var deliveries []time.Duration
+	routers[1].SetDeliverFunc(func(src int, data []byte) {
+		if src == 0 {
+			deliveries = append(deliveries, sched.Now().Duration())
+		}
+	})
+	for _, r := range routers {
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	sent := 0
+	var tick func()
+	tick = func() {
+		// Reactive routers legitimately return ErrNoRoute during
+		// warm-up and outages; the message is simply lost, exactly as
+		// an application datagram would be.
+		if err := routers[0].SendData(1, []byte("app")); err == nil {
+			sent++
+		} else {
+			sent++ // the application still tried
+		}
+		sched.After(cfg.TrafficInterval, tick)
+	}
+	// Give routing protocols one interval of warm-up before traffic.
+	sched.After(cfg.TrafficInterval, tick)
+
+	for _, comp := range cfg.components(cl) {
+		comp := comp
+		sched.At(simtime.Time(cfg.FailAt), func() { net.Fail(comp) })
+	}
+
+	sched.RunUntil(simtime.Time(cfg.Duration))
+	for _, r := range routers {
+		r.Stop()
+	}
+
+	res := &RecoveryResult{Config: cfg, Sent: sent, Delivered: len(deliveries)}
+	res.Lost = res.Sent - res.Delivered
+
+	// Outage: failure time to first subsequent delivery.
+	var firstAfter time.Duration = -1
+	for _, at := range deliveries {
+		if at >= cfg.FailAt {
+			firstAfter = at
+			break
+		}
+	}
+	if firstAfter >= 0 {
+		res.Recovered = true
+		res.Outage = firstAfter - cfg.FailAt
+	} else {
+		res.Outage = cfg.Duration - cfg.FailAt // censored
+	}
+
+	// Protocol-level latencies from the trace (sender's view).
+	if cfg.Protocol == ProtoDRS {
+		for _, e := range log.Events() {
+			if e.Kind == trace.KindLinkDown && e.Node == 0 && e.At >= cfg.FailAt {
+				res.DetectionLatency = e.At - cfg.FailAt
+				break
+			}
+		}
+		if drsSender != nil {
+			for _, rep := range drsSender.Repairs() {
+				if rep.Peer == 1 && rep.RepairedAt >= cfg.FailAt {
+					res.RepairLatency = rep.RepairedAt - cfg.FailAt
+					break
+				}
+			}
+		}
+	}
+
+	tcp := tcpmodel.Defaults()
+	if mask, err := tcp.MaxMaskableOutage(); err == nil {
+		res.MaskedFromTCP = res.Recovered && res.Outage <= mask
+	}
+	if surv, err := tcp.SurvivableOutage(); err == nil {
+		res.SurvivedByTCP = res.Recovered && res.Outage <= surv
+	}
+	return res, nil
+}
+
+// CompareRecovery runs the same scenario under every protocol.
+func CompareRecovery(base RecoveryConfig) ([]*RecoveryResult, error) {
+	out := make([]*RecoveryResult, 0, 4)
+	for _, p := range []Protocol{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic} {
+		cfg := base
+		cfg.Protocol = p
+		res, err := Recovery(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// WriteRecovery renders E5 results.
+func WriteRecovery(w io.Writer, results []*RecoveryResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# Recovery: scenario=%s nodes=%d traffic every %v, failure at %v\n",
+		results[0].Config.Scenario, results[0].Config.Nodes,
+		results[0].Config.TrafficInterval, results[0].Config.FailAt); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-9s %9s %9s %7s %12s %12s %12s %7s %9s\n",
+		"protocol", "sent", "lost", "recov", "outage", "detect", "repair", "masked", "tcp-alive")
+	for _, r := range results {
+		outage := r.Outage.String()
+		if !r.Recovered {
+			outage = ">" + outage
+		}
+		fmt.Fprintf(w, "%-9s %9d %9d %7v %12s %12v %12v %7v %9v\n",
+			r.Config.Protocol, r.Sent, r.Lost, r.Recovered, outage,
+			r.DetectionLatency, r.RepairLatency, r.MaskedFromTCP, r.SurvivedByTCP)
+	}
+	return nil
+}
+
+// ProbeOverhead measures, empirically, the bandwidth the DRS's
+// phase-1 link checks consume on one rail of an idle n-node cluster,
+// and returns it alongside the cost model's prediction — the
+// simulation-level validation of Figure 1. The DRS probes every peer
+// on every rail each round (ordered pairs), so the prediction uses the
+// ordered-pairs policy. With switched set, both the simulated fabric
+// and the prediction use the switched (per-port) model; the measured
+// figure is then aggregate-fabric utilization, which for uniform
+// all-pairs probing equals the per-port load.
+func ProbeOverhead(n int, probeInterval, duration time.Duration, switched bool) (measured, predicted float64, err error) {
+	if n < 2 || probeInterval <= 0 || duration <= 0 {
+		return 0, 0, fmt.Errorf("experiments: bad probe-overhead parameters")
+	}
+	sched := simtime.NewScheduler()
+	netParams := netsim.DefaultParams()
+	netParams.Switched = switched
+	net, err := netsim.New(sched, topology.Dual(n), netParams, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	clock := routing.SimClock{Sched: sched}
+	daemons := make([]*core.Daemon, n)
+	for node := 0; node < n; node++ {
+		cfg := core.DefaultConfig()
+		cfg.ProbeInterval = probeInterval
+		d, err := core.New(routing.NewSimNode(net, node), clock, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		daemons[node] = d
+	}
+	for _, d := range daemons {
+		if err := d.Start(); err != nil {
+			return 0, 0, err
+		}
+	}
+	sched.RunUntil(simtime.Time(duration))
+	for _, d := range daemons {
+		d.Stop()
+	}
+	measured = net.Utilization(0)
+
+	params := costmodel.Defaults()
+	params.OrderedPairs = true
+	var bits float64
+	if switched {
+		// Aggregate fabric load per round: every node's port carries
+		// its 2(n-1) ordered-pair frames, and with symmetric traffic
+		// the aggregate utilization equals the per-port utilization.
+		bits = float64(params.FramesPerRoundPort(n)) * float64(params.FrameBytes) * 8
+	} else {
+		bits = params.BitsPerRound(n)
+	}
+	predicted = bits / probeInterval.Seconds() / params.LinkRate
+	return measured, predicted, nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestProbeOverheadSwitchedMatchesCostModel(t *testing.T) {
+	measured, predicted, err := ProbeOverhead(10, time.Second, 10*time.Second, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted <= 0 || measured <= 0 {
+		t.Fatalf("overheads: measured=%v predicted=%v", measured, predicted)
+	}
+	if rel := math.Abs(measured-predicted) / predicted; rel > 0.15 {
+		t.Fatalf("switched: measured %v vs predicted %v (rel err %v)", measured, predicted, rel)
+	}
+}
+
+func TestSwitchedFabricCheaperThanHub(t *testing.T) {
+	hubMeasured, _, err := ProbeOverhead(10, time.Second, 10*time.Second, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swMeasured, _, err := ProbeOverhead(10, time.Second, 10*time.Second, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate switched utilization is the hub figure divided by the
+	// node count (same frames, N× the capacity).
+	if !(swMeasured < hubMeasured) {
+		t.Fatalf("switched utilization %v not below hub %v", swMeasured, hubMeasured)
+	}
+	if ratio := hubMeasured / swMeasured; math.Abs(ratio-10) > 1 {
+		t.Fatalf("hub/switch utilization ratio = %v, want ~10", ratio)
+	}
+}

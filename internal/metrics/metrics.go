@@ -1,0 +1,70 @@
+// Package metrics provides lightweight named counters shared by the
+// protocol daemons and the simulation harness. Counters are safe for
+// concurrent use so the same daemon code can run over the
+// single-threaded simulator or over real UDP sockets.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically adjustable int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Set is a registry of counters keyed by name.
+type Set struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewSet returns an empty registry.
+func NewSet() *Set { return &Set{m: make(map[string]*Counter)} }
+
+// Counter returns the counter with the given name, creating it on
+// first use. The returned pointer is stable: callers may cache it.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[name]
+	if !ok {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for name, c := range s.m {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Names returns the registered counter names in sorted order.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for name := range s.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("probes")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if s.Counter("probes") != c {
+		t.Fatal("counter pointer not stable")
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Add(1)
+	snap := s.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Counter("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("x").Value(); got != 8000 {
+		t.Fatalf("value = %d", got)
+	}
+}

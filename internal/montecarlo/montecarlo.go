@@ -1,0 +1,362 @@
+// Package montecarlo estimates the survivability model by simulation,
+// reproducing the paper's validation experiment (Figure 3): draw f
+// failed components uniformly at random from the 2N+2 components of a
+// dual-rail cluster, test whether the designated pair can still
+// communicate, and average over many iterations. As iterations grow,
+// the mean absolute difference between the simulated and analytic
+// P[Success] over f < N < 64 converges to zero.
+//
+// Estimates are deterministic for a given seed: work is divided into
+// fixed-size chunks, each chunk draws from an independent substream
+// keyed by its index, and success counts are summed — so results are
+// identical regardless of worker count or scheduling.
+package montecarlo
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"drsnet/internal/conn"
+	"drsnet/internal/rng"
+	"drsnet/internal/stats"
+	"drsnet/internal/survival"
+	"drsnet/internal/topology"
+)
+
+// chunkSize is the number of iterations drawn from one RNG substream.
+// It is part of the deterministic contract: changing it changes the
+// stream layout and therefore the (still valid) sampled values.
+const chunkSize = 4096
+
+// Config describes one Monte Carlo estimation.
+type Config struct {
+	// Cluster is the system under test. The zero value means the
+	// paper's dual-rail cluster with Nodes taken from Nodes.
+	Cluster topology.Cluster
+
+	// Failures is the exact number of failed components per scenario.
+	Failures int
+
+	// Iterations is the number of random scenarios to draw.
+	Iterations int64
+
+	// Seed selects the random stream. The same Config always produces
+	// the same Result.
+	Seed uint64
+
+	// Workers is the number of concurrent estimator goroutines;
+	// 0 means GOMAXPROCS.
+	Workers int
+
+	// PairA, PairB designate the monitored pair (defaults 0 and 1).
+	PairA, PairB int
+
+	// AllPairs, if set, scores a scenario as a success only when
+	// every pair of nodes can communicate (a stricter criterion than
+	// the paper's designated-pair model).
+	AllPairs bool
+}
+
+// Result is the outcome of an estimation.
+type Result struct {
+	Successes  int64
+	Iterations int64
+	// P is the estimated success probability.
+	P float64
+	// CI95 is the 95% normal-approximation half-width of P.
+	CI95 float64
+}
+
+func (c *Config) normalize() error {
+	if c.Cluster == (topology.Cluster{}) {
+		return fmt.Errorf("montecarlo: Cluster not set")
+	}
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	m := c.Cluster.Components()
+	if c.Failures < 0 || c.Failures > m {
+		return fmt.Errorf("montecarlo: failures=%d outside [0,%d]", c.Failures, m)
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("montecarlo: iterations must be positive, have %d", c.Iterations)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("montecarlo: negative worker count %d", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PairA == 0 && c.PairB == 0 {
+		c.PairB = 1
+	}
+	if c.PairA < 0 || c.PairA >= c.Cluster.Nodes || c.PairB < 0 || c.PairB >= c.Cluster.Nodes {
+		return fmt.Errorf("montecarlo: pair (%d,%d) outside cluster of %d nodes",
+			c.PairA, c.PairB, c.Cluster.Nodes)
+	}
+	if c.PairA == c.PairB {
+		return fmt.Errorf("montecarlo: pair nodes must differ")
+	}
+	return nil
+}
+
+// Estimate runs the Monte Carlo estimation described by cfg.
+func Estimate(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	eval, err := conn.NewEvaluator(cfg.Cluster)
+	if err != nil {
+		return Result{}, err
+	}
+
+	nChunks := (cfg.Iterations + chunkSize - 1) / chunkSize
+	parent := rng.New(cfg.Seed)
+	// Derive one label per chunk up front is unnecessary: Split is
+	// cheap and safe to call concurrently only on distinct Sources,
+	// so give each worker its own copy of the parent to split from.
+	var next int64 // atomic chunk cursor
+	var successes int64
+
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if int64(workers) > nChunks {
+		workers = int(nChunks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := *parent // private copy; Split does not mutate, but keep isolation explicit
+			idx := make([]int, cfg.Failures)
+			failed := make([]topology.Component, cfg.Failures)
+			m := cfg.Cluster.Components()
+			var localSucc int64
+			for {
+				chunk := atomic.AddInt64(&next, 1) - 1
+				if chunk >= nChunks {
+					break
+				}
+				sub := local.Split(uint64(chunk))
+				iters := int64(chunkSize)
+				if rem := cfg.Iterations - chunk*chunkSize; rem < iters {
+					iters = rem
+				}
+				for i := int64(0); i < iters; i++ {
+					sub.SampleK(idx, m)
+					for j, v := range idx {
+						failed[j] = topology.Component(v)
+					}
+					ok := false
+					if cfg.AllPairs {
+						ok = eval.AllConnected(failed)
+					} else {
+						ok = eval.PairConnected(failed, cfg.PairA, cfg.PairB)
+					}
+					if ok {
+						localSucc++
+					}
+				}
+			}
+			atomic.AddInt64(&successes, localSucc)
+		}()
+	}
+	wg.Wait()
+
+	p := float64(successes) / float64(cfg.Iterations)
+	return Result{
+		Successes:  successes,
+		Iterations: cfg.Iterations,
+		P:          p,
+		CI95:       stats.BernoulliCI(successes, cfg.Iterations, 1.96),
+	}, nil
+}
+
+// ConvergenceConfig describes the Figure 3 experiment: for each fixed
+// failure count f, estimate P[Success] for every N with f < N < NMax+1
+// at a ladder of iteration counts, and report the mean absolute
+// deviation from the analytic Equation 1 at each rung.
+type ConvergenceConfig struct {
+	// Failures lists the fixed failure counts (the paper uses 2..10).
+	Failures []int
+	// NMax is the largest node count (the paper evaluates f < N < 64,
+	// i.e. NMax = 63).
+	NMax int
+	// Iterations is the ascending ladder of iteration counts (the
+	// paper's x-axis, log10 scale: 10, 100, 1000, ...).
+	Iterations []int64
+	// Seed selects the random stream.
+	Seed uint64
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// ConvergenceSeries is one curve of Figure 3.
+type ConvergenceSeries struct {
+	F int
+	// MAD[i] is the mean absolute deviation between simulated and
+	// analytic P[Success] over all N at Iterations[i] iterations.
+	MAD []float64
+	// MaxAD[i] is the corresponding maximum absolute deviation.
+	MaxAD []float64
+}
+
+func (c *ConvergenceConfig) validate() error {
+	if len(c.Failures) == 0 {
+		return fmt.Errorf("montecarlo: no failure counts")
+	}
+	for _, f := range c.Failures {
+		if f < 1 {
+			return fmt.Errorf("montecarlo: failure count %d < 1", f)
+		}
+		if f+1 > c.NMax {
+			return fmt.Errorf("montecarlo: NMax=%d leaves no N > f=%d", c.NMax, f)
+		}
+	}
+	if len(c.Iterations) == 0 {
+		return fmt.Errorf("montecarlo: no iteration ladder")
+	}
+	prev := int64(0)
+	for _, it := range c.Iterations {
+		if it <= prev {
+			return fmt.Errorf("montecarlo: iteration ladder must be strictly ascending")
+		}
+		prev = it
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("montecarlo: negative worker count")
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Convergence runs the Figure 3 experiment. For each (f, N) cell it
+// draws max(Iterations) scenarios once, recording success counts at
+// every rung of the ladder, so rung r's estimate is the prefix of the
+// same stream — exactly "the same simulation, observed earlier".
+// Parallelism is over (f, N) cells; results are independent of the
+// worker count.
+func Convergence(cfg ConvergenceConfig) ([]ConvergenceSeries, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	maxIter := cfg.Iterations[len(cfg.Iterations)-1]
+
+	type cell struct {
+		f, n int
+	}
+	type cellResult struct {
+		// p[r] is the estimate at iteration rung r.
+		p []float64
+	}
+	var cells []cell
+	for _, f := range cfg.Failures {
+		for n := f + 1; n <= cfg.NMax; n++ {
+			cells = append(cells, cell{f, n})
+		}
+	}
+	results := make([]cellResult, len(cells))
+
+	parent := rng.New(cfg.Seed)
+	var cursor int64
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+
+	workers := cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&cursor, 1) - 1
+				if int(i) >= len(cells) {
+					return
+				}
+				c := cells[i]
+				res, err := runCell(parent, c.f, c.n, cfg.Iterations, maxIter)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				results[i] = cellResult{p: res}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Reduce cells into per-f MAD series.
+	out := make([]ConvergenceSeries, 0, len(cfg.Failures))
+	for _, f := range cfg.Failures {
+		var analytic []float64
+		var est = make([][]float64, len(cfg.Iterations))
+		for i, c := range cells {
+			if c.f != f {
+				continue
+			}
+			analytic = append(analytic, survival.PSuccessFloat(c.n, c.f))
+			for r := range cfg.Iterations {
+				est[r] = append(est[r], results[i].p[r])
+			}
+		}
+		series := ConvergenceSeries{F: f}
+		for r := range cfg.Iterations {
+			mad, err := stats.MeanAbsDeviation(est[r], analytic)
+			if err != nil {
+				return nil, err
+			}
+			maxad, err := stats.MaxAbsDeviation(est[r], analytic)
+			if err != nil {
+				return nil, err
+			}
+			series.MAD = append(series.MAD, mad)
+			series.MaxAD = append(series.MaxAD, maxad)
+		}
+		out = append(out, series)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].F < out[j].F })
+	return out, nil
+}
+
+// runCell simulates one (f, n) cell for maxIter iterations, returning
+// the running estimate at each rung of the ladder.
+func runCell(parent *rng.Source, f, n int, ladder []int64, maxIter int64) ([]float64, error) {
+	cluster := topology.Dual(n)
+	eval, err := conn.NewEvaluator(cluster)
+	if err != nil {
+		return nil, err
+	}
+	sub := parent.Split(uint64(f)<<32 | uint64(n))
+	m := cluster.Components()
+	idx := make([]int, f)
+	failed := make([]topology.Component, f)
+
+	est := make([]float64, len(ladder))
+	var succ int64
+	rung := 0
+	for i := int64(1); i <= maxIter; i++ {
+		sub.SampleK(idx, m)
+		for j, v := range idx {
+			failed[j] = topology.Component(v)
+		}
+		if eval.PairConnected(failed, 0, 1) {
+			succ++
+		}
+		for rung < len(ladder) && i == ladder[rung] {
+			est[rung] = float64(succ) / float64(i)
+			rung++
+		}
+	}
+	return est, nil
+}

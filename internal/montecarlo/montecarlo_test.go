@@ -1,0 +1,306 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"drsnet/internal/survival"
+	"drsnet/internal/topology"
+)
+
+func TestEstimateMatchesAnalytic(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{
+		{10, 2}, {18, 2}, {20, 3}, {12, 4}, {30, 5},
+	} {
+		cfg := Config{
+			Cluster:    topology.Dual(tc.n),
+			Failures:   tc.f,
+			Iterations: 200000,
+			Seed:       1,
+		}
+		res, err := Estimate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := survival.PSuccessFloat(tc.n, tc.f)
+		if diff := math.Abs(res.P - want); diff > 4*res.CI95+1e-9 {
+			t.Errorf("n=%d f=%d: estimate %v vs analytic %v (diff %v, CI %v)",
+				tc.n, tc.f, res.P, want, diff, res.CI95)
+		}
+	}
+}
+
+func TestEstimateDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := Config{
+		Cluster:    topology.Dual(16),
+		Failures:   3,
+		Iterations: 50000,
+		Seed:       42,
+	}
+	var ref Result
+	for i, workers := range []int{1, 2, 4, 7} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Estimate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Successes != ref.Successes {
+			t.Fatalf("workers=%d: successes %d != reference %d — not deterministic",
+				workers, res.Successes, ref.Successes)
+		}
+	}
+}
+
+func TestEstimateSeedChangesStream(t *testing.T) {
+	base := Config{
+		Cluster:    topology.Dual(16),
+		Failures:   3,
+		Iterations: 50000,
+	}
+	a := base
+	a.Seed = 1
+	b := base
+	b.Seed = 2
+	ra, err := Estimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Estimate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Successes == rb.Successes {
+		t.Log("different seeds produced equal success counts (possible but unlikely)")
+	}
+	// Both still near analytic.
+	want := survival.PSuccessFloat(16, 3)
+	for _, r := range []Result{ra, rb} {
+		if math.Abs(r.P-want) > 5*r.CI95+1e-9 {
+			t.Fatalf("estimate %v too far from analytic %v", r.P, want)
+		}
+	}
+}
+
+func TestEstimateTrivialCases(t *testing.T) {
+	res, err := Estimate(Config{Cluster: topology.Dual(6), Failures: 0, Iterations: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("f=0: P=%v, want 1", res.P)
+	}
+	m := topology.Dual(6).Components()
+	res, err = Estimate(Config{Cluster: topology.Dual(6), Failures: m, Iterations: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("f=all: P=%v, want 0", res.P)
+	}
+}
+
+func TestEstimateAllPairsIsStricter(t *testing.T) {
+	pair, err := Estimate(Config{Cluster: topology.Dual(8), Failures: 4, Iterations: 100000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Estimate(Config{Cluster: topology.Dual(8), Failures: 4, Iterations: 100000, Seed: 9, AllPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.P > pair.P {
+		t.Fatalf("all-pairs survivability %v exceeds pair survivability %v", all.P, pair.P)
+	}
+}
+
+func TestEstimateExplicitPair(t *testing.T) {
+	// By symmetry any pair gives the same distribution; check the
+	// estimate for pair (3, 7) is near analytic too.
+	res, err := Estimate(Config{
+		Cluster: topology.Dual(12), Failures: 3, Iterations: 100000, Seed: 5,
+		PairA: 3, PairB: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survival.PSuccessFloat(12, 3)
+	if math.Abs(res.P-want) > 5*res.CI95+1e-9 {
+		t.Fatalf("pair(3,7) estimate %v vs analytic %v", res.P, want)
+	}
+}
+
+func TestEstimateConfigErrors(t *testing.T) {
+	good := Config{Cluster: topology.Dual(8), Failures: 2, Iterations: 10, Seed: 1}
+	for name, mutate := range map[string]func(*Config){
+		"zero cluster":   func(c *Config) { c.Cluster = topology.Cluster{} },
+		"bad cluster":    func(c *Config) { c.Cluster = topology.Cluster{Nodes: 1, Rails: 2} },
+		"neg failures":   func(c *Config) { c.Failures = -1 },
+		"huge failures":  func(c *Config) { c.Failures = 1000 },
+		"zero iters":     func(c *Config) { c.Iterations = 0 },
+		"neg workers":    func(c *Config) { c.Workers = -1 },
+		"pair oob":       func(c *Config) { c.PairB = 99 },
+		"pair identical": func(c *Config) { c.PairA, c.PairB = 3, 3 },
+	} {
+		cfg := good
+		mutate(&cfg)
+		if _, err := Estimate(cfg); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func TestEstimateIterationRemainder(t *testing.T) {
+	// Iterations not a multiple of the chunk size must still run
+	// exactly Iterations scenarios.
+	res, err := Estimate(Config{Cluster: topology.Dual(6), Failures: 0, Iterations: chunkSize + 17, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != chunkSize+17 || res.Successes != chunkSize+17 {
+		t.Fatalf("ran %d/%d, want %d", res.Successes, res.Iterations, chunkSize+17)
+	}
+}
+
+func TestConvergenceShrinks(t *testing.T) {
+	series, err := Convergence(ConvergenceConfig{
+		Failures:   []int{2, 5},
+		NMax:       20,
+		Iterations: []int64{10, 1000, 100000},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].F != 2 || series[1].F != 5 {
+		t.Fatalf("series shape wrong: %+v", series)
+	}
+	for _, s := range series {
+		if len(s.MAD) != 3 {
+			t.Fatalf("f=%d: %d rungs, want 3", s.F, len(s.MAD))
+		}
+		// The last rung must be much tighter than the first; allow
+		// noise in the middle but require end-to-end shrinkage.
+		if !(s.MAD[2] < s.MAD[0]) {
+			t.Errorf("f=%d: MAD did not shrink: %v", s.F, s.MAD)
+		}
+		if s.MAD[2] > 0.01 {
+			t.Errorf("f=%d: MAD at 1e5 iterations = %v, want < 0.01", s.F, s.MAD[2])
+		}
+		for r := range s.MAD {
+			if s.MaxAD[r] < s.MAD[r] {
+				t.Errorf("f=%d rung %d: max deviation %v below mean %v", s.F, r, s.MaxAD[r], s.MAD[r])
+			}
+		}
+	}
+}
+
+func TestConvergencePaperClaim(t *testing.T) {
+	// The paper: "With 1,000 iterations, the mean absolute difference
+	// is less than [0.0x] for each of the fixed f values." At 10,000
+	// iterations the binomial standard error is ~0.005; assert MAD
+	// stays within a generous envelope of that.
+	if testing.Short() {
+		t.Skip("full f-sweep in -short mode")
+	}
+	series, err := Convergence(ConvergenceConfig{
+		Failures:   []int{2, 3, 4, 5, 6, 7, 8, 9, 10},
+		NMax:       63,
+		Iterations: []int64{1000, 10000},
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.MAD[0] > 0.02 {
+			t.Errorf("f=%d: MAD at 1000 iterations = %v, want < 0.02", s.F, s.MAD[0])
+		}
+		if s.MAD[1] > 0.008 {
+			t.Errorf("f=%d: MAD at 10000 iterations = %v, want < 0.008", s.F, s.MAD[1])
+		}
+		if s.MAD[1] >= s.MAD[0] {
+			t.Errorf("f=%d: MAD grew from %v to %v", s.F, s.MAD[0], s.MAD[1])
+		}
+	}
+}
+
+func TestConvergenceDeterministicAcrossWorkers(t *testing.T) {
+	cfg := ConvergenceConfig{
+		Failures:   []int{3},
+		NMax:       12,
+		Iterations: []int64{100, 10000},
+		Seed:       11,
+	}
+	cfg.Workers = 1
+	a, err := Convergence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Convergence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for r := range a[i].MAD {
+			if a[i].MAD[r] != b[i].MAD[r] {
+				t.Fatalf("worker count changed results: %v vs %v", a[i].MAD, b[i].MAD)
+			}
+		}
+	}
+}
+
+func TestConvergenceConfigErrors(t *testing.T) {
+	good := ConvergenceConfig{Failures: []int{2}, NMax: 10, Iterations: []int64{10, 100}, Seed: 1}
+	for name, mutate := range map[string]func(*ConvergenceConfig){
+		"no failures":    func(c *ConvergenceConfig) { c.Failures = nil },
+		"f too small":    func(c *ConvergenceConfig) { c.Failures = []int{0} },
+		"nmax too small": func(c *ConvergenceConfig) { c.NMax = 2; c.Failures = []int{5} },
+		"no ladder":      func(c *ConvergenceConfig) { c.Iterations = nil },
+		"ladder order":   func(c *ConvergenceConfig) { c.Iterations = []int64{100, 100} },
+		"neg workers":    func(c *ConvergenceConfig) { c.Workers = -2 },
+	} {
+		cfg := good
+		mutate(&cfg)
+		if _, err := Convergence(cfg); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func BenchmarkEstimate63Nodes(b *testing.B) {
+	cfg := Config{Cluster: topology.Dual(63), Failures: 4, Iterations: 100000, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAllPairsEstimateMatchesClosedForm(t *testing.T) {
+	// The all-pairs Monte Carlo mode must agree with the all-pairs
+	// closed form (itself validated against enumeration).
+	for _, tc := range []struct{ n, f int }{{8, 2}, {8, 4}, {16, 3}} {
+		res, err := Estimate(Config{
+			Cluster:    topology.Dual(tc.n),
+			Failures:   tc.f,
+			Iterations: 200000,
+			Seed:       5,
+			AllPairs:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := survival.AllPairsPSuccessFloat(tc.n, tc.f)
+		if diff := math.Abs(res.P - want); diff > 4*res.CI95+1e-9 {
+			t.Errorf("n=%d f=%d: all-pairs estimate %v vs closed form %v",
+				tc.n, tc.f, res.P, want)
+		}
+	}
+}

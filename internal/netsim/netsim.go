@@ -1,0 +1,401 @@
+// Package netsim is a deterministic, packet-level discrete-event
+// simulator of the cluster network the DRS runs on: dual (or more)
+// shared 100 Mb/s segments — the paper's non-meshed back planes — with
+// one NIC per node per segment.
+//
+// The simulator models what matters to the survivability study:
+//
+//   - shared-medium serialization: a segment transmits one frame at a
+//     time at its line rate, so probe traffic genuinely consumes
+//     bandwidth and the Figure 1 cost model can be verified
+//     empirically;
+//   - propagation latency;
+//   - component failures: any NIC or segment can be failed and
+//     restored at any simulated instant, silently eating frames the
+//     way real broken hardware does;
+//   - broadcast: a frame addressed to Broadcast is delivered to every
+//     live NIC on the segment, which the DRS relay discovery uses.
+//
+// It deliberately omits CSMA/CD collisions (the hub arbitrates
+// perfectly) and variable queueing inside hosts; neither affects which
+// component failures sever communication, and the paper's own
+// simulation abstracts at the same level.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/rng"
+	"drsnet/internal/simtime"
+	"drsnet/internal/topology"
+)
+
+// Broadcast is the destination node meaning "every node on the
+// segment".
+const Broadcast = -1
+
+// Default wire parameters, matching the Figure 1 cost model.
+const (
+	DefaultRate          = 100e6 // bits/s
+	DefaultLatency       = 5 * time.Microsecond
+	DefaultOverheadBytes = 38 // 14 MAC + 4 FCS + 8 preamble + 12 IFG
+	DefaultMinFrameBytes = 84 // minimum on-wire occupancy
+)
+
+// Params configures the physical layer.
+type Params struct {
+	// Rate is each segment's capacity in bits/s.
+	Rate float64
+	// Latency is the propagation delay from transmitter to receivers.
+	Latency time.Duration
+	// OverheadBytes is added to every payload for serialization
+	// accounting (MAC header, FCS, preamble, inter-frame gap).
+	OverheadBytes int
+	// MinFrameBytes floors the on-wire size of a frame.
+	MinFrameBytes int
+	// LossRate drops each delivered frame independently with this
+	// probability, modelling a flaky (but not failed) link.
+	LossRate float64
+	// Switched replaces each shared hub with a store-and-forward
+	// switch: every node gets a dedicated full-rate port, frames
+	// serialize on the sender's ingress and the receiver's egress
+	// instead of on one shared medium, and concurrent flows between
+	// disjoint node pairs no longer contend. Broadcast replicates the
+	// frame onto every egress port. This is the "alternative network
+	// topology" ablation: the same protocols, a fabric with N× the
+	// aggregate capacity.
+	Switched bool
+}
+
+// DefaultParams returns the paper's 100 Mb/s configuration.
+func DefaultParams() Params {
+	return Params{
+		Rate:          DefaultRate,
+		Latency:       DefaultLatency,
+		OverheadBytes: DefaultOverheadBytes,
+		MinFrameBytes: DefaultMinFrameBytes,
+	}
+}
+
+func (p Params) validate() error {
+	if !(p.Rate > 0) {
+		return fmt.Errorf("netsim: rate must be positive, have %v", p.Rate)
+	}
+	if p.Latency < 0 {
+		return fmt.Errorf("netsim: negative latency")
+	}
+	if p.OverheadBytes < 0 || p.MinFrameBytes < 0 {
+		return fmt.Errorf("netsim: negative frame size parameter")
+	}
+	if p.LossRate < 0 || p.LossRate >= 1 {
+		return fmt.Errorf("netsim: loss rate %v outside [0,1)", p.LossRate)
+	}
+	return nil
+}
+
+// Frame is one delivered datagram.
+type Frame struct {
+	Src     int // sending node
+	Dst     int // destination node, or Broadcast
+	Rail    int // segment the frame travelled on
+	Payload []byte
+}
+
+// Handler receives frames addressed to (or broadcast past) a node.
+// Handlers run inside scheduler events: they may send frames and set
+// timers but must not block.
+type Handler func(fr Frame)
+
+// SegmentStats counts traffic on one segment.
+type SegmentStats struct {
+	FramesSent      int64
+	FramesDelivered int64
+	// BitsSent is the on-wire serialization cost of everything
+	// transmitted, including overhead and minimum-frame padding.
+	BitsSent float64
+	// Drops by cause.
+	DroppedTxNIC   int64 // sender's NIC was down
+	DroppedSegment int64 // segment was down at transmit or delivery
+	DroppedRxNIC   int64 // receiver's NIC was down
+	DroppedLoss    int64 // random loss (Params.LossRate)
+}
+
+type segment struct {
+	up        bool
+	busyUntil simtime.Time
+	// Per-node port clocks, used only in switched mode.
+	ingressBusy []simtime.Time
+	egressBusy  []simtime.Time
+	stats       SegmentStats
+}
+
+// Network is one simulated cluster network.
+type Network struct {
+	sched   *simtime.Scheduler
+	cluster topology.Cluster
+	params  Params
+	segs    []segment
+	nicUp   [][]bool
+	handler []Handler
+	rnd     *rng.Source
+}
+
+// New builds a healthy network for the given cluster shape on the
+// given scheduler. seed feeds the (optional) random-loss process.
+func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed uint64) (*Network, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("netsim: nil scheduler")
+	}
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		sched:   sched,
+		cluster: cluster,
+		params:  params,
+		segs:    make([]segment, cluster.Rails),
+		nicUp:   make([][]bool, cluster.Nodes),
+		handler: make([]Handler, cluster.Nodes),
+		rnd:     rng.New(seed),
+	}
+	for r := range n.segs {
+		n.segs[r].up = true
+		if params.Switched {
+			n.segs[r].ingressBusy = make([]simtime.Time, cluster.Nodes)
+			n.segs[r].egressBusy = make([]simtime.Time, cluster.Nodes)
+		}
+	}
+	for i := range n.nicUp {
+		n.nicUp[i] = make([]bool, cluster.Rails)
+		for r := range n.nicUp[i] {
+			n.nicUp[i][r] = true
+		}
+	}
+	return n, nil
+}
+
+// Cluster returns the cluster shape.
+func (n *Network) Cluster() topology.Cluster { return n.cluster }
+
+// Scheduler returns the driving scheduler (for protocol timers).
+func (n *Network) Scheduler() *simtime.Scheduler { return n.sched }
+
+// SetHandler installs the frame handler for node.
+func (n *Network) SetHandler(node int, h Handler) {
+	n.checkNode(node)
+	n.handler[node] = h
+}
+
+// Send transmits payload from src to dst on rail. dst may be
+// Broadcast. The call never blocks and never reports delivery
+// failures: like real hardware, a frame sent into a broken NIC or
+// dead segment silently vanishes (the drop is counted in
+// SegmentStats). An error is returned only for malformed requests.
+func (n *Network) Send(src, rail, dst int, payload []byte) error {
+	n.checkNode(src)
+	if rail < 0 || rail >= n.cluster.Rails {
+		return fmt.Errorf("netsim: rail %d out of range", rail)
+	}
+	if dst != Broadcast {
+		n.checkNode(dst)
+		if dst == src {
+			return fmt.Errorf("netsim: node %d sending to itself", src)
+		}
+	}
+	seg := &n.segs[rail]
+	seg.stats.FramesSent++
+	if !n.nicUp[src][rail] {
+		seg.stats.DroppedTxNIC++
+		return nil
+	}
+	if !seg.up {
+		seg.stats.DroppedSegment++
+		return nil
+	}
+
+	wire := len(payload) + n.params.OverheadBytes
+	if wire < n.params.MinFrameBytes {
+		wire = n.params.MinFrameBytes
+	}
+	txTime := time.Duration(float64(wire*8) / n.params.Rate * float64(time.Second))
+
+	// Copy the payload: the sender may reuse its buffer.
+	data := append([]byte(nil), payload...)
+	fr := Frame{Src: src, Dst: dst, Rail: rail, Payload: data}
+
+	if n.params.Switched {
+		n.sendSwitched(seg, fr, txTime, float64(wire*8))
+		return nil
+	}
+
+	// Shared medium (hub): one frame at a time on the whole segment.
+	start := n.sched.Now()
+	if seg.busyUntil > start {
+		start = seg.busyUntil
+	}
+	end := start.Add(txTime)
+	seg.busyUntil = end
+	seg.stats.BitsSent += float64(wire * 8)
+	n.sched.At(end.Add(n.params.Latency), func() { n.deliver(fr) })
+	return nil
+}
+
+// sendSwitched models a store-and-forward switch: the frame serializes
+// on the sender's ingress port, crosses the fabric, then serializes
+// again on each receiver's egress port — so disjoint flows proceed in
+// parallel and only same-port traffic contends.
+func (n *Network) sendSwitched(seg *segment, fr Frame, txTime time.Duration, bits float64) {
+	ingStart := n.sched.Now()
+	if seg.ingressBusy[fr.Src] > ingStart {
+		ingStart = seg.ingressBusy[fr.Src]
+	}
+	ingDone := ingStart.Add(txTime)
+	seg.ingressBusy[fr.Src] = ingDone
+	seg.stats.BitsSent += bits
+
+	half := n.params.Latency / 2
+	deliverVia := func(node int) {
+		arrival := ingDone.Add(half)
+		egStart := arrival
+		if seg.egressBusy[node] > egStart {
+			egStart = seg.egressBusy[node]
+		}
+		egDone := egStart.Add(txTime)
+		seg.egressBusy[node] = egDone
+		n.sched.At(egDone.Add(half), func() {
+			if !seg.up {
+				seg.stats.DroppedSegment++
+				return
+			}
+			n.deliverTo(seg, fr, node)
+		})
+	}
+	if fr.Dst == Broadcast {
+		for node := 0; node < n.cluster.Nodes; node++ {
+			if node != fr.Src {
+				deliverVia(node)
+			}
+		}
+		return
+	}
+	deliverVia(fr.Dst)
+}
+
+func (n *Network) deliver(fr Frame) {
+	seg := &n.segs[fr.Rail]
+	if !seg.up {
+		seg.stats.DroppedSegment++
+		return
+	}
+	if fr.Dst == Broadcast {
+		for node := 0; node < n.cluster.Nodes; node++ {
+			if node == fr.Src {
+				continue
+			}
+			n.deliverTo(seg, fr, node)
+		}
+		return
+	}
+	n.deliverTo(seg, fr, fr.Dst)
+}
+
+func (n *Network) deliverTo(seg *segment, fr Frame, node int) {
+	if !n.nicUp[node][fr.Rail] {
+		seg.stats.DroppedRxNIC++
+		return
+	}
+	if n.params.LossRate > 0 && n.rnd.Float64() < n.params.LossRate {
+		seg.stats.DroppedLoss++
+		return
+	}
+	h := n.handler[node]
+	if h == nil {
+		return
+	}
+	seg.stats.FramesDelivered++
+	// Each receiver of a broadcast gets its own copy.
+	payload := fr.Payload
+	if fr.Dst == Broadcast {
+		payload = append([]byte(nil), fr.Payload...)
+	}
+	h(Frame{Src: fr.Src, Dst: node, Rail: fr.Rail, Payload: payload})
+}
+
+// Fail takes a component (NIC or back plane) down. Failing an already
+// failed component is a no-op. Frames in flight on a failed segment
+// are lost; frames in flight to a failed NIC are lost at delivery.
+func (n *Network) Fail(c topology.Component) {
+	kind, node, rail := n.cluster.Describe(c)
+	if kind == topology.KindBackplane {
+		n.segs[rail].up = false
+	} else {
+		n.nicUp[node][rail] = false
+	}
+}
+
+// Restore brings a failed component back.
+func (n *Network) Restore(c topology.Component) {
+	kind, node, rail := n.cluster.Describe(c)
+	if kind == topology.KindBackplane {
+		n.segs[rail].up = true
+	} else {
+		n.nicUp[node][rail] = true
+	}
+}
+
+// ComponentUp reports whether a component is operational.
+func (n *Network) ComponentUp(c topology.Component) bool {
+	kind, node, rail := n.cluster.Describe(c)
+	if kind == topology.KindBackplane {
+		return n.segs[rail].up
+	}
+	return n.nicUp[node][rail]
+}
+
+// FailedComponents returns the currently failed components in
+// ascending order — the ground-truth failure scenario for comparing
+// simulated behaviour against the analytic model.
+func (n *Network) FailedComponents() []topology.Component {
+	var out []topology.Component
+	for i := 0; i < n.cluster.Components(); i++ {
+		c := topology.Component(i)
+		if !n.ComponentUp(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Stats returns a copy of the traffic counters for rail.
+func (n *Network) Stats(rail int) SegmentStats {
+	if rail < 0 || rail >= n.cluster.Rails {
+		panic(fmt.Sprintf("netsim: rail %d out of range", rail))
+	}
+	return n.segs[rail].stats
+}
+
+// Utilization returns the fraction of rail capacity consumed so far,
+// over the elapsed simulated time (0 if no time has passed). On a hub
+// the capacity is one shared medium; on a switch it is one full-rate
+// port per node.
+func (n *Network) Utilization(rail int) float64 {
+	elapsed := n.sched.Now().Duration().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	capacity := n.params.Rate * elapsed
+	if n.params.Switched {
+		capacity *= float64(n.cluster.Nodes)
+	}
+	return n.Stats(rail).BitsSent / capacity
+}
+
+func (n *Network) checkNode(node int) {
+	if node < 0 || node >= n.cluster.Nodes {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", node, n.cluster.Nodes))
+	}
+}

@@ -1,0 +1,52 @@
+package routing
+
+import "testing"
+
+// FuzzUnmarshalData checks the data-envelope decoder never panics and
+// that accepted headers round-trip.
+func FuzzUnmarshalData(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalData(DataHeader{Origin: 1, Final: 2, TTL: 3, Seq: 4}, []byte("x")))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, data, err := UnmarshalData(b)
+		if err != nil {
+			return
+		}
+		out := MarshalData(h, data)
+		if len(out) != len(b) {
+			t.Fatalf("round trip changed length: %d -> %d", len(b), len(out))
+		}
+		for i := range out {
+			if out[i] != b[i] {
+				t.Fatalf("round trip changed byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalAdvert checks the advertisement decoder never panics
+// and rejects or round-trips every input.
+func FuzzUnmarshalAdvert(f *testing.F) {
+	f.Add([]byte{})
+	seed, _ := MarshalAdvert(Advert{Reachable: []uint16{1, 9, 300}})
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := UnmarshalAdvert(b)
+		if err != nil {
+			return
+		}
+		out, err := MarshalAdvert(a)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted advert failed: %v", err)
+		}
+		// The decoder ignores trailing bytes, so compare prefixes.
+		if len(out) > len(b) {
+			t.Fatalf("re-marshal grew: %d -> %d", len(b), len(out))
+		}
+		for i := range out {
+			if out[i] != b[i] {
+				t.Fatalf("round trip changed byte %d", i)
+			}
+		}
+	})
+}

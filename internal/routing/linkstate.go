@@ -1,0 +1,522 @@
+package routing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"drsnet/internal/metrics"
+	"drsnet/internal/trace"
+)
+
+// LinkState is an OSPF-style baseline, the second traditional protocol
+// the paper names ("RIP, OSPF, EGP and BGP are routing solutions to
+// many different routing problems, however, they do not address the
+// needs of a high availability server cluster environment"). Like
+// OSPF it builds adjacencies from periodic hellos, floods link-state
+// advertisements, and routes over shortest paths computed from the
+// link-state database. Like every reactive protocol, it discovers
+// failures only when a timer expires: a dead neighbor is noticed after
+// the router-dead interval, re-flooded, and routed around — faster
+// than RIP-style route timeouts, still far slower than the DRS's
+// proactive link checks.
+type LinkState struct {
+	cfg   LinkStateConfig
+	tr    Transport
+	clock Clock
+	mset  *metrics.Set
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	deliver func(src int, data []byte)
+	seq     uint32 // data seq
+	lsaSeq  uint32
+
+	// adjacency[peer][rail] is the expiry of the hello-learned
+	// adjacency.
+	adjacency [][]time.Duration
+	// lsdb[origin] is the freshest LSA heard (nil = none).
+	lsdb []*lsa
+	// routes[dst] is the SPF result: first hop and rail (nil Kind
+	// semantics via valid flag).
+	routes []lsRoute
+
+	helloCancel func() bool
+}
+
+type lsRoute struct {
+	valid bool
+	via   int
+	rail  int
+}
+
+type lsa struct {
+	origin  int
+	seq     uint32
+	heardAt time.Duration
+	// neighbors[i] is an (node, rail) adjacency claimed by origin.
+	neighbors []lsNeighbor
+}
+
+type lsNeighbor struct {
+	node int
+	rail int
+}
+
+// LinkStateConfig tunes the OSPF-lite baseline.
+type LinkStateConfig struct {
+	// HelloInterval is the adjacency heartbeat (OSPF default 10 s;
+	// LAN-scaled default 1 s).
+	HelloInterval time.Duration
+	// DeadInterval declares a silent neighbor down (OSPF uses
+	// 4 × hello; same default here).
+	DeadInterval time.Duration
+	// LSAMaxAge expires database entries that were never refreshed.
+	LSAMaxAge time.Duration
+	// DataTTL bounds forwarding hops.
+	DataTTL int
+	// Trace receives protocol events if non-nil.
+	Trace *trace.Log
+}
+
+// DefaultLinkStateConfig returns the LAN-scaled OSPF-like defaults.
+func DefaultLinkStateConfig() LinkStateConfig {
+	return LinkStateConfig{
+		HelloInterval: time.Second,
+		DeadInterval:  4 * time.Second,
+		LSAMaxAge:     30 * time.Second,
+		DataTTL:       8,
+	}
+}
+
+func (c *LinkStateConfig) normalize() error {
+	if c.HelloInterval <= 0 {
+		return fmt.Errorf("routing: hello interval must be positive")
+	}
+	if c.DeadInterval == 0 {
+		c.DeadInterval = 4 * c.HelloInterval
+	}
+	if c.DeadInterval < c.HelloInterval {
+		return fmt.Errorf("routing: dead interval below hello interval")
+	}
+	if c.LSAMaxAge == 0 {
+		c.LSAMaxAge = 30 * c.HelloInterval
+	}
+	if c.LSAMaxAge < c.DeadInterval {
+		return fmt.Errorf("routing: LSA max age below dead interval")
+	}
+	if c.DataTTL <= 0 {
+		c.DataTTL = 8
+	}
+	return nil
+}
+
+// NewLinkState returns an OSPF-lite router over tr.
+func NewLinkState(tr Transport, clock Clock, cfg LinkStateConfig) (*LinkState, error) {
+	if tr == nil || clock == nil {
+		return nil, fmt.Errorf("routing: nil transport or clock")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	ls := &LinkState{
+		cfg:       cfg,
+		tr:        tr,
+		clock:     clock,
+		mset:      metrics.NewSet(),
+		adjacency: make([][]time.Duration, tr.Nodes()),
+		lsdb:      make([]*lsa, tr.Nodes()),
+		routes:    make([]lsRoute, tr.Nodes()),
+	}
+	for i := range ls.adjacency {
+		ls.adjacency[i] = make([]time.Duration, tr.Rails())
+	}
+	return ls, nil
+}
+
+// Start implements Router.
+func (ls *LinkState) Start() error {
+	ls.mu.Lock()
+	if ls.started {
+		ls.mu.Unlock()
+		return fmt.Errorf("routing: link-state router started twice")
+	}
+	ls.started = true
+	ls.mu.Unlock()
+	ls.tr.SetReceiver(ls.onFrame)
+	ls.helloRound()
+	return nil
+}
+
+// Stop implements Router.
+func (ls *LinkState) Stop() {
+	ls.mu.Lock()
+	ls.stopped = true
+	cancel := ls.helloCancel
+	ls.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// SetDeliverFunc implements Router.
+func (ls *LinkState) SetDeliverFunc(fn func(src int, data []byte)) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.deliver = fn
+}
+
+// Metrics implements Router.
+func (ls *LinkState) Metrics() *metrics.Set { return ls.mset }
+
+// helloRound is the periodic timer: send hellos, expire adjacencies
+// and stale LSAs, refresh our own LSA.
+func (ls *LinkState) helloRound() {
+	ls.mu.Lock()
+	if ls.stopped {
+		ls.mu.Unlock()
+		return
+	}
+	now := ls.clock.Now()
+
+	// Expire adjacencies that have gone silent; note whether anything
+	// changed so the LSA gets re-originated.
+	changed := false
+	for peer := range ls.adjacency {
+		for rail := range ls.adjacency[peer] {
+			if exp := ls.adjacency[peer][rail]; exp != 0 && exp <= now {
+				ls.adjacency[peer][rail] = 0
+				changed = true
+				ls.event(trace.Event{At: now, Node: ls.tr.Node(), Kind: trace.KindLinkDown,
+					Peer: peer, Rail: rail, Detail: "adjacency expired"})
+			}
+		}
+	}
+	// Age out LSDB entries (other routers crashed without retracting).
+	for origin, entry := range ls.lsdb {
+		if entry != nil && now-entry.heardAt > ls.cfg.LSAMaxAge {
+			ls.lsdb[origin] = nil
+			changed = true
+		}
+	}
+	ls.mu.Unlock()
+
+	// Hellos on every rail.
+	hello := Envelope(ProtoControl, []byte{lsMsgHello})
+	for rail := 0; rail < ls.tr.Rails(); rail++ {
+		_ = ls.tr.Send(rail, Broadcast, hello)
+	}
+	ls.mset.Counter(CtrProbesSent).Inc() // hellos are this protocol's probes
+
+	// Re-originate our LSA every round (it doubles as the refresh),
+	// and recompute routes if the topology view moved.
+	ls.originateLSA()
+	if changed {
+		ls.recompute()
+	}
+
+	ls.mu.Lock()
+	if !ls.stopped {
+		ls.helloCancel = ls.clock.AfterFunc(ls.cfg.HelloInterval, ls.helloRound)
+	}
+	ls.mu.Unlock()
+}
+
+// Control sub-types for ProtoControl frames originated by LinkState.
+// They occupy a disjoint range from the DRS messages so a mixed
+// cluster fails loudly rather than silently misparsing.
+const (
+	lsMsgHello = 64
+	lsMsgLSA   = 65
+)
+
+// originateLSA floods this node's current adjacency list.
+func (ls *LinkState) originateLSA() {
+	ls.mu.Lock()
+	now := ls.clock.Now()
+	ls.lsaSeq++
+	entry := &lsa{origin: ls.tr.Node(), seq: ls.lsaSeq, heardAt: now}
+	for peer := range ls.adjacency {
+		for rail := range ls.adjacency[peer] {
+			if ls.adjacency[peer][rail] > now {
+				entry.neighbors = append(entry.neighbors, lsNeighbor{node: peer, rail: rail})
+			}
+		}
+	}
+	ls.lsdb[ls.tr.Node()] = entry
+	payload := Envelope(ProtoControl, marshalLSA(entry))
+	ls.mu.Unlock()
+
+	for rail := 0; rail < ls.tr.Rails(); rail++ {
+		_ = ls.tr.Send(rail, Broadcast, payload)
+	}
+	ls.mset.Counter(CtrAdvertsSent).Inc()
+}
+
+func marshalLSA(e *lsa) []byte {
+	b := make([]byte, 1+2+4+2+4*len(e.neighbors))
+	b[0] = lsMsgLSA
+	binary.BigEndian.PutUint16(b[1:3], uint16(e.origin))
+	binary.BigEndian.PutUint32(b[3:7], e.seq)
+	binary.BigEndian.PutUint16(b[7:9], uint16(len(e.neighbors)))
+	off := 9
+	for _, n := range e.neighbors {
+		binary.BigEndian.PutUint16(b[off:], uint16(n.node))
+		binary.BigEndian.PutUint16(b[off+2:], uint16(n.rail))
+		off += 4
+	}
+	return b
+}
+
+func unmarshalLSA(b []byte) (*lsa, error) {
+	if len(b) < 9 || b[0] != lsMsgLSA {
+		return nil, fmt.Errorf("routing: malformed LSA")
+	}
+	count := int(binary.BigEndian.Uint16(b[7:9]))
+	if len(b) < 9+4*count {
+		return nil, fmt.Errorf("routing: truncated LSA")
+	}
+	e := &lsa{
+		origin: int(binary.BigEndian.Uint16(b[1:3])),
+		seq:    binary.BigEndian.Uint32(b[3:7]),
+	}
+	off := 9
+	for i := 0; i < count; i++ {
+		e.neighbors = append(e.neighbors, lsNeighbor{
+			node: int(binary.BigEndian.Uint16(b[off:])),
+			rail: int(binary.BigEndian.Uint16(b[off+2:])),
+		})
+		off += 4
+	}
+	return e, nil
+}
+
+func (ls *LinkState) onFrame(rail, src int, payload []byte) {
+	proto, body, err := SplitEnvelope(payload)
+	if err != nil {
+		return
+	}
+	switch proto {
+	case ProtoControl:
+		if len(body) == 0 {
+			return
+		}
+		switch body[0] {
+		case lsMsgHello:
+			ls.onHello(rail, src)
+		case lsMsgLSA:
+			ls.onLSA(body)
+		}
+	case ProtoData:
+		ls.onData(body)
+	}
+}
+
+func (ls *LinkState) onHello(rail, src int) {
+	ls.mu.Lock()
+	if ls.stopped || src == ls.tr.Node() {
+		ls.mu.Unlock()
+		return
+	}
+	now := ls.clock.Now()
+	wasDown := ls.adjacency[src][rail] <= now
+	ls.adjacency[src][rail] = now + ls.cfg.DeadInterval
+	ls.mu.Unlock()
+	if wasDown {
+		ls.event(trace.Event{At: now, Node: ls.tr.Node(), Kind: trace.KindLinkUp,
+			Peer: src, Rail: rail, Detail: "adjacency formed"})
+		// Topology changed from our vantage point: re-originate and
+		// recompute immediately (OSPF's event-driven flooding).
+		ls.originateLSA()
+		ls.recompute()
+	}
+}
+
+func (ls *LinkState) onLSA(body []byte) {
+	entry, err := unmarshalLSA(body)
+	if err != nil {
+		return
+	}
+	if entry.origin < 0 || entry.origin >= ls.tr.Nodes() || entry.origin == ls.tr.Node() {
+		return
+	}
+	ls.mset.Counter(CtrAdvertsRecv).Inc()
+	ls.mu.Lock()
+	if ls.stopped {
+		ls.mu.Unlock()
+		return
+	}
+	existing := ls.lsdb[entry.origin]
+	if existing != nil && entry.seq <= existing.seq {
+		ls.mu.Unlock()
+		return // stale or duplicate: do not re-flood (flooding terminates)
+	}
+	entry.heardAt = ls.clock.Now()
+	ls.lsdb[entry.origin] = entry
+	payload := Envelope(ProtoControl, marshalLSA(entry))
+	ls.mu.Unlock()
+
+	// Re-flood the news on every rail so it crosses rail boundaries.
+	for rail := 0; rail < ls.tr.Rails(); rail++ {
+		_ = ls.tr.Send(rail, Broadcast, payload)
+	}
+	ls.recompute()
+}
+
+// recompute runs SPF over the LSDB. An edge (a, b, rail) exists only
+// when both endpoints advertise it (OSPF's bidirectionality check).
+func (ls *LinkState) recompute() {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	n := ls.tr.Nodes()
+	self := ls.tr.Node()
+	now := ls.clock.Now()
+
+	claims := func(a, b, rail int) bool {
+		if a == self {
+			return ls.adjacency[b][rail] > now
+		}
+		e := ls.lsdb[a]
+		if e == nil {
+			return false
+		}
+		for _, nb := range e.neighbors {
+			if nb.node == b && nb.rail == rail {
+				return true
+			}
+		}
+		return false
+	}
+
+	// BFS from self over bidirectional edges; hop count is the metric
+	// (all links are equal-cost 100 Mb/s).
+	type hop struct {
+		via  int
+		rail int
+	}
+	first := make([]hop, n)
+	visited := make([]bool, n)
+	visited[self] = true
+	queue := []int{self}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for next := 0; next < n; next++ {
+			if visited[next] || next == cur {
+				continue
+			}
+			for rail := 0; rail < ls.tr.Rails(); rail++ {
+				if claims(cur, next, rail) && claims(next, cur, rail) {
+					visited[next] = true
+					if cur == self {
+						first[next] = hop{via: next, rail: rail}
+					} else {
+						first[next] = first[cur]
+					}
+					queue = append(queue, next)
+					break
+				}
+			}
+		}
+	}
+	for dst := 0; dst < n; dst++ {
+		if dst == self {
+			continue
+		}
+		prev := ls.routes[dst]
+		if visited[dst] {
+			ls.routes[dst] = lsRoute{valid: true, via: first[dst].via, rail: first[dst].rail}
+		} else {
+			ls.routes[dst] = lsRoute{}
+		}
+		if prev != ls.routes[dst] {
+			ls.mset.Counter(CtrRepairs).Inc()
+			ls.event(trace.Event{At: now, Node: self, Kind: trace.KindRouteInstalled,
+				Peer: dst, Rail: ls.routes[dst].rail,
+				Detail: fmt.Sprintf("spf via %d (valid=%v)", ls.routes[dst].via, ls.routes[dst].valid)})
+		}
+	}
+}
+
+// SendData implements Router.
+func (ls *LinkState) SendData(dst int, data []byte) error {
+	ls.mu.Lock()
+	if ls.stopped {
+		ls.mu.Unlock()
+		return ErrStopped
+	}
+	if dst < 0 || dst >= ls.tr.Nodes() || dst == ls.tr.Node() {
+		ls.mu.Unlock()
+		return fmt.Errorf("routing: bad destination %d", dst)
+	}
+	rt := ls.routes[dst]
+	if !rt.valid {
+		ls.mu.Unlock()
+		ls.mset.Counter(CtrDataNoRoute).Inc()
+		return ErrNoRoute
+	}
+	ls.seq++
+	h := DataHeader{Origin: uint16(ls.tr.Node()), Final: uint16(dst),
+		TTL: uint8(ls.cfg.DataTTL), Seq: ls.seq}
+	ls.mu.Unlock()
+	ls.mset.Counter(CtrDataSent).Inc()
+	return ls.tr.Send(rt.rail, rt.via, Envelope(ProtoData, MarshalData(h, data)))
+}
+
+func (ls *LinkState) onData(body []byte) {
+	h, data, err := UnmarshalData(body)
+	if err != nil {
+		return
+	}
+	self := ls.tr.Node()
+	if int(h.Final) == self {
+		ls.mu.Lock()
+		deliver := ls.deliver
+		stopped := ls.stopped
+		ls.mu.Unlock()
+		if stopped || deliver == nil {
+			return
+		}
+		ls.mset.Counter(CtrDataDelivered).Inc()
+		deliver(int(h.Origin), data)
+		return
+	}
+	if h.TTL <= 1 {
+		ls.mset.Counter(CtrDataDropped).Inc()
+		return
+	}
+	h.TTL--
+	final := int(h.Final)
+	if final < 0 || final >= ls.tr.Nodes() {
+		ls.mset.Counter(CtrDataDropped).Inc()
+		return
+	}
+	ls.mu.Lock()
+	rt := ls.routes[final]
+	stopped := ls.stopped
+	ls.mu.Unlock()
+	if stopped || !rt.valid {
+		ls.mset.Counter(CtrDataDropped).Inc()
+		return
+	}
+	ls.mset.Counter(CtrDataForwarded).Inc()
+	_ = ls.tr.Send(rt.rail, rt.via, Envelope(ProtoData, MarshalData(h, data)))
+}
+
+// RouteVia reports the current first hop toward dst (testing hook).
+func (ls *LinkState) RouteVia(dst int) (via, rail int, ok bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	rt := ls.routes[dst]
+	return rt.via, rt.rail, rt.valid
+}
+
+func (ls *LinkState) event(e trace.Event) {
+	if ls.cfg.Trace != nil {
+		ls.cfg.Trace.Append(e)
+	}
+}
+
+var _ Router = (*LinkState)(nil)

@@ -1,0 +1,103 @@
+// Package routing defines the abstractions shared by every routing
+// implementation in this repository — the DRS (package core) and the
+// baselines it is evaluated against — plus the baselines themselves:
+//
+//   - Static: the no-fault-tolerance strawman — all traffic on the
+//     primary rail, no recovery whatsoever.
+//   - Reactive: a RIP-like distance-vector protocol. Routes are
+//     learned from periodic advertisements and expire after a timeout;
+//     nothing probes for liveness, so a failure is only discovered
+//     when a stale route times out. This is the "traditional routing
+//     system" of the paper's comparison: "The general design goal is
+//     based on reactively rerouting when a specified timeout period
+//     has been reached."
+//
+// Routers are transport-agnostic: the same code runs over the
+// deterministic packet simulator (SimNode/SimClock) and over real UDP
+// sockets (examples/livecluster provides a UDP transport).
+package routing
+
+import (
+	"errors"
+	"time"
+
+	"drsnet/internal/metrics"
+)
+
+// Broadcast is the destination meaning "every node on the rail".
+const Broadcast = -1
+
+// Transport is a node's interface to its network: one NIC per rail,
+// addressed by node index.
+type Transport interface {
+	// Node returns the local node index.
+	Node() int
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Rails returns the number of independent networks.
+	Rails() int
+	// Send transmits payload on rail to dst (or Broadcast). Send never
+	// blocks; delivery is best-effort, like the hardware it models.
+	Send(rail, dst int, payload []byte) error
+	// SetReceiver installs the frame callback. The callback may be
+	// invoked concurrently by real transports; simulator transports
+	// invoke it single-threaded.
+	SetReceiver(fn func(rail, src int, payload []byte))
+}
+
+// Clock abstracts time so protocol code runs identically under the
+// simulator's virtual clock and the real one.
+type Clock interface {
+	// Now returns the time elapsed since an arbitrary epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn after d; the returned function cancels
+	// the timer and reports whether it was still pending.
+	AfterFunc(d time.Duration, fn func()) (cancel func() bool)
+}
+
+// Router is the data-plane contract every routing implementation
+// satisfies. Applications hand a Router datagrams addressed by node
+// index; the Router hides link failures as well as its protocol
+// allows.
+type Router interface {
+	// Start begins protocol operation (timers, advertisements,
+	// probes). It must be called exactly once.
+	Start() error
+	// Stop halts all protocol activity.
+	Stop()
+	// SendData routes one application datagram to dst. An error means
+	// the router knows it has no usable route; nil means the datagram
+	// was handed to the network (which may still lose it).
+	SendData(dst int, data []byte) error
+	// SetDeliverFunc installs the application receive callback.
+	SetDeliverFunc(fn func(src int, data []byte))
+	// Metrics exposes the router's counters.
+	Metrics() *metrics.Set
+}
+
+// ErrNoRoute is returned by SendData when the router has no usable
+// route to the destination.
+var ErrNoRoute = errors.New("routing: no route to destination")
+
+// ErrStopped is returned when the router has been stopped.
+var ErrStopped = errors.New("routing: router stopped")
+
+// Counter names shared by implementations (not all routers use all).
+const (
+	CtrDataSent      = "data.sent"
+	CtrDataDelivered = "data.delivered"
+	CtrDataForwarded = "data.forwarded"
+	CtrDataDropped   = "data.dropped"
+	CtrDataNoRoute   = "data.noroute"
+	CtrAdvertsSent   = "adverts.sent"
+	CtrAdvertsRecv   = "adverts.recv"
+	CtrProbesSent    = "probes.sent"
+	CtrProbeReplies  = "probes.replies"
+	CtrLinkDown      = "links.down"
+	CtrLinkUp        = "links.up"
+	CtrQueriesSent   = "queries.sent"
+	CtrQueriesRecv   = "queries.recv"
+	CtrOffersSent    = "offers.sent"
+	CtrOffersRecv    = "offers.recv"
+	CtrRepairs       = "routes.repaired"
+)

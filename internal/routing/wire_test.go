@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	p := Envelope(ProtoData, []byte("body"))
+	proto, body, err := SplitEnvelope(p)
+	if err != nil || proto != ProtoData || string(body) != "body" {
+		t.Fatalf("split = %d %q %v", proto, body, err)
+	}
+	if _, _, err := SplitEnvelope(nil); err != ErrShortFrame {
+		t.Fatalf("empty envelope: %v", err)
+	}
+}
+
+func TestDataHeaderRoundTrip(t *testing.T) {
+	err := quick.Check(func(origin, final uint16, ttl uint8, seq uint32, data []byte) bool {
+		h := DataHeader{Origin: origin, Final: final, TTL: ttl, Seq: seq}
+		got, gotData, err := UnmarshalData(MarshalData(h, data))
+		return err == nil && got == h && bytes.Equal(gotData, data)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalDataShort(t *testing.T) {
+	if _, _, err := UnmarshalData(make([]byte, DataHeaderLen-1)); err != ErrShortFrame {
+		t.Fatalf("short data: %v", err)
+	}
+}
+
+func TestAdvertRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw []uint16) bool {
+		body, err := MarshalAdvert(Advert{Reachable: raw})
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalAdvert(body)
+		if err != nil || len(got.Reachable) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if got.Reachable[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvertEmpty(t *testing.T) {
+	body, err := MarshalAdvert(Advert{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAdvert(body)
+	if err != nil || len(got.Reachable) != 0 {
+		t.Fatalf("empty advert: %v %v", got, err)
+	}
+}
+
+func TestAdvertTruncated(t *testing.T) {
+	body, err := MarshalAdvert(Advert{Reachable: []uint16{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(body); cut++ {
+		if _, err := UnmarshalAdvert(body[:len(body)-cut]); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+	if _, err := UnmarshalAdvert([]byte{0}); err != ErrShortFrame {
+		t.Fatalf("one-byte advert: %v", err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package scenario loads and executes declarative simulation
+// scenarios: cluster shape, protocol, application traffic matrix and a
+// timed component failure/repair script, all in one JSON document.
+// It is the workload-generator front end of cmd/drsim — experiments
+// beyond the canned ones can be described in a file and replayed
+// deterministically.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"drsnet/internal/core"
+	"drsnet/internal/netsim"
+	"drsnet/internal/routing"
+	"drsnet/internal/simtime"
+	"drsnet/internal/topology"
+	"drsnet/internal/trace"
+)
+
+// Duration is a time.Duration that unmarshals from JSON strings like
+// "200ms" or "1m30s" (or from a number of nanoseconds).
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch t := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %v", t, err)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(time.Duration(t))
+	default:
+		return fmt.Errorf("scenario: duration must be a string or number, have %T", v)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// TrafficSpec is one periodic application flow.
+type TrafficSpec struct {
+	From     int      `json:"from"`
+	To       int      `json:"to"`
+	Interval Duration `json:"interval"`
+	// Start delays the flow's first message (default one interval).
+	Start Duration `json:"start,omitempty"`
+}
+
+// EventSpec is one scripted component state change.
+type EventSpec struct {
+	At Duration `json:"at"`
+	// Kind is "nic" or "backplane".
+	Kind string `json:"kind"`
+	// Node is required for NICs, ignored for back planes.
+	Node int `json:"node,omitempty"`
+	Rail int `json:"rail"`
+	// Restore brings the component back instead of failing it.
+	Restore bool `json:"restore,omitempty"`
+}
+
+// Scenario is a complete declarative simulation.
+type Scenario struct {
+	// Name labels the report.
+	Name string `json:"name,omitempty"`
+	// Nodes is the cluster size.
+	Nodes int `json:"nodes"`
+	// Protocol is "drs" (default), "reactive" or "static".
+	Protocol string `json:"protocol,omitempty"`
+	// Duration is the simulated horizon.
+	Duration Duration `json:"duration"`
+	// Seed drives stochastic pieces (loss).
+	Seed uint64 `json:"seed,omitempty"`
+	// Switched selects a switched fabric instead of shared hubs.
+	Switched bool `json:"switched,omitempty"`
+	// LossRate injects random frame loss.
+	LossRate float64 `json:"lossRate,omitempty"`
+	// DRS tunables.
+	ProbeInterval Duration `json:"probeInterval,omitempty"`
+	MissThreshold int      `json:"missThreshold,omitempty"`
+	StaggerProbes bool     `json:"staggerProbes,omitempty"`
+	// PreferLowLatency enables latency-aware rail steering (DRS only).
+	PreferLowLatency bool `json:"preferLowLatency,omitempty"`
+	// Reactive tunables.
+	AdvertiseInterval Duration `json:"advertiseInterval,omitempty"`
+	RouteTimeout      Duration `json:"routeTimeout,omitempty"`
+	// Traffic is the application flow matrix.
+	Traffic []TrafficSpec `json:"traffic"`
+	// Events is the failure/repair script.
+	Events []EventSpec `json:"events,omitempty"`
+}
+
+// Load parses a scenario document.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate applies defaults and checks consistency.
+func (s *Scenario) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("scenario: need ≥ 2 nodes, have %d", s.Nodes)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario: duration must be positive")
+	}
+	switch s.Protocol {
+	case "":
+		s.Protocol = "drs"
+	case "drs", "reactive", "linkstate", "static":
+	default:
+		return fmt.Errorf("scenario: unknown protocol %q", s.Protocol)
+	}
+	if s.ProbeInterval == 0 {
+		s.ProbeInterval = Duration(time.Second)
+	}
+	if s.MissThreshold == 0 {
+		s.MissThreshold = 2
+	}
+	if s.AdvertiseInterval == 0 {
+		s.AdvertiseInterval = Duration(time.Second)
+	}
+	if s.RouteTimeout == 0 {
+		s.RouteTimeout = 6 * s.AdvertiseInterval
+	}
+	if s.LossRate < 0 || s.LossRate >= 1 {
+		return fmt.Errorf("scenario: loss rate %v outside [0,1)", s.LossRate)
+	}
+	if len(s.Traffic) == 0 {
+		return fmt.Errorf("scenario: no traffic flows")
+	}
+	for i, t := range s.Traffic {
+		if t.From < 0 || t.From >= s.Nodes || t.To < 0 || t.To >= s.Nodes || t.From == t.To {
+			return fmt.Errorf("scenario: traffic[%d] endpoints (%d,%d) invalid", i, t.From, t.To)
+		}
+		if t.Interval <= 0 {
+			return fmt.Errorf("scenario: traffic[%d] interval must be positive", i)
+		}
+		if t.Start < 0 {
+			return fmt.Errorf("scenario: traffic[%d] start must be non-negative", i)
+		}
+	}
+	for i, e := range s.Events {
+		if e.At < 0 || e.At > s.Duration {
+			return fmt.Errorf("scenario: events[%d] at %v outside [0,%v]",
+				i, time.Duration(e.At), time.Duration(s.Duration))
+		}
+		switch e.Kind {
+		case "nic":
+			if e.Node < 0 || e.Node >= s.Nodes {
+				return fmt.Errorf("scenario: events[%d] node %d invalid", i, e.Node)
+			}
+		case "backplane":
+		default:
+			return fmt.Errorf("scenario: events[%d] kind %q (want nic or backplane)", i, e.Kind)
+		}
+		if e.Rail < 0 || e.Rail >= 2 {
+			return fmt.Errorf("scenario: events[%d] rail %d invalid", i, e.Rail)
+		}
+	}
+	return nil
+}
+
+// FlowReport is the outcome of one traffic flow.
+type FlowReport struct {
+	From, To        int
+	Sent, Delivered int
+}
+
+// Report is the outcome of a scenario run.
+type Report struct {
+	Name  string
+	Flows []FlowReport
+	// Repairs counts route repairs across all DRS daemons (0 for
+	// baselines).
+	Repairs int
+	// Utilization per rail at the end of the run.
+	Utilization [2]float64
+	// Trace carries the protocol event log.
+	Trace *trace.Log
+}
+
+// Run executes the scenario deterministically.
+func (s *Scenario) Run() (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sched := simtime.NewScheduler()
+	params := netsim.DefaultParams()
+	params.LossRate = s.LossRate
+	params.Switched = s.Switched
+	net, err := netsim.New(sched, topology.Dual(s.Nodes), params, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clock := routing.SimClock{Sched: sched}
+	log := trace.NewLog(0)
+
+	routers := make([]routing.Router, s.Nodes)
+	var daemons []*core.Daemon
+	for node := 0; node < s.Nodes; node++ {
+		tr := routing.NewSimNode(net, node)
+		switch s.Protocol {
+		case "drs":
+			cfg := core.DefaultConfig()
+			cfg.ProbeInterval = time.Duration(s.ProbeInterval)
+			cfg.MissThreshold = s.MissThreshold
+			cfg.StaggerProbes = s.StaggerProbes
+			cfg.PreferLowLatency = s.PreferLowLatency
+			cfg.Trace = log
+			d, err := core.New(tr, clock, cfg)
+			if err != nil {
+				return nil, err
+			}
+			daemons = append(daemons, d)
+			routers[node] = d
+		case "reactive":
+			cfg := routing.DefaultReactiveConfig()
+			cfg.AdvertiseInterval = time.Duration(s.AdvertiseInterval)
+			cfg.RouteTimeout = time.Duration(s.RouteTimeout)
+			cfg.Trace = log
+			r, err := routing.NewReactive(tr, clock, cfg)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = r
+		case "linkstate":
+			cfg := routing.DefaultLinkStateConfig()
+			cfg.HelloInterval = time.Duration(s.AdvertiseInterval)
+			cfg.Trace = log
+			l, err := routing.NewLinkState(tr, clock, cfg)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = l
+		case "static":
+			st, err := routing.NewStatic(tr, 0)
+			if err != nil {
+				return nil, err
+			}
+			routers[node] = st
+		}
+	}
+
+	// Delivery accounting: one counter per (from, to) flow.
+	type flowKey struct{ from, to int }
+	delivered := make(map[flowKey]int)
+	for node := 0; node < s.Nodes; node++ {
+		node := node
+		routers[node].SetDeliverFunc(func(src int, data []byte) {
+			delivered[flowKey{from: src, to: node}]++
+		})
+	}
+	for _, r := range routers {
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	sent := make([]int, len(s.Traffic))
+	for i, t := range s.Traffic {
+		i, t := i, t
+		interval := time.Duration(t.Interval)
+		start := time.Duration(t.Start)
+		if start == 0 {
+			start = interval
+		}
+		var tick func()
+		tick = func() {
+			_ = routers[t.From].SendData(t.To, []byte("flow"))
+			sent[i]++
+			sched.After(interval, tick)
+		}
+		sched.After(start, tick)
+	}
+
+	for _, e := range s.Events {
+		e := e
+		var comp topology.Component
+		cl := net.Cluster()
+		if e.Kind == "nic" {
+			comp = cl.NIC(e.Node, e.Rail)
+		} else {
+			comp = cl.Backplane(e.Rail)
+		}
+		sched.At(simtime.Time(e.At), func() {
+			if e.Restore {
+				net.Restore(comp)
+			} else {
+				net.Fail(comp)
+			}
+		})
+	}
+
+	sched.RunUntil(simtime.Time(s.Duration))
+	for _, r := range routers {
+		r.Stop()
+	}
+
+	rep := &Report{Name: s.Name, Trace: log}
+	for i, t := range s.Traffic {
+		rep.Flows = append(rep.Flows, FlowReport{
+			From: t.From, To: t.To,
+			Sent:      sent[i],
+			Delivered: delivered[flowKey{from: t.From, to: t.To}],
+		})
+	}
+	for _, d := range daemons {
+		rep.Repairs += len(d.Repairs())
+	}
+	for rail := 0; rail < 2; rail++ {
+		rep.Utilization[rail] = net.Utilization(rail)
+	}
+	return rep, nil
+}
+
+// Write renders the report.
+func (r *Report) Write(w io.Writer) error {
+	name := r.Name
+	if name == "" {
+		name = "scenario"
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s %6s %10s %10s %10s\n", "from", "to", "sent", "delivered", "loss")
+	for _, f := range r.Flows {
+		loss := 0.0
+		if f.Sent > 0 {
+			loss = 1 - float64(f.Delivered)/float64(f.Sent)
+		}
+		fmt.Fprintf(w, "%6d %6d %10d %10d %9.2f%%\n", f.From, f.To, f.Sent, f.Delivered, 100*loss)
+	}
+	fmt.Fprintf(w, "route repairs: %d   utilization rail0 %.4f%%  rail1 %.4f%%\n",
+		r.Repairs, 100*r.Utilization[0], 100*r.Utilization[1])
+	return nil
+}

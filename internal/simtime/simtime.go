@@ -1,0 +1,203 @@
+// Package simtime provides the virtual clock and deterministic event
+// scheduler underneath the packet-level network simulator.
+//
+// The scheduler is strictly single-threaded: events run one at a time,
+// in timestamp order, with ties broken by scheduling order. Given the
+// same initial events, a simulation therefore always unfolds
+// identically — the property every protocol experiment in this
+// repository relies on.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Timer is a handle to a scheduled event; it can be cancelled.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op. Cancel reports
+// whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.cancelled || t.index == -2 {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// When returns the simulated time the timer fires at.
+func (t *Timer) When() Time { return t.at }
+
+// Scheduler is a deterministic discrete-event executor.
+// It is not safe for concurrent use; simulations are single-threaded
+// by design (parallelism in this repository lives one level up, across
+// independent simulations).
+type Scheduler struct {
+	now  Time
+	heap timerHeap
+	seq  uint64
+	// executed counts events that have run (for tests and tracing).
+	executed uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed returns the number of events that have run.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, t := range s.heap {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: that is always a protocol bug, and silently reordering time
+// would destroy determinism.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event function")
+	}
+	t := &Timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, t)
+	return t
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step runs the next pending event, advancing the clock to its
+// timestamp. It reports whether an event ran (false when the queue is
+// empty).
+func (s *Scheduler) Step() bool {
+	for s.heap.Len() > 0 {
+		t := heap.Pop(&s.heap).(*Timer)
+		t.index = -2 // mark fired/expired
+		if t.cancelled {
+			continue
+		}
+		s.now = t.at
+		s.executed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the event budget is
+// exhausted. A zero or negative budget means no limit. It returns the
+// number of events executed.
+func (s *Scheduler) Run(budget int) int {
+	n := 0
+	for budget <= 0 || n < budget {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes all events with timestamps ≤ deadline and then
+// advances the clock to the deadline. It returns the number of events
+// executed.
+func (s *Scheduler) RunUntil(deadline Time) int {
+	if deadline < s.now {
+		panic(fmt.Sprintf("simtime: RunUntil(%v) before now %v", deadline, s.now))
+	}
+	n := 0
+	for {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		if s.Step() {
+			n++
+		}
+	}
+	s.now = deadline
+	return n
+}
+
+// peek returns the timestamp of the next uncancelled event.
+func (s *Scheduler) peek() (Time, bool) {
+	for s.heap.Len() > 0 {
+		t := s.heap[0]
+		if t.cancelled {
+			heap.Pop(&s.heap)
+			t.index = -2
+			continue
+		}
+		return t.at, true
+	}
+	return 0, false
+}
+
+// timerHeap orders timers by (time, sequence).
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,241 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != Time(30*time.Millisecond) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(time.Second), func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break unstable: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesOnlyAtEvents(t *testing.T) {
+	s := NewScheduler()
+	fired := Time(-1)
+	s.After(5*time.Second, func() { fired = s.Now() })
+	if s.Now() != 0 {
+		t.Fatal("clock moved before Step")
+	}
+	if !s.Step() {
+		t.Fatal("Step found no event")
+	}
+	if fired != Time(5*time.Second) {
+		t.Fatalf("event saw now = %v", fired)
+	}
+	if s.Step() {
+		t.Fatal("Step ran a phantom event")
+	}
+}
+
+func TestEventsScheduledDuringEvents(t *testing.T) {
+	s := NewScheduler()
+	var log []string
+	s.After(time.Second, func() {
+		log = append(log, "a")
+		s.After(time.Second, func() { log = append(log, "c") })
+		s.After(0, func() { log = append(log, "b") }) // same timestamp, runs after current
+	})
+	s.Run(0)
+	if want := []string{"a", "b", "c"}; len(log) != 3 || log[0] != want[0] || log[1] != want[1] || log[2] != want[2] {
+		t.Fatalf("log = %v", log)
+	}
+	if s.Executed() != 3 {
+		t.Fatalf("executed = %d", s.Executed())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel reported not pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel reported pending")
+	}
+	s.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Clock does not advance for cancelled events.
+	if s.Now() != 0 {
+		t.Fatalf("now = %v after cancelled event", s.Now())
+	}
+}
+
+func TestCancelAfterFiring(t *testing.T) {
+	s := NewScheduler()
+	tm := s.After(0, func() {})
+	s.Run(0)
+	if tm.Cancel() {
+		t.Fatal("Cancel after firing reported pending")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var tm *Timer
+	if tm.Cancel() {
+		t.Fatal("nil Cancel reported pending")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		s.After(time.Millisecond, reschedule)
+	}
+	s.After(time.Millisecond, reschedule)
+	if n := s.Run(100); n != 100 {
+		t.Fatalf("Run(100) executed %d", n)
+	}
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.After(d, func() { fired = append(fired, s.Now()) })
+	}
+	n := s.RunUntil(Time(2 * time.Second))
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("RunUntil ran %d events (%v)", n, fired)
+	}
+	if s.Now() != Time(2*time.Second) {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// Deadline between events still advances the clock.
+	s.RunUntil(Time(2500 * time.Millisecond))
+	if s.Now() != Time(2500*time.Millisecond) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	s.After(-time.Second, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event function did not panic")
+		}
+	}()
+	s.After(time.Second, nil)
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil in the past did not panic")
+		}
+	}()
+	s.RunUntil(0)
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := Time(0).Add(1500 * time.Millisecond)
+	if tt != Time(1500*time.Millisecond) {
+		t.Fatalf("Add = %v", tt)
+	}
+	if d := tt.Sub(Time(500 * time.Millisecond)); d != time.Second {
+		t.Fatalf("Sub = %v", d)
+	}
+	if tt.Duration() != 1500*time.Millisecond {
+		t.Fatalf("Duration = %v", tt.Duration())
+	}
+	if tt.String() != "1.5s" {
+		t.Fatalf("String = %q", tt.String())
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	s := NewScheduler()
+	const n = 10000
+	var count int
+	// Schedule in a scrambled but deterministic order.
+	for i := 0; i < n; i++ {
+		at := Time((i*7919)%n) * Time(time.Millisecond)
+		s.At(at, func() { count++ })
+	}
+	prev := Time(-1)
+	for s.Step() {
+		if s.Now() < prev {
+			t.Fatal("time went backwards")
+		}
+		prev = s.Now()
+	}
+	if count != n {
+		t.Fatalf("ran %d events, want %d", count, n)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%64)*time.Microsecond, fn)
+		if i%64 == 63 {
+			s.Run(0)
+		}
+	}
+	s.Run(0)
+}

@@ -1,0 +1,204 @@
+// Package survival implements the paper's network survivability model
+// (Equation 1): for a cluster of N servers with two NICs each and two
+// non-meshed back planes — 2N+2 failure-prone components — and exactly
+// f failed components chosen uniformly at random,
+//
+//	P[Success] = F(N, f) / C(2N+2, f)
+//
+// where F(N, f) counts the failure scenarios under which a designated
+// pair of servers can still communicate, directly on either network or
+// through a relay server that the DRS discovers.
+//
+// The combinatorial expression printed in the paper is typographically
+// damaged, so this package re-derives F(N, f) from the system
+// definition and validates the reconstruction three ways: a closed
+// form evaluated in exact big-integer arithmetic, brute-force
+// enumeration of every C(2N+2, f) scenario, and Monte Carlo
+// simulation (package montecarlo). All three agree, and the closed
+// form reproduces the paper's stated thresholds exactly: P[Success]
+// first exceeds 0.99 at N=18 (f=2), N=32 (f=3) and N=45 (f=4).
+package survival
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Binomial returns C(n, k) as a big.Int. It returns zero for k < 0 or
+// k > n, which keeps the counting sums below uniform.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return new(big.Int)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// hitAllPairs returns the number of s-subsets of the 2p NICs of p
+// relay nodes (one NIC per rail per node) that hit every node — i.e.
+// leave no relay with both NICs intact. Choosing j = s - p nodes to
+// lose both NICs and one of two NICs on each of the remaining p - j
+// nodes gives C(p, s-p) · 2^(2p-s); the count is zero unless
+// p ≤ s ≤ 2p (with the convention that the empty subset hits all of
+// zero nodes).
+func hitAllPairs(p, s int) *big.Int {
+	if p == 0 {
+		if s == 0 {
+			return big.NewInt(1)
+		}
+		return new(big.Int)
+	}
+	if s < p || s > 2*p {
+		return new(big.Int)
+	}
+	out := Binomial(p, s-p)
+	out.Lsh(out, uint(2*p-s))
+	return out
+}
+
+// patternOutcome classifies one assignment of up/down to the six
+// pair-local components (two back planes plus the designated pair's
+// four NICs).
+type patternOutcome int
+
+const (
+	outcomeFail    patternOutcome = iota // pair cannot communicate regardless of relays
+	outcomeSuccess                       // pair communicates regardless of relays
+	outcomeRelay                         // pair communicates iff some relay keeps both NICs
+)
+
+// classifyPattern evaluates the pair-local pattern. Bit assignments:
+// 0=backplane0, 1=backplane1, 2=nicA0, 3=nicA1, 4=nicB0, 5=nicB1;
+// a set bit means the component failed.
+func classifyPattern(bits uint) patternOutcome {
+	bpf0 := bits&(1<<0) != 0
+	bpf1 := bits&(1<<1) != 0
+	a0 := !bpf0 && bits&(1<<2) == 0 // A attached to rail 0
+	a1 := !bpf1 && bits&(1<<3) == 0
+	b0 := !bpf0 && bits&(1<<4) == 0
+	b1 := !bpf1 && bits&(1<<5) == 0
+	if (!a0 && !a1) || (!b0 && !b1) {
+		return outcomeFail
+	}
+	if (a0 && b0) || (a1 && b1) {
+		return outcomeSuccess
+	}
+	// Masks are disjoint and nonempty: A is attached to exactly one
+	// rail, B to the other, and both back planes are up. Only a relay
+	// with both NICs intact can bridge them.
+	return outcomeRelay
+}
+
+// SuccessCount returns F(N, f): the number of f-subsets of the 2N+2
+// components under which the designated pair can still communicate.
+// It panics if n < 2 or f is outside [0, 2N+2].
+func SuccessCount(n, f int) *big.Int {
+	m := 2*n + 2
+	if n < 2 {
+		panic(fmt.Sprintf("survival: need n >= 2, have %d", n))
+	}
+	if f < 0 || f > m {
+		panic(fmt.Sprintf("survival: f=%d outside [0,%d]", f, m))
+	}
+	relayNICs := 2*n - 4 // NICs on the N-2 non-designated nodes
+	total := new(big.Int)
+	for bits := uint(0); bits < 64; bits++ {
+		k := popcount6(bits)
+		rem := f - k
+		if rem < 0 || rem > relayNICs {
+			continue
+		}
+		switch classifyPattern(bits) {
+		case outcomeFail:
+			// contributes nothing
+		case outcomeSuccess:
+			total.Add(total, Binomial(relayNICs, rem))
+		case outcomeRelay:
+			// Success unless the remaining failures hit every relay.
+			ways := Binomial(relayNICs, rem)
+			ways.Sub(ways, hitAllPairs(n-2, rem))
+			total.Add(total, ways)
+		}
+	}
+	return total
+}
+
+func popcount6(bits uint) int {
+	n := 0
+	for b := bits; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// TotalCount returns C(2N+2, f), the number of equally likely failure
+// scenarios (the denominator of Equation 1).
+func TotalCount(n, f int) *big.Int {
+	return Binomial(2*n+2, f)
+}
+
+// PSuccess returns Equation 1 exactly: F(N,f) / C(2N+2, f).
+// It panics under the same conditions as SuccessCount.
+func PSuccess(n, f int) *big.Rat {
+	num := SuccessCount(n, f)
+	den := TotalCount(n, f)
+	if den.Sign() == 0 {
+		panic(fmt.Sprintf("survival: no scenarios for n=%d f=%d", n, f))
+	}
+	return new(big.Rat).SetFrac(num, den)
+}
+
+// PSuccessFloat returns Equation 1 as a float64.
+func PSuccessFloat(n, f int) float64 {
+	v, _ := PSuccess(n, f).Float64()
+	return v
+}
+
+// FailureCount returns C(2N+2, f) − F(N, f): the number of scenarios
+// that sever the designated pair.
+func FailureCount(n, f int) *big.Int {
+	return new(big.Int).Sub(TotalCount(n, f), SuccessCount(n, f))
+}
+
+// Series returns PSuccessFloat(n, f) for n = nMin..nMax inclusive —
+// one curve of the paper's Figure 2.
+func Series(f, nMin, nMax int) []float64 {
+	if nMin < 2 || nMax < nMin {
+		panic(fmt.Sprintf("survival: bad series range [%d,%d]", nMin, nMax))
+	}
+	out := make([]float64, 0, nMax-nMin+1)
+	for n := nMin; n <= nMax; n++ {
+		out = append(out, PSuccessFloat(n, f))
+	}
+	return out
+}
+
+// MixtureSuccess returns the unconditional success probability when
+// the number of simultaneous failures is not fixed but geometric: the
+// paper observes that if each additional concurrent failure is a
+// factor q less likely (P[f failures] ∝ q^f), multi-failure scenarios
+// decay exponentially. The mixture is truncated at maxF and
+// renormalized; f=0 and f=1 scenarios always succeed (a single
+// component failure can never sever a dual-rail pair when N ≥ 2...
+// except a lone failure of one of A's NICs still leaves the other
+// rail, so P(n,0)=P(n,1)=1, which the model confirms).
+func MixtureSuccess(n int, q float64, maxF int) float64 {
+	if q < 0 || q >= 1 {
+		panic(fmt.Sprintf("survival: mixture weight q=%v outside [0,1)", q))
+	}
+	if maxF < 0 {
+		panic("survival: negative maxF")
+	}
+	m := 2*n + 2
+	if maxF > m {
+		maxF = m
+	}
+	wsum := 0.0
+	acc := 0.0
+	w := 1.0
+	for f := 0; f <= maxF; f++ {
+		acc += w * PSuccessFloat(n, f)
+		wsum += w
+		w *= q
+	}
+	return acc / wsum
+}

@@ -1,0 +1,123 @@
+// Package tcpmodel models TCP's retransmission timer, the yardstick
+// the paper measures DRS recovery against: a new route is "often found
+// in the time of a TCP retransmit, so server applications are unaware
+// that a network failure has occurred."
+//
+// The model is the classic exponential-backoff RTO: a segment sent
+// into an outage is retransmitted at RTO, then 2·RTO, 4·RTO, … (capped)
+// until either an attempt lands after the outage ends — the segment is
+// delivered, the application just saw added latency — or the retry
+// budget is exhausted and the connection fails.
+package tcpmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params configures the retransmission model. The defaults mirror a
+// classic BSD-style TCP on a LAN.
+type Params struct {
+	// RTO is the initial retransmission timeout.
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff.
+	MaxRTO time.Duration
+	// MaxRetries is the number of retransmissions before the
+	// connection is declared dead.
+	MaxRetries int
+}
+
+// Defaults returns LAN-typical parameters: 1 s initial RTO (RFC 6298
+// floor), 64 s cap, 8 retries.
+func Defaults() Params {
+	return Params{RTO: time.Second, MaxRTO: 64 * time.Second, MaxRetries: 8}
+}
+
+func (p Params) validate() error {
+	if p.RTO <= 0 {
+		return fmt.Errorf("tcpmodel: RTO must be positive, have %v", p.RTO)
+	}
+	if p.MaxRTO < p.RTO {
+		return fmt.Errorf("tcpmodel: MaxRTO %v below RTO %v", p.MaxRTO, p.RTO)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("tcpmodel: negative MaxRetries")
+	}
+	return nil
+}
+
+// AttemptTimes returns the send offsets of the original transmission
+// and every retransmission, relative to the first send: 0, RTO,
+// RTO+2·RTO, … with per-step backoff capped at MaxRTO.
+func (p Params) AttemptTimes() ([]time.Duration, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]time.Duration, 0, p.MaxRetries+1)
+	out = append(out, 0)
+	step := p.RTO
+	at := time.Duration(0)
+	for i := 0; i < p.MaxRetries; i++ {
+		at += step
+		out = append(out, at)
+		step *= 2
+		if step > p.MaxRTO {
+			step = p.MaxRTO
+		}
+	}
+	return out, nil
+}
+
+// Outcome describes what a TCP sender experiences across an outage.
+type Outcome struct {
+	// Delivered reports whether some attempt landed after the outage.
+	Delivered bool
+	// Delay is the application-visible extra latency: the offset of
+	// the first successful attempt (0 when the first send succeeds).
+	Delay time.Duration
+	// Attempts is the number of transmissions used (1 = no
+	// retransmission needed).
+	Attempts int
+}
+
+// Send models a segment first transmitted at sendTime while the path
+// is unusable during [outageStart, outageStart+outageLen). Attempts
+// that fall inside the outage are lost; the first attempt at or after
+// the end of the outage is delivered.
+func (p Params) Send(sendTime, outageStart time.Time, outageLen time.Duration) (Outcome, error) {
+	attempts, err := p.AttemptTimes()
+	if err != nil {
+		return Outcome{}, err
+	}
+	outageEnd := outageStart.Add(outageLen)
+	for i, off := range attempts {
+		at := sendTime.Add(off)
+		if at.Before(outageStart) || !at.Before(outageEnd) {
+			return Outcome{Delivered: true, Delay: off, Attempts: i + 1}, nil
+		}
+	}
+	return Outcome{Delivered: false, Delay: 0, Attempts: len(attempts)}, nil
+}
+
+// MaxMaskableOutage returns the longest outage that a DRS-style repair
+// can hide behind a single retransmission: if the path is restored
+// within this duration of the first (lost) transmission, TCP recovers
+// on its first retry and the application sees at most one RTO of added
+// latency. This is the quantitative form of the paper's "route is
+// often found in the time of a TCP retransmit".
+func (p Params) MaxMaskableOutage() (time.Duration, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	return p.RTO, nil
+}
+
+// SurvivableOutage returns the longest outage (starting exactly at the
+// first transmission) that does not kill the connection.
+func (p Params) SurvivableOutage() (time.Duration, error) {
+	attempts, err := p.AttemptTimes()
+	if err != nil {
+		return 0, err
+	}
+	return attempts[len(attempts)-1], nil
+}

@@ -1,0 +1,208 @@
+// Package topology models the cluster architecture the DRS protocol is
+// designed for: N servers, each with one network interface card (NIC)
+// per network rail, attached to R independent shared networks ("back
+// planes" in the paper — non-meshed hubs).
+//
+// The paper fixes R = 2: every server has two NICs on two separate
+// networks, giving exactly 2N + 2 failure-prone components. The types
+// here keep R general so the reproduction can also explore the
+// natural extension to more rails; constructors for the paper's
+// configuration are provided.
+//
+// Components are numbered densely so failure scenarios can be stored
+// in bitsets:
+//
+//	NIC(node i, rail k)  -> i*R + k        (0 ≤ id < N*R)
+//	Backplane(rail k)    -> N*R + k        (N*R ≤ id < N*R + R)
+package topology
+
+import "fmt"
+
+// Component identifies one failure-prone hardware component of a
+// cluster: a NIC or a back plane.
+type Component int
+
+// Kind distinguishes the two component classes of the paper's model.
+type Kind int
+
+const (
+	// KindNIC is a network interface card (one per node per rail).
+	KindNIC Kind = iota
+	// KindBackplane is a shared network segment (hub/back plane).
+	KindBackplane
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNIC:
+		return "nic"
+	case KindBackplane:
+		return "backplane"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Cluster describes a cluster's shape: Nodes servers each attached to
+// Rails independent shared networks through one NIC per rail.
+type Cluster struct {
+	Nodes int
+	Rails int
+}
+
+// Dual returns the paper's configuration: n servers, two NICs each,
+// two non-meshed back planes.
+func Dual(n int) Cluster { return Cluster{Nodes: n, Rails: 2} }
+
+// Validate reports whether the cluster shape is usable.
+func (c Cluster) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("topology: need at least 2 nodes, have %d", c.Nodes)
+	}
+	if c.Rails < 1 {
+		return fmt.Errorf("topology: need at least 1 rail, have %d", c.Rails)
+	}
+	return nil
+}
+
+// Components returns the size of the failure-component universe:
+// Nodes*Rails NICs plus Rails back planes (2N+2 when Rails == 2).
+func (c Cluster) Components() int { return c.Nodes*c.Rails + c.Rails }
+
+// NIC returns the component id of node's interface on rail.
+func (c Cluster) NIC(node, rail int) Component {
+	if node < 0 || node >= c.Nodes || rail < 0 || rail >= c.Rails {
+		panic(fmt.Sprintf("topology: NIC(%d,%d) out of range for %d nodes × %d rails",
+			node, rail, c.Nodes, c.Rails))
+	}
+	return Component(node*c.Rails + rail)
+}
+
+// Backplane returns the component id of the shared segment for rail.
+func (c Cluster) Backplane(rail int) Component {
+	if rail < 0 || rail >= c.Rails {
+		panic(fmt.Sprintf("topology: Backplane(%d) out of range for %d rails", rail, c.Rails))
+	}
+	return Component(c.Nodes*c.Rails + rail)
+}
+
+// Describe decodes a component id. For a NIC it returns
+// (KindNIC, node, rail); for a back plane it returns
+// (KindBackplane, -1, rail).
+func (c Cluster) Describe(comp Component) (kind Kind, node, rail int) {
+	id := int(comp)
+	if id < 0 || id >= c.Components() {
+		panic(fmt.Sprintf("topology: component %d out of range (universe %d)", id, c.Components()))
+	}
+	if id < c.Nodes*c.Rails {
+		return KindNIC, id / c.Rails, id % c.Rails
+	}
+	return KindBackplane, -1, id - c.Nodes*c.Rails
+}
+
+// Name returns a human-readable component name such as "nic(3,0)" or
+// "backplane(1)".
+func (c Cluster) Name(comp Component) string {
+	kind, node, rail := c.Describe(comp)
+	if kind == KindNIC {
+		return fmt.Sprintf("nic(%d,%d)", node, rail)
+	}
+	return fmt.Sprintf("backplane(%d)", rail)
+}
+
+// Set is a bitset over a cluster's component universe, used to
+// represent failure scenarios ("these components are down").
+// The zero value of a Set is not usable; create one with NewSet.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// NewSet returns an empty Set over a universe of n components.
+func NewSet(n int) *Set {
+	if n < 0 {
+		panic("topology: negative universe size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// NewSetOf returns a Set over universe n containing the given components.
+func NewSetOf(n int, comps ...Component) *Set {
+	s := NewSet(n)
+	for _, c := range comps {
+		s.Add(c)
+	}
+	return s
+}
+
+// Universe returns the universe size the Set was created with.
+func (s *Set) Universe() int { return s.n }
+
+func (s *Set) check(c Component) {
+	if int(c) < 0 || int(c) >= s.n {
+		panic(fmt.Sprintf("topology: component %d out of universe %d", c, s.n))
+	}
+}
+
+// Add inserts component c.
+func (s *Set) Add(c Component) {
+	s.check(c)
+	s.words[c>>6] |= 1 << (uint(c) & 63)
+}
+
+// Remove deletes component c.
+func (s *Set) Remove(c Component) {
+	s.check(c)
+	s.words[c>>6] &^= 1 << (uint(c) & 63)
+}
+
+// Contains reports whether component c is in the set.
+func (s *Set) Contains(c Component) bool {
+	s.check(c)
+	return s.words[c>>6]&(1<<(uint(c)&63)) != 0
+}
+
+// Len returns the number of components in the set.
+func (s *Set) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += popcount(w)
+	}
+	return total
+}
+
+// Clear removes all components.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Components returns the members in ascending order.
+func (s *Set) Components() []Component {
+	out := make([]Component, 0, s.Len())
+	for i := 0; i < s.n; i++ {
+		if s.Contains(Component(i)) {
+			out = append(out, Component(i))
+		}
+	}
+	return out
+}
+
+func popcount(w uint64) int {
+	// Kernighan's loop is fine here: failure sets are tiny (f ≤ 10).
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}

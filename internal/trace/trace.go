@@ -1,0 +1,152 @@
+// Package trace records structured protocol events during
+// simulations: probes, failures detected, routes repaired, packets
+// forwarded. Experiments read the log to measure detection and
+// recovery latency; the drsim tool prints it for debugging.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds emitted by the protocol implementations.
+const (
+	KindProbeSent Kind = iota
+	KindProbeReply
+	KindLinkDown
+	KindLinkUp
+	KindRouteInstalled
+	KindRouteLost
+	KindQuerySent
+	KindOfferSent
+	KindDataForwarded
+	KindDataDropped
+	KindDataDelivered
+)
+
+var kindNames = map[Kind]string{
+	KindProbeSent:      "probe-sent",
+	KindProbeReply:     "probe-reply",
+	KindLinkDown:       "link-down",
+	KindLinkUp:         "link-up",
+	KindRouteInstalled: "route-installed",
+	KindRouteLost:      "route-lost",
+	KindQuerySent:      "query-sent",
+	KindOfferSent:      "offer-sent",
+	KindDataForwarded:  "data-forwarded",
+	KindDataDropped:    "data-dropped",
+	KindDataDelivered:  "data-delivered",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one protocol occurrence.
+type Event struct {
+	At     time.Duration // simulated (or wall) time since start
+	Node   int           // node the event happened on
+	Kind   Kind
+	Peer   int    // peer node involved, -1 when not applicable
+	Rail   int    // rail involved, -1 when not applicable
+	Detail string // free-form context
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v node=%d %-15s peer=%d rail=%d %s",
+		e.At, e.Node, e.Kind, e.Peer, e.Rail, e.Detail)
+}
+
+// Log is a bounded, concurrency-safe event log. When the bound is
+// reached, the oldest events are discarded.
+type Log struct {
+	mu      sync.Mutex
+	events  []Event
+	max     int
+	dropped int64
+}
+
+// NewLog returns a log retaining at most max events (0 means a
+// generous default of 1<<16).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	return &Log{max: max}
+}
+
+// Append records an event.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) == l.max {
+		// Drop the oldest half rather than shifting on every append.
+		half := l.max / 2
+		copy(l.events, l.events[half:])
+		l.events = l.events[:l.max-half]
+		l.dropped += int64(half)
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the retained events in append order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Dropped returns the number of events discarded due to the bound.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Filter returns the retained events of the given kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the earliest retained event of kind k matching node
+// (node < 0 matches any), and whether one exists.
+func (l *Log) First(k Kind, node int) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.Kind == k && (node < 0 || e.Node == node) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Count returns the number of retained events of kind k.
+func (l *Log) Count(k Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

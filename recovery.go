@@ -1,0 +1,80 @@
+package drsnet
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/experiments"
+)
+
+// ProtocolResult summarizes what an application flow experienced
+// across an injected failure under one routing protocol.
+type ProtocolResult struct {
+	// Protocol is "drs", "reactive" or "static".
+	Protocol string
+	// Recovered reports whether delivery resumed after the failure.
+	Recovered bool
+	// Outage is the time from the failure to the first subsequent
+	// delivery (censored at the experiment end when not recovered).
+	Outage time.Duration
+	// Lost counts application messages that never arrived.
+	Lost int
+	// DetectionLatency and RepairLatency are the DRS's internal
+	// timings (zero for the baselines).
+	DetectionLatency time.Duration
+	RepairLatency    time.Duration
+	// MaskedFromTCP reports whether the outage fits within one TCP
+	// retransmission — the paper's "applications are unaware" bar.
+	MaskedFromTCP bool
+}
+
+// Failure scenarios accepted by CompareProtocols.
+const (
+	// FailureNIC fails the destination's primary NIC.
+	FailureNIC = "nic"
+	// FailureBackplane fails an entire shared network.
+	FailureBackplane = "backplane"
+	// FailureCrossRail fails the sender's rail-0 NIC and the
+	// receiver's rail-1 NIC, leaving no direct path — only a relay.
+	FailureCrossRail = "crossrail"
+)
+
+// CompareProtocols replays the same failure scenario on an identical
+// cluster under the DRS, a RIP-like reactive protocol, and static
+// routing, and reports the application-visible outcome of each — the
+// paper's proactive-vs-traditional-routing comparison.
+func CompareProtocols(nodes int, scenario string) ([]ProtocolResult, error) {
+	if err := validateClusterSize(nodes); err != nil {
+		return nil, err
+	}
+	var sc experiments.Scenario
+	switch scenario {
+	case FailureNIC:
+		sc = experiments.ScenarioNIC
+	case FailureBackplane:
+		sc = experiments.ScenarioBackplane
+	case FailureCrossRail:
+		sc = experiments.ScenarioCrossRail
+	default:
+		return nil, fmt.Errorf("drsnet: unknown failure scenario %q", scenario)
+	}
+	base := experiments.DefaultRecoveryConfig(experiments.ProtoDRS, sc)
+	base.Nodes = nodes
+	results, err := experiments.CompareRecovery(base)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProtocolResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, ProtocolResult{
+			Protocol:         string(r.Config.Protocol),
+			Recovered:        r.Recovered,
+			Outage:           r.Outage,
+			Lost:             r.Lost,
+			DetectionLatency: r.DetectionLatency,
+			RepairLatency:    r.RepairLatency,
+			MaskedFromTCP:    r.MaskedFromTCP,
+		})
+	}
+	return out, nil
+}
