@@ -1,0 +1,33 @@
+# Build/test entry points. ROADMAP.md tier-1 verification is
+# `make build test`; `make race` is the concurrency gate for the
+# parallel sweep engine and must stay green.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package. The packet-level campaigns
+# are slow under the detector, so long-running cases honour -short;
+# the determinism and cache-contention tests still run.
+race:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/parallel/ ./internal/survival/ ./internal/metrics/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz session for the scenario loader (regression corpus runs
+# in plain `make test` as well).
+fuzz:
+	$(GO) test ./internal/scenario/ -run FuzzLoad -fuzz FuzzLoad -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -38,15 +38,40 @@ func BenchmarkFigure1ProbeCost(b *testing.B) {
 }
 
 // BenchmarkFigure2Analytic regenerates E2: all nine P[Success] curves
-// of Figure 2 (f = 2..10, f < N < 64) in exact arithmetic.
+// of Figure 2 (f = 2..10, f < N < 64) in exact arithmetic, at each
+// worker count of the scaling ladder. survival.ResetCaches() inside
+// the loop keeps every iteration cold, so the sub-benchmarks measure
+// parallel scaling of the real computation rather than memo hits —
+// speedup shows on multi-core hardware, not on a single-CPU runner.
 func BenchmarkFigure2Analytic(b *testing.B) {
 	fs := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				survival.ResetCaches()
+				res, err := experiments.Figure2Workers(fs, 63, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.WriteTable(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2Memoized is the same sweep warm: after the first
+// run every Equation 1 term is served from the combinatorics memo.
+func BenchmarkFigure2Memoized(b *testing.B) {
+	fs := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	survival.ResetCaches()
+	if _, err := experiments.Figure2(fs, 63); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure2(fs, 63)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := res.WriteTable(io.Discard); err != nil {
+		if _, err := experiments.Figure2(fs, 63); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,20 +140,28 @@ func BenchmarkProactiveVsReactive(b *testing.B) {
 
 // BenchmarkFaultCoverage times the exhaustive fault-coverage campaign
 // (all 1- and 2-fault scenarios of an 8-node cluster, each a full
-// packet-level simulation checked against the analytic predicate).
+// packet-level simulation checked against the analytic predicate) at
+// each worker count of the scaling ladder. Every scenario runs in a
+// private simulator, so the campaign parallelizes embarrassingly and
+// the sub-benchmarks expose the speedup on multi-core hardware.
 func BenchmarkFaultCoverage(b *testing.B) {
-	cfg := experiments.DefaultCoverageConfig()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i) + 1
-		res, err := experiments.FaultCoverage(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Total.Inconsistent != 0 {
-			b.Fatalf("inconsistency: %s", res.FirstInconsistency)
-		}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			cfg := experiments.DefaultCoverageConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i) + 1
+				res, err := experiments.FaultCoverage(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Total.Inconsistent != 0 {
+					b.Fatalf("inconsistency: %s", res.FirstInconsistency)
+				}
+			}
+			b.ReportMetric(float64(171), "scenarios")
+		})
 	}
-	b.ReportMetric(float64(171), "scenarios")
 }
 
 // BenchmarkFlowRecovery regenerates the connection-level E5 variant:

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	drsavail [-nodes n] [-mtbf d] [-mttr d] [-probe d] [-miss k]
-//	         [-allpairs] [-measure] [-horizon d]
+//	         [-workers w] [-allpairs] [-measure] [-horizon d]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 	allPairs := flag.Bool("allpairs", false, "also print full-cluster (all-pairs) availability")
 	measure := flag.Bool("measure", false, "run the packet-level measurement alongside the model")
 	horizon := flag.Duration("horizon", 2*time.Hour, "measurement horizon (with -measure)")
+	workers := flag.Int("workers", 0, "surface worker goroutines (0 = all CPUs); output is identical for every count")
 	flag.Parse()
 
 	q, err := availability.SteadyStateQ(*mtbf, *mttr)
@@ -40,41 +41,22 @@ func main() {
 
 	// Availability surface over q and cluster size.
 	fmt.Printf("# pair availability under IID component failures (Equation 1 mixture)\n")
-	fmt.Printf("%8s", "q \\ N")
-	sizes := []int{4, 8, 12, 16, 32, 64}
-	for _, n := range sizes {
-		fmt.Printf(" %9d", n)
+	surface, err := experiments.Surface(experiments.DefaultSurfaceQs(), experiments.DefaultSurfaceSizes(), false, *workers)
+	if err != nil {
+		fail(err)
 	}
-	fmt.Println()
-	for _, qq := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
-		fmt.Printf("%8.3f", qq)
-		for _, n := range sizes {
-			p, err := availability.PSuccessIID(n, qq)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Printf(" %9.6f", p)
-		}
-		fmt.Println()
+	if err := experiments.WriteSurface(os.Stdout, surface); err != nil {
+		fail(err)
 	}
 
 	if *allPairs {
 		fmt.Printf("\n# full-cluster (all-pairs) availability\n")
-		fmt.Printf("%8s", "q \\ N")
-		for _, n := range sizes {
-			fmt.Printf(" %9d", n)
+		surface, err := experiments.Surface(experiments.DefaultSurfaceQs(), experiments.DefaultSurfaceSizes(), true, *workers)
+		if err != nil {
+			fail(err)
 		}
-		fmt.Println()
-		for _, qq := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
-			fmt.Printf("%8.3f", qq)
-			for _, n := range sizes {
-				p, err := availability.AllPairsIID(n, qq)
-				if err != nil {
-					fail(err)
-				}
-				fmt.Printf(" %9.6f", p)
-			}
-			fmt.Println()
+		if err := experiments.WriteSurface(os.Stdout, surface); err != nil {
+			fail(err)
 		}
 	}
 

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	drscost [-rate bits] [-frame bytes] [-budgets list] [-min n] [-max n] [-step n] [-ordered]
+//	drscost [-rate bits] [-frame bytes] [-budgets list] [-min n] [-max n]
+//	        [-step n] [-workers w] [-ordered]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,39 +21,48 @@ import (
 )
 
 func main() {
-	rate := flag.Float64("rate", costmodel.DefaultLinkRate, "link rate in bits/s")
-	frame := flag.Int("frame", costmodel.DefaultFrameBytes, "probe frame size on the wire (bytes)")
-	budgets := flag.String("budgets", "5,10,15,25", "bandwidth budgets in percent, comma separated")
-	minN := flag.Int("min", 2, "smallest cluster size")
-	maxN := flag.Int("max", 128, "largest cluster size")
-	step := flag.Int("step", 2, "cluster size step")
-	ordered := flag.Bool("ordered", false, "model every daemon probing every peer (doubles traffic)")
-	plot := flag.Bool("plot", false, "render the figure as an ASCII chart instead of a table")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("drscost", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	rate := flags.Float64("rate", costmodel.DefaultLinkRate, "link rate in bits/s")
+	frame := flags.Int("frame", costmodel.DefaultFrameBytes, "probe frame size on the wire (bytes)")
+	budgets := flags.String("budgets", "5,10,15,25", "bandwidth budgets in percent, comma separated")
+	minN := flags.Int("min", 2, "smallest cluster size")
+	maxN := flags.Int("max", 128, "largest cluster size")
+	step := flags.Int("step", 2, "cluster size step")
+	workers := flags.Int("workers", 0, "sweep worker goroutines (0 = all CPUs); output is identical for every count")
+	ordered := flags.Bool("ordered", false, "model every daemon probing every peer (doubles traffic)")
+	plot := flags.Bool("plot", false, "render the figure as an ASCII chart instead of a table")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 
 	params := costmodel.Params{LinkRate: *rate, FrameBytes: *frame, OrderedPairs: *ordered}
 	var buds []float64
 	for _, tok := range strings.Split(*budgets, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drscost: bad budget %q: %v\n", tok, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "drscost: bad budget %q: %v\n", tok, err)
+			return 1
 		}
 		buds = append(buds, v/100)
 	}
 
-	res, err := experiments.Figure1(params, buds, *minN, *maxN, *step)
+	res, err := experiments.Figure1Workers(params, buds, *minN, *maxN, *step, *workers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "drscost: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "drscost: %v\n", err)
+		return 1
 	}
 	write := res.WriteTable
 	if *plot {
 		write = res.WritePlot
 	}
-	if err := write(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "drscost: %v\n", err)
-		os.Exit(1)
+	if err := write(stdout); err != nil {
+		fmt.Fprintf(stderr, "drscost: %v\n", err)
+		return 1
 	}
 
 	// The paper's headline, recomputed for the chosen parameters.
@@ -60,6 +71,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		fmt.Printf("# budget %4.0f%%: up to %d hosts checked in < 1 s\n", b*100, n)
+		fmt.Fprintf(stdout, "# budget %4.0f%%: up to %d hosts checked in < 1 s\n", b*100, n)
 	}
+	return 0
 }

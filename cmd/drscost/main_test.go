@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFigure1Golden pins the exact Figure 1 table for the default
+// 100 Mb/s parameters at a coarse grid, plus the paper's "hosts in
+// under a second" headline lines.
+func TestFigure1Golden(t *testing.T) {
+	const golden = `# Figure 1: response time (s) vs number of nodes, 100 Mb/s network
+ nodes         5%        10%        15%        25%
+     8     0.0075     0.0038     0.0025     0.0015
+    16     0.0323     0.0161     0.0108     0.0065
+    24     0.0742     0.0371     0.0247     0.0148
+    32     0.1333     0.0667     0.0444     0.0267
+    40     0.2097     0.1048     0.0699     0.0419
+    48     0.3032     0.1516     0.1011     0.0606
+    56     0.4140     0.2070     0.1380     0.0828
+    64     0.5419     0.2710     0.1806     0.1084
+# budget    5%: up to 86 hosts checked in < 1 s
+# budget   10%: up to 122 hosts checked in < 1 s
+# budget   15%: up to 149 hosts checked in < 1 s
+# budget   25%: up to 193 hosts checked in < 1 s
+`
+	var out, errb bytes.Buffer
+	if code := run([]string{"-budgets", "5,10,15,25", "-min", "8", "-max", "64", "-step", "8"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("Figure 1 table drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestFigure1WorkersIdentical: the table must be byte-identical at
+// every worker count.
+func TestFigure1WorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-min", "2", "-max", "96", "-step", "2", "-workers", workers}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs", w)
+		}
+	}
+}
+
+// TestBadFlags exercises the error paths.
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-budgets", "lots"}, &out, &errb); code == 0 {
+		t.Fatal("bad -budgets accepted")
+	}
+	if code := run([]string{"-step", "0"}, &out, &errb); code == 0 {
+		t.Fatal("zero step accepted")
+	}
+}

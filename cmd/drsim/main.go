@@ -40,6 +40,7 @@ func main() {
 	configPath := flag.String("config", "", "run a declarative JSON scenario file instead of the canned experiment")
 	coverage := flag.Bool("coverage", false, "run the exhaustive fault-coverage campaign (every 1- and 2-fault scenario)")
 	switched := flag.Bool("switched", false, "use a switched fabric instead of shared hubs for -overhead")
+	workers := flag.Int("workers", 0, "coverage campaign worker goroutines (0 = all CPUs); output is identical for every count")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		cfg.ProbeInterval = *probe
 		cfg.MissThreshold = *miss
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		res, err := experiments.FaultCoverage(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "drsim: %v\n", err)

@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	drsurvive [-f list] [-nmax n] [-target p] [-mc iterations] [-seed s]
+//	drsurvive [-f list] [-nmax n] [-target p] [-thresholds]
+//	          [-workers w] [-mc iterations] [-seed s]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,49 +24,61 @@ import (
 )
 
 func main() {
-	fs := flag.String("f", "2,3,4,5,6,7,8,9,10", "failure counts, comma separated")
-	nmax := flag.Int("nmax", 63, "largest cluster size (paper: f < N < 64)")
-	target := flag.Float64("target", 0.99, "threshold target probability")
-	mc := flag.Int64("mc", 0, "if > 0, also Monte Carlo-estimate each curve with this many iterations")
-	seed := flag.Uint64("seed", 1, "Monte Carlo seed")
-	rails := flag.Bool("rails", false, "also print the redundancy ablation (1/2/3 rails, Monte Carlo)")
-	plot := flag.Bool("plot", false, "render Figure 2 as an ASCII chart instead of a table")
-	railsN := flag.Int("railsn", 12, "cluster size for the rails ablation")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("drsurvive", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	fs := flags.String("f", "2,3,4,5,6,7,8,9,10", "failure counts, comma separated")
+	nmax := flags.Int("nmax", 63, "largest cluster size (paper: f < N < 64)")
+	target := flags.Float64("target", 0.99, "threshold target probability")
+	thresholdsOnly := flags.Bool("thresholds", false, "print only the 0.99-threshold table")
+	workers := flags.Int("workers", 0, "sweep worker goroutines (0 = all CPUs); output is identical for every count")
+	mc := flags.Int64("mc", 0, "if > 0, also Monte Carlo-estimate each curve with this many iterations")
+	seed := flags.Uint64("seed", 1, "Monte Carlo seed")
+	rails := flags.Bool("rails", false, "also print the redundancy ablation (1/2/3 rails, Monte Carlo)")
+	plot := flags.Bool("plot", false, "render Figure 2 as an ASCII chart instead of a table")
+	railsN := flags.Int("railsn", 12, "cluster size for the rails ablation")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 
 	var failures []int
 	for _, tok := range strings.Split(*fs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drsurvive: bad failure count %q: %v\n", tok, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "drsurvive: bad failure count %q: %v\n", tok, err)
+			return 1
 		}
 		failures = append(failures, v)
 	}
 
-	res, err := experiments.Figure2(failures, *nmax)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-		os.Exit(1)
+	if !*thresholdsOnly {
+		res, err := experiments.Figure2Workers(failures, *nmax, *workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+			return 1
+		}
+		write := res.WriteTable
+		if *plot {
+			write = res.WritePlot
+		}
+		if err := write(stdout); err != nil {
+			fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
 	}
-	write := res.WriteTable
-	if *plot {
-		write = res.WritePlot
-	}
-	if err := write(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Println()
 
-	rows, err := experiments.Thresholds(failures, *target, 4*(*nmax))
+	rows, err := experiments.ThresholdsWorkers(failures, *target, 4*(*nmax), *workers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+		return 1
 	}
-	if err := experiments.WriteThresholds(os.Stdout, rows, *target); err != nil {
-		fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-		os.Exit(1)
+	if err := experiments.WriteThresholds(stdout, rows, *target); err != nil {
+		fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+		return 1
 	}
 
 	if *rails {
@@ -74,36 +88,38 @@ func main() {
 		}
 		res, err := experiments.RailsComparison(*railsN, []int{1, 2, 3}, failures, iters, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+			return 1
 		}
-		fmt.Println()
-		if err := res.WriteTable(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout)
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+			return 1
 		}
 	}
 
 	if *mc > 0 {
-		fmt.Printf("\n# Monte Carlo cross-check (%d iterations per point)\n", *mc)
-		fmt.Printf("%4s %6s %10s %10s %10s\n", "f", "N", "analytic", "simulated", "|diff|")
+		fmt.Fprintf(stdout, "\n# Monte Carlo cross-check (%d iterations per point)\n", *mc)
+		fmt.Fprintf(stdout, "%4s %6s %10s %10s %10s\n", "f", "N", "analytic", "simulated", "|diff|")
 		for _, f := range failures {
 			for _, n := range []int{f + 1, (f + 1 + *nmax) / 2, *nmax} {
 				est, err := montecarlo.Estimate(montecarlo.Config{
 					Cluster: topology.Dual(n), Failures: f,
 					Iterations: *mc, Seed: *seed,
+					Workers: *workers,
 				})
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "drsurvive: %v\n", err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+					return 1
 				}
 				a := survival.PSuccessFloat(n, f)
 				diff := est.P - a
 				if diff < 0 {
 					diff = -diff
 				}
-				fmt.Printf("%4d %6d %10.5f %10.5f %10.5f\n", f, n, a, est.P, diff)
+				fmt.Fprintf(stdout, "%4d %6d %10.5f %10.5f %10.5f\n", f, n, a, est.P, diff)
 			}
 		}
 	}
+	return 0
 }

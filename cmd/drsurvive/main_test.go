@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestThresholdsGolden pins the exact -thresholds table, including the
+// paper's headline values: N=18 (f=2), N=32 (f=3), N=45 (f=4) at 0.99.
+func TestThresholdsGolden(t *testing.T) {
+	const golden = `# First N with P[Success] > 0.99
+   f      N  P[S](N,f)
+   2     18    0.99004
+   3     32    0.99043
+   4     45    0.99028
+`
+	var out, errb bytes.Buffer
+	if code := run([]string{"-thresholds", "-f", "2,3,4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("threshold table drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestThresholdsGoldenWorkersIdentical: the same table must come out
+// byte-identical at every worker count.
+func TestThresholdsGoldenWorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-thresholds", "-f", "2,3,4", "-workers", workers}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n%s\nvs\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestFullOutputShape: the default run prints the Figure 2 table then
+// the threshold table.
+func TestFullOutputShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-f", "2", "-nmax", "20"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "# Figure 2") {
+		t.Fatalf("missing Figure 2 header:\n%s", s)
+	}
+	if !strings.Contains(s, "# First N with P[Success] > 0.99") {
+		t.Fatalf("missing threshold header:\n%s", s)
+	}
+}
+
+// TestBadFlags exercises the error paths.
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-f", "two"}, &out, &errb); code == 0 {
+		t.Fatal("bad -f accepted")
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != 2 {
+		t.Fatal("unknown flag not rejected with usage exit code")
+	}
+}

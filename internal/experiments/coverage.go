@@ -9,6 +9,7 @@ import (
 	"drsnet/internal/conn"
 	"drsnet/internal/core"
 	"drsnet/internal/netsim"
+	"drsnet/internal/parallel"
 	"drsnet/internal/routing"
 	"drsnet/internal/simtime"
 	"drsnet/internal/topology"
@@ -30,6 +31,10 @@ type CoverageConfig struct {
 	FailAt          time.Duration
 	Deadline        time.Duration
 	Seed            uint64
+	// Workers bounds the number of scenarios simulated concurrently;
+	// 0 means GOMAXPROCS. Every scenario runs in its own simulator, so
+	// the campaign outcome is bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultCoverageConfig covers all single and double faults of an
@@ -58,6 +63,9 @@ func (c CoverageConfig) validate() error {
 	}
 	if c.FailAt <= 0 || c.Deadline <= c.FailAt {
 		return fmt.Errorf("experiments: bad coverage timing")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count %d", c.Workers)
 	}
 	return nil
 }
@@ -90,43 +98,60 @@ type CoverageResult struct {
 	FirstInconsistency string
 }
 
-// FaultCoverage runs the campaign.
+// FaultCoverage runs the campaign. Scenarios are enumerated in a
+// fixed order, simulated concurrently (cfg.Workers goroutines, each
+// scenario in its own simulator), and reduced back in enumeration
+// order — so the result, down to the first-inconsistency report, is
+// identical to a serial run.
 func FaultCoverage(cfg CoverageConfig) (*CoverageResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	cluster := topology.Dual(cfg.Nodes)
 	eval, err := conn.NewEvaluator(cluster)
 	if err != nil {
 		return nil, err
 	}
-	res := &CoverageResult{Config: cfg, Classes: make(map[string]ClassStats)}
 
-	m := cluster.Components()
+	scenarios := enumerateScenarios(cluster.Components(), cfg.MaxFaults)
+	outcomes, err := parallel.Map(nil, cfg.Workers, len(scenarios), func(i int) (scenarioOutcome, error) {
+		return runScenario(cfg, cluster, eval, scenarios[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CoverageResult{Config: cfg, Classes: make(map[string]ClassStats)}
+	for i, scenario := range scenarios {
+		res.record(cluster, scenario, outcomes[i])
+	}
+	recordSweep("coverage", parallel.Workers(cfg.Workers, len(scenarios)), time.Since(start))
+	return res, nil
+}
+
+// enumerateScenarios lists every non-empty fault scenario of up to
+// maxFaults of m components, in the campaign's canonical order
+// (depth-first: {0}, {0,1}, {0,2}, ..., {1}, {1,2}, ...).
+func enumerateScenarios(m, maxFaults int) [][]topology.Component {
+	var out [][]topology.Component
 	var scenario []topology.Component
-	var walk func(start int) error
-	walk = func(start int) error {
+	var walk func(start int)
+	walk = func(start int) {
 		if len(scenario) > 0 {
-			if err := res.runScenario(cluster, eval, scenario); err != nil {
-				return err
-			}
+			out = append(out, append([]topology.Component(nil), scenario...))
 		}
-		if len(scenario) == cfg.MaxFaults {
-			return nil
+		if len(scenario) == maxFaults {
+			return
 		}
 		for c := start; c < m; c++ {
 			scenario = append(scenario, topology.Component(c))
-			if err := walk(c + 1); err != nil {
-				return err
-			}
+			walk(c + 1)
 			scenario = scenario[:len(scenario)-1]
 		}
-		return nil
 	}
-	if err := walk(0); err != nil {
-		return nil, err
-	}
-	return res, nil
+	walk(0)
+	return out
 }
 
 // classKey names a scenario's fault class by component kinds.
@@ -148,14 +173,24 @@ func classKey(cluster topology.Cluster, scenario []topology.Component) string {
 	return key
 }
 
-func (res *CoverageResult) runScenario(cluster topology.Cluster, eval *conn.Evaluator, scenario []topology.Component) error {
-	cfg := res.Config
+// scenarioOutcome is the result of simulating one fault scenario —
+// the pure per-item payload of the parallel campaign.
+type scenarioOutcome struct {
+	want      bool // analytic predicate: pair (0,1) survivable
+	recovered bool // the running DRS delivered after the failure
+	outage    time.Duration
+}
+
+// runScenario simulates one fault scenario in a private simulator and
+// judges it against the analytic predicate. It mutates nothing shared,
+// so any number of scenarios can run concurrently.
+func runScenario(cfg CoverageConfig, cluster topology.Cluster, eval *conn.Evaluator, scenario []topology.Component) (scenarioOutcome, error) {
 	want := eval.PairConnected(scenario, 0, 1)
 
 	sched := simtime.NewScheduler()
 	net, err := netsim.New(sched, cluster, netsim.DefaultParams(), cfg.Seed)
 	if err != nil {
-		return err
+		return scenarioOutcome{}, err
 	}
 	clock := routing.SimClock{Sched: sched}
 	daemons := make([]*core.Daemon, cfg.Nodes)
@@ -166,7 +201,7 @@ func (res *CoverageResult) runScenario(cluster topology.Cluster, eval *conn.Eval
 		dcfg.MissThreshold = cfg.MissThreshold
 		d, err := core.New(routing.NewSimNode(net, node), clock, dcfg)
 		if err != nil {
-			return err
+			return scenarioOutcome{}, err
 		}
 		if node == 1 {
 			d.SetDeliverFunc(func(src int, data []byte) {
@@ -179,7 +214,7 @@ func (res *CoverageResult) runScenario(cluster topology.Cluster, eval *conn.Eval
 	}
 	for _, d := range daemons {
 		if err := d.Start(); err != nil {
-			return err
+			return scenarioOutcome{}, err
 		}
 	}
 	var tick func()
@@ -204,30 +239,37 @@ func (res *CoverageResult) runScenario(cluster topology.Cluster, eval *conn.Eval
 			break
 		}
 	}
-	recovered := firstAfter >= 0
+	out := scenarioOutcome{want: want, recovered: firstAfter >= 0}
+	if out.recovered {
+		out.outage = firstAfter - cfg.FailAt
+	}
+	return out, nil
+}
 
+// record folds one scenario outcome into the campaign result. Called
+// in enumeration order, which keeps FirstInconsistency deterministic.
+func (res *CoverageResult) record(cluster topology.Cluster, scenario []topology.Component, o scenarioOutcome) {
 	key := classKey(cluster, scenario)
 	cs := res.Classes[key]
 	cs.Scenarios++
 	res.Total.Scenarios++
-	if want {
+	if o.want {
 		cs.Connected++
 		res.Total.Connected++
 	}
-	if recovered {
+	if o.recovered {
 		cs.Recovered++
 		res.Total.Recovered++
-		outage := firstAfter - cfg.FailAt
-		cs.TotalOutage += outage
-		res.Total.TotalOutage += outage
-		if outage > cs.MaxOutage {
-			cs.MaxOutage = outage
+		cs.TotalOutage += o.outage
+		res.Total.TotalOutage += o.outage
+		if o.outage > cs.MaxOutage {
+			cs.MaxOutage = o.outage
 		}
-		if outage > res.Total.MaxOutage {
-			res.Total.MaxOutage = outage
+		if o.outage > res.Total.MaxOutage {
+			res.Total.MaxOutage = o.outage
 		}
 	}
-	if recovered != want {
+	if o.recovered != o.want {
 		cs.Inconsistent++
 		res.Total.Inconsistent++
 		if res.FirstInconsistency == "" {
@@ -239,11 +281,10 @@ func (res *CoverageResult) runScenario(cluster topology.Cluster, eval *conn.Eval
 				names += cluster.Name(comp)
 			}
 			res.FirstInconsistency = fmt.Sprintf("{%s}: simulated recovered=%v, predicate=%v",
-				names, recovered, want)
+				names, o.recovered, o.want)
 		}
 	}
 	res.Classes[key] = cs
-	return nil
 }
 
 // WriteCoverage renders the campaign as the fault-coverage matrix.

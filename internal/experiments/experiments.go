@@ -18,12 +18,28 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"time"
 
 	"drsnet/internal/costmodel"
 	"drsnet/internal/failure"
+	"drsnet/internal/metrics"
 	"drsnet/internal/montecarlo"
+	"drsnet/internal/parallel"
 	"drsnet/internal/survival"
 )
+
+// Metrics collects per-sweep engine telemetry: for every parallel
+// generator run, sweep.<name>.wall_ns and sweep.<name>.workers gauges
+// record the last run's wall time and resolved worker count, and the
+// sweep.<name>.runs counter accumulates.
+var Metrics = metrics.NewSet()
+
+// recordSweep stores one sweep's telemetry.
+func recordSweep(name string, workers int, wall time.Duration) {
+	Metrics.Gauge("sweep." + name + ".wall_ns").Set(int64(wall))
+	Metrics.Gauge("sweep." + name + ".workers").Set(int64(workers))
+	Metrics.Counter("sweep." + name + ".runs").Inc()
+}
 
 // ---------------------------------------------------------------
 // E1: Figure 1 — Response Time vs Number of Nodes.
@@ -40,27 +56,43 @@ type Figure1Result struct {
 // Figure1 computes the Figure 1 curves for node counts nMin..nMax in
 // steps of step.
 func Figure1(params costmodel.Params, budgets []float64, nMin, nMax, step int) (*Figure1Result, error) {
+	return Figure1Workers(params, budgets, nMin, nMax, step, 0)
+}
+
+// Figure1Workers is Figure1 on the parallel sweep engine: every
+// (budget, node) cell is an independent evaluation written into its
+// own slot, so the result is bit-identical for every worker count
+// (0 = GOMAXPROCS).
+func Figure1Workers(params costmodel.Params, budgets []float64, nMin, nMax, step, workers int) (*Figure1Result, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("experiments: step must be positive")
 	}
 	if len(budgets) == 0 {
 		return nil, fmt.Errorf("experiments: no budgets")
 	}
+	start := time.Now()
 	res := &Figure1Result{Params: params, Budgets: budgets}
 	for n := nMin; n <= nMax; n += step {
 		res.Nodes = append(res.Nodes, n)
 	}
-	for _, b := range budgets {
-		row := make([]float64, 0, len(res.Nodes))
-		for _, n := range res.Nodes {
-			rt, err := params.ResponseTime(n, b)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, rt)
-		}
-		res.Times = append(res.Times, row)
+	res.Times = make([][]float64, len(budgets))
+	for b := range budgets {
+		res.Times[b] = make([]float64, len(res.Nodes))
 	}
+	cells := len(budgets) * len(res.Nodes)
+	err := parallel.ForEach(nil, workers, cells, func(i int) error {
+		b, j := i/len(res.Nodes), i%len(res.Nodes)
+		rt, err := params.ResponseTime(res.Nodes[j], budgets[b])
+		if err != nil {
+			return err
+		}
+		res.Times[b][j] = rt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	recordSweep("figure1", parallel.Workers(workers, cells), time.Since(start))
 	return res, nil
 }
 
@@ -100,16 +132,39 @@ type Figure2Result struct {
 // Figure2 computes P[Success] for every f in failures and every
 // f < N ≤ nMax (the paper plots f < N < 64).
 func Figure2(failures []int, nMax int) (*Figure2Result, error) {
+	return Figure2Workers(failures, nMax, 0)
+}
+
+// Figure2Workers is Figure2 on the parallel sweep engine. The sweep is
+// sharded over every (f, N) point — not per curve, so short curves do
+// not serialize behind long ones — and every point is an independent
+// exact evaluation written into its own slot: the result is
+// bit-identical for every worker count (0 = GOMAXPROCS).
+func Figure2Workers(failures []int, nMax, workers int) (*Figure2Result, error) {
 	if len(failures) == 0 {
 		return nil, fmt.Errorf("experiments: no failure counts")
 	}
+	start := time.Now()
 	res := &Figure2Result{Failures: failures, NMax: nMax}
-	for _, f := range failures {
+	// Flatten the ragged (f, N) grid into one work list.
+	type cell struct{ fi, n int }
+	var cells []cell
+	for fi, f := range failures {
 		if f < 1 || f+1 > nMax {
 			return nil, fmt.Errorf("experiments: f=%d has no N in range (nMax=%d)", f, nMax)
 		}
-		res.P = append(res.P, survival.Series(f, f+1, nMax))
+		res.P = append(res.P, make([]float64, nMax-f))
+		for n := f + 1; n <= nMax; n++ {
+			cells = append(cells, cell{fi, n})
+		}
 	}
+	_ = parallel.ForEach(nil, workers, len(cells), func(i int) error {
+		c := cells[i]
+		f := failures[c.fi]
+		res.P[c.fi][c.n-(f+1)] = survival.PSuccessFloat(c.n, f)
+		return nil
+	})
+	recordSweep("figure2", parallel.Workers(workers, len(cells)), time.Since(start))
 	return res, nil
 }
 
@@ -149,19 +204,32 @@ type ThresholdRow struct {
 // P[Success] exceeds target. The paper reports 18, 32 and 45 for
 // f = 2, 3, 4 at target 0.99.
 func Thresholds(failures []int, target float64, nMax int) ([]ThresholdRow, error) {
-	rows := make([]ThresholdRow, 0, len(failures))
+	return ThresholdsWorkers(failures, target, nMax, 0)
+}
+
+// ThresholdsWorkers is Thresholds on the parallel sweep engine: each
+// failure count's scan is independent, so rows solve concurrently and
+// land in input order (0 = GOMAXPROCS). Results are bit-identical for
+// every worker count.
+func ThresholdsWorkers(failures []int, target float64, nMax, workers int) ([]ThresholdRow, error) {
 	rat := new(big.Rat)
 	if rat.SetFloat64(target) == nil {
 		return nil, fmt.Errorf("experiments: bad target %v", target)
 	}
-	for _, f := range failures {
+	start := time.Now()
+	rows, err := parallel.Map(nil, workers, len(failures), func(i int) (ThresholdRow, error) {
+		f := failures[i]
 		n, err := survival.Threshold(f, rat, 2, nMax)
 		if err != nil {
-			rows = append(rows, ThresholdRow{F: f})
-			continue
+			// Not found within range — a data row, not a sweep failure.
+			return ThresholdRow{F: f}, nil
 		}
-		rows = append(rows, ThresholdRow{F: f, N: n, P: survival.PSuccessFloat(n, f), Found: true})
+		return ThresholdRow{F: f, N: n, P: survival.PSuccessFloat(n, f), Found: true}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	recordSweep("thresholds", parallel.Workers(workers, len(failures)), time.Since(start))
 	return rows, nil
 }
 

@@ -160,6 +160,7 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: traffic[%d] start must be non-negative", i)
 		}
 	}
+	seen := make(map[EventSpec]int, len(s.Events))
 	for i, e := range s.Events {
 		if e.At < 0 || e.At > s.Duration {
 			return fmt.Errorf("scenario: events[%d] at %v outside [0,%v]",
@@ -171,12 +172,19 @@ func (s *Scenario) Validate() error {
 				return fmt.Errorf("scenario: events[%d] node %d invalid", i, e.Node)
 			}
 		case "backplane":
+			// Node is ignored for back planes; normalize the dedup key so
+			// {"backplane", node:0} and {"backplane", node:3} collide.
+			e.Node = 0
 		default:
 			return fmt.Errorf("scenario: events[%d] kind %q (want nic or backplane)", i, e.Kind)
 		}
 		if e.Rail < 0 || e.Rail >= 2 {
 			return fmt.Errorf("scenario: events[%d] rail %d invalid", i, e.Rail)
 		}
+		if j, dup := seen[e]; dup {
+			return fmt.Errorf("scenario: events[%d] duplicates events[%d] (same time, component and action)", i, j)
+		}
+		seen[e] = i
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package survival
 import (
 	"fmt"
 	"math/big"
+
+	"drsnet/internal/parallel"
 )
 
 // AllPairsSuccessCount returns the number of f-subsets of the 2N+2
@@ -28,14 +30,18 @@ import (
 //     the remaining f−1 failures must all hit the dead rail's N NICs —
 //     C(N, f−1) subsets.
 //   - Both down: no communication at all.
+//
+// Counts are memoized (see cache.go); the returned big.Int is a fresh
+// copy the caller may mutate freely.
 func AllPairsSuccessCount(n, f int) *big.Int {
-	m := 2*n + 2
-	if n < 2 {
-		panic(fmt.Sprintf("survival: need n >= 2, have %d", n))
-	}
-	if f < 0 || f > m {
-		panic(fmt.Sprintf("survival: f=%d outside [0,%d]", f, m))
-	}
+	checkArgs(n, f)
+	return new(big.Int).Set(cache.allPairsCount(n, f))
+}
+
+// allPairsSuccessCountRaw computes the count from scratch — the
+// uncached closed form behind AllPairsSuccessCount.
+func allPairsSuccessCountRaw(n, f int) *big.Int {
+	checkArgs(n, f)
 	total := new(big.Int)
 
 	// Both back planes up.
@@ -81,12 +87,20 @@ func AllPairsPSuccessFloat(n, f int) float64 {
 // AllPairsSeries returns AllPairsPSuccessFloat(n, f) for
 // n = nMin..nMax.
 func AllPairsSeries(f, nMin, nMax int) []float64 {
+	return AllPairsSeriesWorkers(f, nMin, nMax, 1)
+}
+
+// AllPairsSeriesWorkers is AllPairsSeries computed by the parallel
+// sweep engine with the given worker count (0 = GOMAXPROCS); the
+// result is bit-identical for every worker count.
+func AllPairsSeriesWorkers(f, nMin, nMax, workers int) []float64 {
 	if nMin < 2 || nMax < nMin {
 		panic(fmt.Sprintf("survival: bad series range [%d,%d]", nMin, nMax))
 	}
-	out := make([]float64, 0, nMax-nMin+1)
-	for n := nMin; n <= nMax; n++ {
-		out = append(out, AllPairsPSuccessFloat(n, f))
-	}
+	out := make([]float64, nMax-nMin+1)
+	_ = parallel.ForEach(nil, workers, len(out), func(i int) error {
+		out[i] = AllPairsPSuccessFloat(nMin+i, f)
+		return nil
+	})
 	return out
 }

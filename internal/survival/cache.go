@@ -1,0 +1,144 @@
+package survival
+
+import (
+	"math/big"
+	"sync"
+)
+
+// The sweeps that drive this package — Figure 2 curves, threshold
+// scans, availability mixtures, the all-pairs extension — evaluate the
+// same binomials and the same F(N, f) counts thousands of times (every
+// IID mixture alone touches every f for a given N). All of that
+// arithmetic is pure, so it is memoized here once and shared by every
+// goroutine of the parallel sweep engine.
+//
+// Cache discipline: cached *big.Int values are immutable after
+// insertion and are NEVER handed to callers directly — the public
+// functions return fresh copies, because the existing call sites
+// mutate their results in place (Lsh, Sub, ...). A copy is a handful
+// of machine words; the recomputation it replaces is a chain of
+// big-integer multiplications.
+
+// maxCachedRow bounds the Pascal rows kept resident. Sweeps touch
+// n ≤ 2N+2 with N a few hundred at most; anything beyond this bound
+// (nothing in the repository today) is computed directly instead of
+// growing the cache without limit.
+const maxCachedRow = 4096
+
+type pairKey struct{ n, f int }
+
+type combCache struct {
+	mu       sync.RWMutex
+	rows     map[int][]*big.Int // rows[n][k] = C(n,k); immutable once stored
+	succ     map[pairKey]*big.Int
+	allPairs map[pairKey]*big.Int
+}
+
+var cache = &combCache{
+	rows:     make(map[int][]*big.Int),
+	succ:     make(map[pairKey]*big.Int),
+	allPairs: make(map[pairKey]*big.Int),
+}
+
+// ResetCaches drops every memoized binomial and success count. It
+// exists for tests and benchmarks that need to measure or compare the
+// cold path; production sweeps never need it.
+func ResetCaches() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.rows = make(map[int][]*big.Int)
+	cache.succ = make(map[pairKey]*big.Int)
+	cache.allPairs = make(map[pairKey]*big.Int)
+}
+
+// pascalRow returns the cached row [C(n,0) .. C(n,n)]. The returned
+// slice and its elements are shared and must not be mutated.
+func (c *combCache) pascalRow(n int) []*big.Int {
+	c.mu.RLock()
+	row, ok := c.rows[n]
+	c.mu.RUnlock()
+	if ok {
+		return row
+	}
+	// Compute outside the lock: racing goroutines may duplicate the
+	// work, but the first row stored wins and nothing blocks on a long
+	// multiplicative chain.
+	row = computePascalRow(n)
+	c.mu.Lock()
+	if prev, ok := c.rows[n]; ok {
+		row = prev
+	} else {
+		c.rows[n] = row
+	}
+	c.mu.Unlock()
+	return row
+}
+
+// computePascalRow builds row n multiplicatively:
+// C(n,k) = C(n,k-1) · (n-k+1) / k, exact at every step.
+func computePascalRow(n int) []*big.Int {
+	row := make([]*big.Int, n+1)
+	row[0] = big.NewInt(1)
+	for k := 1; k <= n/2; k++ {
+		v := new(big.Int).Mul(row[k-1], big.NewInt(int64(n-k+1)))
+		v.Quo(v, big.NewInt(int64(k)))
+		row[k] = v
+	}
+	// Mirror symmetry fills the upper half; the shared pointers are
+	// fine because rows are immutable.
+	for k := n/2 + 1; k <= n; k++ {
+		row[k] = row[n-k]
+	}
+	return row
+}
+
+// binomialCached returns a fresh copy of C(n,k) through the row cache,
+// or computes it directly when n exceeds the cache bound.
+func binomialCached(n, k int) *big.Int {
+	if n > maxCachedRow {
+		return new(big.Int).Binomial(int64(n), int64(k))
+	}
+	return new(big.Int).Set(cache.pascalRow(n)[k])
+}
+
+// successCount returns the memoized F(N, f), as a shared immutable
+// pointer. Callers outside this file go through SuccessCount, which
+// copies.
+func (c *combCache) successCount(n, f int) *big.Int {
+	key := pairKey{n, f}
+	c.mu.RLock()
+	v, ok := c.succ[key]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = successCountRaw(n, f)
+	c.mu.Lock()
+	if prev, ok := c.succ[key]; ok {
+		v = prev
+	} else {
+		c.succ[key] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// allPairsCount is the all-pairs analogue of successCount.
+func (c *combCache) allPairsCount(n, f int) *big.Int {
+	key := pairKey{n, f}
+	c.mu.RLock()
+	v, ok := c.allPairs[key]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = allPairsSuccessCountRaw(n, f)
+	c.mu.Lock()
+	if prev, ok := c.allPairs[key]; ok {
+		v = prev
+	} else {
+		c.allPairs[key] = v
+	}
+	c.mu.Unlock()
+	return v
+}

@@ -22,15 +22,19 @@ package survival
 import (
 	"fmt"
 	"math/big"
+
+	"drsnet/internal/parallel"
 )
 
 // Binomial returns C(n, k) as a big.Int. It returns zero for k < 0 or
-// k > n, which keeps the counting sums below uniform.
+// k > n, which keeps the counting sums below uniform. Values are
+// served from a shared Pascal-row cache (see cache.go); the returned
+// big.Int is a fresh copy the caller may mutate freely.
 func Binomial(n, k int) *big.Int {
 	if k < 0 || k > n || n < 0 {
 		return new(big.Int)
 	}
-	return new(big.Int).Binomial(int64(n), int64(k))
+	return binomialCached(n, k)
 }
 
 // hitAllPairs returns the number of s-subsets of the 2p NICs of p
@@ -90,15 +94,29 @@ func classifyPattern(bits uint) patternOutcome {
 
 // SuccessCount returns F(N, f): the number of f-subsets of the 2N+2
 // components under which the designated pair can still communicate.
-// It panics if n < 2 or f is outside [0, 2N+2].
+// It panics if n < 2 or f is outside [0, 2N+2]. Counts are memoized
+// (see cache.go); the returned big.Int is a fresh copy the caller may
+// mutate freely.
 func SuccessCount(n, f int) *big.Int {
-	m := 2*n + 2
+	checkArgs(n, f)
+	return new(big.Int).Set(cache.successCount(n, f))
+}
+
+// checkArgs enforces the model's domain: n ≥ 2 and 0 ≤ f ≤ 2n+2.
+func checkArgs(n, f int) {
 	if n < 2 {
 		panic(fmt.Sprintf("survival: need n >= 2, have %d", n))
 	}
-	if f < 0 || f > m {
+	if m := 2*n + 2; f < 0 || f > m {
 		panic(fmt.Sprintf("survival: f=%d outside [0,%d]", f, m))
 	}
+}
+
+// successCountRaw computes F(N, f) from scratch — the uncached closed
+// form behind SuccessCount, kept separate so tests can pit the memo
+// against a fresh evaluation.
+func successCountRaw(n, f int) *big.Int {
+	checkArgs(n, f)
 	relayNICs := 2*n - 4 // NICs on the N-2 non-designated nodes
 	total := new(big.Int)
 	for bits := uint(0); bits < 64; bits++ {
@@ -162,13 +180,22 @@ func FailureCount(n, f int) *big.Int {
 // Series returns PSuccessFloat(n, f) for n = nMin..nMax inclusive —
 // one curve of the paper's Figure 2.
 func Series(f, nMin, nMax int) []float64 {
+	return SeriesWorkers(f, nMin, nMax, 1)
+}
+
+// SeriesWorkers is Series computed by the parallel sweep engine with
+// the given worker count (0 = GOMAXPROCS). Every point is an
+// independent exact evaluation written into its own slot, so the
+// result is bit-identical for every worker count.
+func SeriesWorkers(f, nMin, nMax, workers int) []float64 {
 	if nMin < 2 || nMax < nMin {
 		panic(fmt.Sprintf("survival: bad series range [%d,%d]", nMin, nMax))
 	}
-	out := make([]float64, 0, nMax-nMin+1)
-	for n := nMin; n <= nMax; n++ {
-		out = append(out, PSuccessFloat(n, f))
-	}
+	out := make([]float64, nMax-nMin+1)
+	_ = parallel.ForEach(nil, workers, len(out), func(i int) error {
+		out[i] = PSuccessFloat(nMin+i, f)
+		return nil
+	})
 	return out
 }
 
