@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz clean
+.PHONY: all build test race bench cover fuzz clean
 
 all: build test
 
@@ -23,6 +23,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Coverage pass: per-package profile plus the aggregate per-function
+# summary (the `total:` line at the end is the headline number).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 25
 
 # Short fuzz session for the scenario loader (regression corpus runs
 # in plain `make test` as well).

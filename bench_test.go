@@ -19,6 +19,7 @@ import (
 	"drsnet/internal/experiments"
 	"drsnet/internal/failure"
 	"drsnet/internal/montecarlo"
+	"drsnet/internal/runtime"
 	"drsnet/internal/survival"
 	"drsnet/internal/topology"
 )
@@ -126,7 +127,7 @@ func BenchmarkFleetFailureLog(b *testing.B) {
 // BenchmarkProactiveVsReactive regenerates E5: the packet-level
 // recovery comparison on the single-NIC scenario.
 func BenchmarkProactiveVsReactive(b *testing.B) {
-	base := experiments.DefaultRecoveryConfig(experiments.ProtoDRS, experiments.ScenarioNIC)
+	base := experiments.DefaultRecoveryConfig(runtime.ProtoDRS, experiments.ScenarioNIC)
 	for i := 0; i < b.N; i++ {
 		results, err := experiments.CompareRecovery(base)
 		if err != nil {
@@ -168,7 +169,7 @@ func BenchmarkFaultCoverage(b *testing.B) {
 // a reliable retransmitting stream crossing a NIC failure under the
 // DRS.
 func BenchmarkFlowRecovery(b *testing.B) {
-	cfg := experiments.DefaultFlowRecoveryConfig(experiments.ProtoDRS, experiments.ScenarioNIC)
+	cfg := experiments.DefaultFlowRecoveryConfig(runtime.ProtoDRS, experiments.ScenarioNIC)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.FlowRecovery(cfg)
 		if err != nil {
@@ -208,7 +209,7 @@ func BenchmarkMonteCarloScaling(b *testing.B) {
 func BenchmarkAblationProbeInterval(b *testing.B) {
 	for _, probe := range []time.Duration{200 * time.Millisecond, time.Second, 5 * time.Second} {
 		b.Run(probe.String(), func(b *testing.B) {
-			cfg := experiments.DefaultRecoveryConfig(experiments.ProtoDRS, experiments.ScenarioNIC)
+			cfg := experiments.DefaultRecoveryConfig(runtime.ProtoDRS, experiments.ScenarioNIC)
 			cfg.ProbeInterval = probe
 			cfg.Duration = cfg.FailAt + 10*probe + 10*time.Second
 			var outage time.Duration
@@ -232,7 +233,7 @@ func BenchmarkAblationProbeInterval(b *testing.B) {
 func BenchmarkAblationMissThreshold(b *testing.B) {
 	for _, miss := range []int{1, 2, 4} {
 		b.Run(benchName("miss", miss), func(b *testing.B) {
-			cfg := experiments.DefaultRecoveryConfig(experiments.ProtoDRS, experiments.ScenarioNIC)
+			cfg := experiments.DefaultRecoveryConfig(runtime.ProtoDRS, experiments.ScenarioNIC)
 			cfg.MissThreshold = miss
 			var outage time.Duration
 			for i := 0; i < b.N; i++ {

@@ -4,12 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"drsnet/internal/core"
-	"drsnet/internal/netsim"
-	"drsnet/internal/routing"
-	"drsnet/internal/simtime"
-	"drsnet/internal/topology"
-	"drsnet/internal/trace"
+	"drsnet/internal/runtime"
 )
 
 // ClusterConfig configures a simulated DRS cluster.
@@ -65,14 +60,14 @@ type RepairInfo struct {
 // server cluster running one DRS daemon per node. Time only advances
 // when Run is called, so failure injection and observation interleave
 // exactly as scripted. A Cluster is not safe for concurrent use.
+//
+// Cluster is an interactive facade over internal/runtime: the runtime
+// assembles and starts the cluster, and this type exposes the DRS
+// daemons' observable state step by step.
 type Cluster struct {
 	cfg       ClusterConfig
-	sched     *simtime.Scheduler
-	net       *netsim.Network
-	daemons   []*core.Daemon
-	log       *trace.Log
+	rt        *runtime.Cluster
 	delivered []Message
-	started   bool
 }
 
 // NewCluster builds a healthy cluster and starts its DRS daemons.
@@ -86,43 +81,34 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.MissThreshold == 0 {
 		cfg.MissThreshold = 2
 	}
-	sched := simtime.NewScheduler()
-	params := netsim.DefaultParams()
-	params.LossRate = cfg.LossRate
-	params.Switched = cfg.Switched
-	net, err := netsim.New(sched, topology.Dual(cfg.Nodes), params, cfg.Seed)
+	c := &Cluster{cfg: cfg}
+	rt, err := runtime.Build(runtime.ClusterSpec{
+		Nodes:    cfg.Nodes,
+		Protocol: runtime.ProtoDRS,
+		Switched: cfg.Switched,
+		LossRate: cfg.LossRate,
+		Seed:     cfg.Seed,
+		Tunables: runtime.Tunables{
+			ProbeInterval:    cfg.ProbeInterval,
+			MissThreshold:    cfg.MissThreshold,
+			StaggerProbes:    cfg.StaggerProbes,
+			PreferLowLatency: cfg.PreferLowLatency,
+		},
+		OnDeliver: func(at time.Duration, src, dst int, data []byte) {
+			c.delivered = append(c.delivered, Message{
+				From: src, To: dst,
+				Data: append([]byte(nil), data...),
+				At:   at,
+			})
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, sched: sched, net: net, log: trace.NewLog(0)}
-	clock := routing.SimClock{Sched: sched}
-	for node := 0; node < cfg.Nodes; node++ {
-		node := node
-		dcfg := core.DefaultConfig()
-		dcfg.ProbeInterval = cfg.ProbeInterval
-		dcfg.MissThreshold = cfg.MissThreshold
-		dcfg.StaggerProbes = cfg.StaggerProbes
-		dcfg.PreferLowLatency = cfg.PreferLowLatency
-		dcfg.Trace = c.log
-		d, err := core.New(routing.NewSimNode(net, node), clock, dcfg)
-		if err != nil {
-			return nil, err
-		}
-		d.SetDeliverFunc(func(src int, data []byte) {
-			c.delivered = append(c.delivered, Message{
-				From: src, To: node,
-				Data: append([]byte(nil), data...),
-				At:   sched.Now().Duration(),
-			})
-		})
-		c.daemons = append(c.daemons, d)
+	c.rt = rt
+	if err := rt.Start(); err != nil {
+		return nil, err
 	}
-	for _, d := range c.daemons {
-		if err := d.Start(); err != nil {
-			return nil, err
-		}
-	}
-	c.started = true
 	return c, nil
 }
 
@@ -130,11 +116,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 
 // Now returns the current simulated time.
-func (c *Cluster) Now() time.Duration { return c.sched.Now().Duration() }
+func (c *Cluster) Now() time.Duration { return c.rt.Now() }
 
 // Run advances the simulation by d of simulated time.
 func (c *Cluster) Run(d time.Duration) {
-	c.sched.RunUntil(c.sched.Now().Add(d))
+	c.rt.RunFor(d)
 }
 
 // Send hands an application datagram from node from to node to. The
@@ -147,7 +133,7 @@ func (c *Cluster) Send(from, to int, data []byte) error {
 	if err := c.checkNode(to); err != nil {
 		return err
 	}
-	return c.daemons[from].SendData(to, data)
+	return c.rt.Router(from).SendData(to, data)
 }
 
 // Delivered returns every application message delivered so far.
@@ -163,7 +149,8 @@ func (c *Cluster) FailNIC(node, rail int) error {
 	if err := c.checkRail(rail); err != nil {
 		return err
 	}
-	c.net.Fail(c.net.Cluster().NIC(node, rail))
+	net := c.rt.Network()
+	net.Fail(net.Cluster().NIC(node, rail))
 	return nil
 }
 
@@ -175,7 +162,8 @@ func (c *Cluster) RestoreNIC(node, rail int) error {
 	if err := c.checkRail(rail); err != nil {
 		return err
 	}
-	c.net.Restore(c.net.Cluster().NIC(node, rail))
+	net := c.rt.Network()
+	net.Restore(net.Cluster().NIC(node, rail))
 	return nil
 }
 
@@ -184,7 +172,8 @@ func (c *Cluster) FailBackplane(rail int) error {
 	if err := c.checkRail(rail); err != nil {
 		return err
 	}
-	c.net.Fail(c.net.Cluster().Backplane(rail))
+	net := c.rt.Network()
+	net.Fail(net.Cluster().Backplane(rail))
 	return nil
 }
 
@@ -193,14 +182,16 @@ func (c *Cluster) RestoreBackplane(rail int) error {
 	if err := c.checkRail(rail); err != nil {
 		return err
 	}
-	c.net.Restore(c.net.Cluster().Backplane(rail))
+	net := c.rt.Network()
+	net.Restore(net.Cluster().Backplane(rail))
 	return nil
 }
 
 // LinkUp reports whether node currently believes its path to peer on
 // rail is healthy (the DRS monitoring state, not ground truth).
 func (c *Cluster) LinkUp(node, peer, rail int) bool {
-	return c.daemons[node].LinkUp(peer, rail)
+	d, _ := c.rt.Daemon(node)
+	return d.LinkUp(peer, rail)
 }
 
 // RouteOf returns node's current route to peer.
@@ -211,14 +202,19 @@ func (c *Cluster) RouteOf(node, peer int) (RouteInfo, error) {
 	if err := c.checkNode(peer); err != nil {
 		return RouteInfo{}, err
 	}
-	rt := c.daemons[node].RouteTo(peer)
+	d, _ := c.rt.Daemon(node)
+	rt := d.RouteTo(peer)
 	return RouteInfo{Kind: rt.Kind.String(), Rail: rt.Rail, Via: rt.Via}, nil
 }
 
 // Repairs returns every completed route repair across the cluster.
 func (c *Cluster) Repairs() []RepairInfo {
 	var out []RepairInfo
-	for node, d := range c.daemons {
+	for node := 0; node < c.cfg.Nodes; node++ {
+		d, ok := c.rt.Daemon(node)
+		if !ok {
+			continue
+		}
 		for _, r := range d.Repairs() {
 			out = append(out, RepairInfo{
 				Node:    node,
@@ -244,7 +240,8 @@ func (c *Cluster) RTTOf(node, peer, rail int) (PathRTT, bool) {
 	if node < 0 || node >= c.cfg.Nodes {
 		return PathRTT{}, false
 	}
-	stats, ok := c.daemons[node].RTT(peer, rail)
+	d, _ := c.rt.Daemon(node)
+	stats, ok := d.RTT(peer, rail)
 	if !ok {
 		return PathRTT{}, false
 	}
@@ -257,15 +254,13 @@ func (c *Cluster) Utilization(rail int) (float64, error) {
 	if err := c.checkRail(rail); err != nil {
 		return 0, err
 	}
-	return c.net.Utilization(rail), nil
+	return c.rt.Network().Utilization(rail), nil
 }
 
 // Stop halts every daemon. The cluster can still be inspected but no
 // longer routes.
 func (c *Cluster) Stop() {
-	for _, d := range c.daemons {
-		d.Stop()
-	}
+	c.rt.StopRouters()
 }
 
 func (c *Cluster) checkNode(n int) error {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drsnet/internal/runtime"
+)
+
+// TestRecoveryGoldenAllProtocols pins the default comparison table —
+// every registered protocol, including the link-state baseline, on the
+// canonical NIC-failure run.
+func TestRecoveryGoldenAllProtocols(t *testing.T) {
+	const golden = `# Recovery: scenario=nic nodes=10 traffic every 100ms, failure at 10s
+protocol       sent      lost   recov       outage       detect       repair  masked tcp-alive
+drs             400        21    true  2.00061652s           2s           2s   false      true
+linkstate       400        32    true  3.10001172s           0s           0s   false      true
+reactive        400        52    true  5.10001172s           0s           0s   false      true
+static          400       301   false         >30s           0s           0s   false     false
+`
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("recovery table drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestSingleProtocolRowsMatchComparison: each -protocol run reproduces
+// exactly its row of the all-protocols table.
+func TestSingleProtocolRowsMatchComparison(t *testing.T) {
+	var all, errb bytes.Buffer
+	if code := run(nil, &all, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	rows := map[string]string{}
+	lines := strings.Split(strings.TrimSuffix(all.String(), "\n"), "\n")
+	for _, line := range lines[2:] {
+		rows[strings.Fields(line)[0]] = line
+	}
+	for _, p := range runtime.Protocols() {
+		var out bytes.Buffer
+		errb.Reset()
+		if code := run([]string{"-protocol", p}, &out, &errb); code != 0 {
+			t.Fatalf("-protocol %s: exit %d, stderr: %s", p, code, errb.String())
+		}
+		single := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+		got := single[len(single)-1]
+		if got != rows[p] {
+			t.Errorf("-protocol %s row drifted from the comparison:\n got %q\nwant %q", p, got, rows[p])
+		}
+	}
+}
+
+// TestCoverageWorkersIdentical: the campaign output is byte-identical
+// for every worker count.
+func TestCoverageWorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-coverage", "-nodes", "5", "-workers", workers}, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	if !strings.Contains(ref, "TOTAL") {
+		t.Fatalf("coverage output missing total row:\n%s", ref)
+	}
+	for _, w := range []string{"2", "7", "0"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n--- got ---\n%s--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestUnknownProtocolListsRegistry: the registry's error surfaces the
+// available names on the command line.
+func TestUnknownProtocolListsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-protocol", "ospf"}, &out, &errb); code == 0 {
+		t.Fatal("unknown -protocol accepted")
+	}
+	msg := errb.String()
+	for _, name := range runtime.Protocols() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list registered protocol %q", msg, name)
+		}
+	}
+}
+
+// TestTraceRequiresSingleProtocol pins the guidance message.
+func TestTraceRequiresSingleProtocol(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-trace"}, &out, &errb); code == 0 {
+		t.Fatal("-trace without a single -protocol accepted")
+	}
+	if !strings.Contains(errb.String(), "linkstate") {
+		t.Errorf("error %q does not list the registered protocols", errb.String())
+	}
+}
+
+// TestConfigScenario drives a shipped declarative scenario end to end.
+func TestConfigScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-config", "../../examples/scenarios/nic-failover.json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "route repairs:") {
+		t.Fatalf("scenario report missing repairs line:\n%s", out.String())
+	}
+}

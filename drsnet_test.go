@@ -228,8 +228,14 @@ func TestCompareProtocolsOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("%d results, want drs/linkstate/reactive/static", len(results))
+	names := Protocols()
+	if len(results) != len(names) {
+		t.Fatalf("%d results for %d registered protocols %v", len(results), len(names), names)
+	}
+	for i, r := range results {
+		if r.Protocol != names[i] {
+			t.Fatalf("result %d is %q, want registry order %v", i, r.Protocol, names)
+		}
 	}
 	byName := map[string]ProtocolResult{}
 	for _, r := range results {

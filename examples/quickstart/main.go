@@ -1,6 +1,8 @@
 // Quickstart: build a simulated dual-rail server cluster running the
 // DRS, kill a NIC, and watch the daemons reroute around it before the
-// application's next message.
+// application's next message. The drsnet.Cluster facade used here is
+// assembled by internal/runtime — the same unified spec/registry path
+// every experiment harness and scenario file runs through.
 //
 //	go run ./examples/quickstart
 package main

@@ -1,8 +1,11 @@
 // Reactive vs proactive: the paper's core argument, measured. The same
-// failure is replayed on identical clusters under three protocols —
-// the proactive DRS, a RIP-like reactive protocol that only discovers
-// failures when routes time out, and static routing — and the
-// application-visible outage is compared against what TCP can mask.
+// failure is replayed on identical clusters under every routing
+// protocol in the runtime registry — the proactive DRS, an OSPF-like
+// link-state baseline, a RIP-like reactive protocol that only
+// discovers failures when routes time out, and static routing — and
+// the application-visible outage is compared against what TCP can
+// mask. A protocol registered by a plugin would appear in these tables
+// without any change here.
 //
 //	go run ./examples/reactivevsproactive
 package main
@@ -10,11 +13,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"drsnet"
 )
 
 func main() {
+	fmt.Printf("protocols under test: %s\n\n", strings.Join(drsnet.Protocols(), ", "))
 	scenarios := []struct {
 		name, key, blurb string
 	}{

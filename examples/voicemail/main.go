@@ -6,16 +6,24 @@
 // availability each cluster achieved, alongside the fleet failure
 // statistic the paper opens with.
 //
-//	go run ./examples/voicemail
+// Each cluster is described declaratively as a runtime.ClusterSpec and
+// the whole fleet runs through runtime.RunMany — concurrently across
+// clusters, with output identical for every -workers count.
+//
+//	go run ./examples/voicemail [-workers n]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
 	"drsnet"
+	"drsnet/internal/runtime"
+	"drsnet/internal/topology"
 )
 
 const (
@@ -34,27 +42,23 @@ const (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "clusters simulated concurrently (0 = all CPUs); output is identical for every count")
+	flag.Parse()
+
 	fmt.Printf("DRS voice-mail deployment: %d clusters, %v campaign per cluster\n\n", clusters, campaign)
 	fmt.Printf("%8s %6s %9s %10s %10s %12s %12s\n",
 		"cluster", "nodes", "failures", "sent", "delivered", "availability", "worst-repair")
 
-	var totalSent, totalDelivered int
+	// Describe every cluster declaratively: its shape, its application
+	// flow, and a pre-drawn failure/repair plan.
+	type meta struct{ nodes, failures int }
+	specs := make([]runtime.ClusterSpec, clusters)
+	metas := make([]meta, clusters)
 	for id := 0; id < clusters; id++ {
 		rng := rand.New(rand.NewSource(int64(id) + 1))
 		nodes := 8 + rng.Intn(5) // 8..12, as deployed
 
-		cluster, err := drsnet.NewCluster(drsnet.ClusterConfig{
-			Nodes:         nodes,
-			ProbeInterval: 2 * time.Second,
-			MissThreshold: 2,
-			Seed:          uint64(id) + 1,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		// Pre-draw a failure/repair plan: alternating up/down periods
-		// for each NIC and back plane.
+		// Alternating up/down periods for each NIC and back plane.
 		type event struct {
 			at   time.Duration
 			fail bool
@@ -88,62 +92,62 @@ func main() {
 			}
 		}
 
-		// Interleave: advance simulation to each event, injecting app
-		// traffic (front end node 0 → message store node 1) as we go.
-		sent, failures := 0, 0
-		next := time.Duration(0)
-		step := func(until time.Duration) {
-			for next < until {
-				cluster.Run(next - cluster.Now())
-				_ = cluster.Send(0, 1, []byte("voicemail-chunk"))
-				sent++
-				next += appInterval
-			}
-			cluster.Run(until - cluster.Now())
+		spec := runtime.ClusterSpec{
+			Nodes:    nodes,
+			Protocol: runtime.ProtoDRS,
+			Seed:     uint64(id) + 1,
+			// Five seconds past the campaign drain in-flight deliveries.
+			Duration: campaign + 5*time.Second,
+			Tunables: runtime.Tunables{
+				ProbeInterval: 2 * time.Second,
+				MissThreshold: 2,
+			},
+			// Front end (node 0) → message store (node 1), first message
+			// at t = 0, last before the campaign ends.
+			Flows: []runtime.Flow{{
+				From:     0,
+				To:       1,
+				Interval: appInterval,
+				Start:    runtime.StartImmediately,
+				Stop:     campaign,
+				Payload:  []byte("voicemail-chunk"),
+			}},
 		}
-		apply := func(e event) {
-			if e.node < 0 {
-				if e.fail {
-					_ = cluster.FailBackplane(e.rail)
-				} else {
-					_ = cluster.RestoreBackplane(e.rail)
-				}
-			} else {
-				if e.fail {
-					_ = cluster.FailNIC(e.node, e.rail)
-				} else {
-					_ = cluster.RestoreNIC(e.node, e.rail)
-				}
-			}
-		}
+		cl := topology.Dual(nodes)
+		failures := 0
 		for _, e := range plan {
-			step(e.at)
-			apply(e)
+			comp := cl.Backplane(e.rail)
+			if e.node >= 0 {
+				comp = cl.NIC(e.node, e.rail)
+			}
+			spec.Faults = append(spec.Faults, runtime.Fault{At: e.at, Comp: comp, Restore: !e.fail})
 			if e.fail {
 				failures++
 			}
 		}
-		step(campaign)
-		cluster.Run(5 * time.Second) // drain in-flight deliveries
-		cluster.Stop()
+		specs[id] = spec
+		metas[id] = meta{nodes: nodes, failures: failures}
+	}
 
-		delivered := 0
-		for _, m := range cluster.Delivered() {
-			if m.From == 0 && m.To == 1 {
-				delivered++
-			}
-		}
+	results, err := runtime.RunMany(context.Background(), specs, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var totalSent, totalDelivered int
+	for id, run := range results {
+		flow := run.Flows[0]
 		worst := time.Duration(0)
-		for _, r := range cluster.Repairs() {
-			if r.Latency > worst {
-				worst = r.Latency
+		for _, r := range run.Repairs {
+			if l := r.Latency(); l > worst {
+				worst = l
 			}
 		}
-		availability := float64(delivered) / float64(sent)
-		totalSent += sent
-		totalDelivered += delivered
+		availability := float64(flow.Delivered) / float64(flow.Sent)
+		totalSent += flow.Sent
+		totalDelivered += flow.Delivered
 		fmt.Printf("%8d %6d %9d %10d %10d %11.3f%% %12v\n",
-			id, nodes, failures, sent, delivered, 100*availability, worst)
+			id, metas[id].nodes, metas[id].failures, flow.Sent, flow.Delivered, 100*availability, worst)
 	}
 
 	fmt.Printf("\nfleet-wide: %d/%d messages delivered (%.3f%%) despite continuous component churn\n",

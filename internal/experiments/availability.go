@@ -6,11 +6,8 @@ import (
 	"time"
 
 	"drsnet/internal/availability"
-	"drsnet/internal/core"
 	"drsnet/internal/failure"
-	"drsnet/internal/netsim"
-	"drsnet/internal/routing"
-	"drsnet/internal/simtime"
+	"drsnet/internal/runtime"
 	"drsnet/internal/topology"
 )
 
@@ -82,11 +79,6 @@ func MeasureAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 		return nil, err
 	}
 	cluster := topology.Dual(cfg.Nodes)
-	sched := simtime.NewScheduler()
-	net, err := netsim.New(sched, cluster, netsim.DefaultParams(), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
 	plan, err := failure.RandomSchedule(cluster, failure.ScheduleConfig{
 		Horizon: cfg.Horizon,
 		MTBF:    cfg.MTBF,
@@ -96,63 +88,32 @@ func MeasureAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec := runtime.ClusterSpec{
+		Nodes:    cfg.Nodes,
+		Protocol: runtime.ProtoDRS,
+		Seed:     cfg.Seed,
+		Duration: cfg.Horizon,
+		Tunables: runtime.Tunables{
+			ProbeInterval: cfg.ProbeInterval,
+			MissThreshold: cfg.MissThreshold,
+		},
+		// Frames in flight at the horizon are microseconds from
+		// delivery — noise against an hours-long window — so no drain
+		// pass is needed (the flow runs to the horizon).
+		Flows: []runtime.Flow{{From: 0, To: 1, Interval: cfg.TrafficInterval}},
+	}
 	failures := 0
 	for _, a := range plan {
-		a := a
 		if !a.Up {
 			failures++
 		}
-		sched.At(simtime.Time(a.At), func() {
-			if a.Up {
-				net.Restore(a.Component)
-			} else {
-				net.Fail(a.Component)
-			}
-		})
+		spec.Faults = append(spec.Faults, runtime.Fault{At: a.At, Comp: a.Component, Restore: a.Up})
 	}
-
-	clock := routing.SimClock{Sched: sched}
-	daemons := make([]*core.Daemon, cfg.Nodes)
-	delivered := 0
-	for node := 0; node < cfg.Nodes; node++ {
-		dcfg := core.DefaultConfig()
-		dcfg.ProbeInterval = cfg.ProbeInterval
-		dcfg.MissThreshold = cfg.MissThreshold
-		d, err := core.New(routing.NewSimNode(net, node), clock, dcfg)
-		if err != nil {
-			return nil, err
-		}
-		if node == 1 {
-			d.SetDeliverFunc(func(src int, data []byte) {
-				if src == 0 {
-					delivered++
-				}
-			})
-		}
-		daemons[node] = d
+	run, err := runtime.Run(spec)
+	if err != nil {
+		return nil, err
 	}
-	for _, d := range daemons {
-		if err := d.Start(); err != nil {
-			return nil, err
-		}
-	}
-
-	sent := 0
-	var tick func()
-	tick = func() {
-		_ = daemons[0].SendData(1, []byte("flow"))
-		sent++
-		sched.After(cfg.TrafficInterval, tick)
-	}
-	sched.After(cfg.TrafficInterval, tick)
-
-	// Frames in flight at the horizon are microseconds from delivery —
-	// noise against an hours-long window — so no drain pass is needed
-	// (and none is possible: the traffic tick reschedules forever).
-	sched.RunUntil(simtime.Time(cfg.Horizon))
-	for _, d := range daemons {
-		d.Stop()
-	}
+	sent, delivered := run.Flows[0].Sent, run.Flows[0].Delivered
 
 	model, err := availability.Effective(availability.Params{
 		Nodes: cfg.Nodes,

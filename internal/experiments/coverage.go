@@ -7,11 +7,8 @@ import (
 	"time"
 
 	"drsnet/internal/conn"
-	"drsnet/internal/core"
-	"drsnet/internal/netsim"
 	"drsnet/internal/parallel"
-	"drsnet/internal/routing"
-	"drsnet/internal/simtime"
+	"drsnet/internal/runtime"
 	"drsnet/internal/topology"
 )
 
@@ -181,59 +178,38 @@ type scenarioOutcome struct {
 	outage    time.Duration
 }
 
-// runScenario simulates one fault scenario in a private simulator and
-// judges it against the analytic predicate. It mutates nothing shared,
-// so any number of scenarios can run concurrently.
+// runScenario simulates one fault scenario in a private runtime
+// cluster and judges it against the analytic predicate. It mutates
+// nothing shared, so any number of scenarios can run concurrently.
 func runScenario(cfg CoverageConfig, cluster topology.Cluster, eval *conn.Evaluator, scenario []topology.Component) (scenarioOutcome, error) {
 	want := eval.PairConnected(scenario, 0, 1)
 
-	sched := simtime.NewScheduler()
-	net, err := netsim.New(sched, cluster, netsim.DefaultParams(), cfg.Seed)
+	spec := runtime.ClusterSpec{
+		Nodes:    cfg.Nodes,
+		Protocol: runtime.ProtoDRS,
+		Seed:     cfg.Seed,
+		Duration: cfg.Deadline,
+		Tunables: runtime.Tunables{
+			ProbeInterval: cfg.ProbeInterval,
+			MissThreshold: cfg.MissThreshold,
+		},
+		Flows: []runtime.Flow{{
+			From:     0,
+			To:       1,
+			Interval: cfg.TrafficInterval,
+			Payload:  []byte("c"),
+		}},
+	}
+	for _, comp := range scenario {
+		spec.Faults = append(spec.Faults, runtime.Fault{At: cfg.FailAt, Comp: comp})
+	}
+	run, err := runtime.Run(spec)
 	if err != nil {
 		return scenarioOutcome{}, err
 	}
-	clock := routing.SimClock{Sched: sched}
-	daemons := make([]*core.Daemon, cfg.Nodes)
-	var deliveries []time.Duration
-	for node := 0; node < cfg.Nodes; node++ {
-		dcfg := core.DefaultConfig()
-		dcfg.ProbeInterval = cfg.ProbeInterval
-		dcfg.MissThreshold = cfg.MissThreshold
-		d, err := core.New(routing.NewSimNode(net, node), clock, dcfg)
-		if err != nil {
-			return scenarioOutcome{}, err
-		}
-		if node == 1 {
-			d.SetDeliverFunc(func(src int, data []byte) {
-				if src == 0 {
-					deliveries = append(deliveries, sched.Now().Duration())
-				}
-			})
-		}
-		daemons[node] = d
-	}
-	for _, d := range daemons {
-		if err := d.Start(); err != nil {
-			return scenarioOutcome{}, err
-		}
-	}
-	var tick func()
-	tick = func() {
-		_ = daemons[0].SendData(1, []byte("c"))
-		sched.After(cfg.TrafficInterval, tick)
-	}
-	sched.After(cfg.TrafficInterval, tick)
-	for _, comp := range scenario {
-		comp := comp
-		sched.At(simtime.Time(cfg.FailAt), func() { net.Fail(comp) })
-	}
-	sched.RunUntil(simtime.Time(cfg.Deadline))
-	for _, d := range daemons {
-		d.Stop()
-	}
 
 	var firstAfter time.Duration = -1
-	for _, at := range deliveries {
+	for _, at := range run.Flows[0].Deliveries {
 		if at >= cfg.FailAt {
 			firstAfter = at
 			break

@@ -9,6 +9,7 @@ import (
 	"drsnet/internal/costmodel"
 	"drsnet/internal/failure"
 	"drsnet/internal/montecarlo"
+	"drsnet/internal/runtime"
 )
 
 func TestFigure1(t *testing.T) {
@@ -180,7 +181,7 @@ func TestFleet(t *testing.T) {
 }
 
 func TestRecoveryDRSMasksNICFailure(t *testing.T) {
-	cfg := DefaultRecoveryConfig(ProtoDRS, ScenarioNIC)
+	cfg := DefaultRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
 	res, err := Recovery(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -208,16 +209,16 @@ func TestRecoveryDRSMasksNICFailure(t *testing.T) {
 func TestRecoveryComparisonOrdering(t *testing.T) {
 	// The paper's qualitative claim: proactive beats reactive beats
 	// static on identical failure traces.
-	base := DefaultRecoveryConfig(ProtoDRS, ScenarioNIC)
+	base := DefaultRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
 	results, err := CompareRecovery(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	byProto := map[Protocol]*RecoveryResult{}
+	byProto := map[string]*RecoveryResult{}
 	for _, r := range results {
 		byProto[r.Config.Protocol] = r
 	}
-	drs, reactive, static := byProto[ProtoDRS], byProto[ProtoReactive], byProto[ProtoStatic]
+	drs, reactive, static := byProto[runtime.ProtoDRS], byProto[runtime.ProtoReactive], byProto[runtime.ProtoStatic]
 	if drs == nil || reactive == nil || static == nil {
 		t.Fatal("missing protocol result")
 	}
@@ -244,7 +245,7 @@ func TestRecoveryComparisonOrdering(t *testing.T) {
 }
 
 func TestRecoveryCrossRailNeedsRelay(t *testing.T) {
-	cfg := DefaultRecoveryConfig(ProtoDRS, ScenarioCrossRail)
+	cfg := DefaultRecoveryConfig(runtime.ProtoDRS, ScenarioCrossRail)
 	res, err := Recovery(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +256,7 @@ func TestRecoveryCrossRailNeedsRelay(t *testing.T) {
 }
 
 func TestRecoveryBackplane(t *testing.T) {
-	cfg := DefaultRecoveryConfig(ProtoDRS, ScenarioBackplane)
+	cfg := DefaultRecoveryConfig(runtime.ProtoDRS, ScenarioBackplane)
 	res, err := Recovery(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -266,7 +267,7 @@ func TestRecoveryBackplane(t *testing.T) {
 }
 
 func TestRecoveryValidation(t *testing.T) {
-	good := DefaultRecoveryConfig(ProtoDRS, ScenarioNIC)
+	good := DefaultRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
 	for name, mutate := range map[string]func(*RecoveryConfig){
 		"too few nodes": func(c *RecoveryConfig) { c.Nodes = 2 },
 		"bad protocol":  func(c *RecoveryConfig) { c.Protocol = "ospf" },

@@ -5,19 +5,16 @@ import (
 	"io"
 	"time"
 
-	"drsnet/internal/core"
 	"drsnet/internal/flowsim"
-	"drsnet/internal/netsim"
-	"drsnet/internal/routing"
-	"drsnet/internal/simtime"
-	"drsnet/internal/topology"
+	"drsnet/internal/runtime"
 )
 
 // FlowRecoveryConfig describes the connection-level E5 variant: a
 // reliable retransmitting stream (flowsim) rides the router under test
 // across an injected failure, and the connection's fate is observed.
 type FlowRecoveryConfig struct {
-	Protocol Protocol
+	// Protocol names the registered routing protocol under test.
+	Protocol string
 	Nodes    int
 	Scenario Scenario
 	// SegmentInterval is the application's send cadence.
@@ -38,7 +35,7 @@ type FlowRecoveryConfig struct {
 // DefaultFlowRecoveryConfig mirrors DefaultRecoveryConfig with a
 // 200 ms-probing DRS — the regime in which the paper claims
 // applications never notice.
-func DefaultFlowRecoveryConfig(p Protocol, s Scenario) FlowRecoveryConfig {
+func DefaultFlowRecoveryConfig(p string, s Scenario) FlowRecoveryConfig {
 	return FlowRecoveryConfig{
 		Protocol:          p,
 		Nodes:             10,
@@ -67,7 +64,10 @@ type FlowRecoveryResult struct {
 	Survived bool
 }
 
-// FlowRecovery runs one connection-level recovery experiment.
+// FlowRecovery runs one connection-level recovery experiment. The
+// cluster is assembled by the unified runtime; the reliable stream
+// replaces the runtime's plain datagram flows, so this harness uses
+// the Build/Start seam and drives the stream itself.
 func FlowRecovery(cfg FlowRecoveryConfig) (*FlowRecoveryResult, error) {
 	rc := RecoveryConfig{
 		Protocol:          cfg.Protocol,
@@ -85,64 +85,23 @@ func FlowRecovery(cfg FlowRecoveryConfig) (*FlowRecoveryResult, error) {
 	if err := rc.normalize(); err != nil {
 		return nil, err
 	}
-
-	sched := simtime.NewScheduler()
-	cl := topology.Dual(cfg.Nodes)
-	net, err := netsim.New(sched, cl, netsim.DefaultParams(), cfg.Seed)
+	spec := rc.spec()
+	spec.Flows = nil // the reliable stream below replaces datagram flows
+	cluster, err := runtime.Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	clock := routing.SimClock{Sched: sched}
-
-	routers := make([]routing.Router, cfg.Nodes)
-	for node := 0; node < cfg.Nodes; node++ {
-		tr := routing.NewSimNode(net, node)
-		switch cfg.Protocol {
-		case ProtoDRS:
-			c := core.DefaultConfig()
-			c.ProbeInterval = cfg.ProbeInterval
-			c.MissThreshold = cfg.MissThreshold
-			d, err := core.New(tr, clock, c)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = d
-		case ProtoReactive:
-			rcfg := routing.DefaultReactiveConfig()
-			rcfg.AdvertiseInterval = cfg.AdvertiseInterval
-			rcfg.RouteTimeout = cfg.RouteTimeout
-			r, err := routing.NewReactive(tr, clock, rcfg)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = r
-		case ProtoLinkState:
-			lc := routing.DefaultLinkStateConfig()
-			lc.HelloInterval = cfg.AdvertiseInterval
-			l, err := routing.NewLinkState(tr, clock, lc)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = l
-		case ProtoStatic:
-			s, err := routing.NewStatic(tr, 0)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = s
-		}
-	}
-	for _, r := range routers {
-		if err := r.Start(); err != nil {
-			return nil, err
-		}
+	if err := cluster.Start(); err != nil {
+		return nil, err
 	}
 
-	sender, err := flowsim.NewEndpoint(routers[0], clock)
+	sched := cluster.Scheduler()
+	clock := cluster.Clock()
+	sender, err := flowsim.NewEndpoint(cluster.Router(0), clock)
 	if err != nil {
 		return nil, err
 	}
-	receiver, err := flowsim.NewEndpoint(routers[1], clock)
+	receiver, err := flowsim.NewEndpoint(cluster.Router(1), clock)
 	if err != nil {
 		return nil, err
 	}
@@ -177,15 +136,9 @@ func FlowRecovery(cfg FlowRecoveryConfig) (*FlowRecoveryResult, error) {
 	// One warm-up interval before the stream starts.
 	sched.After(cfg.SegmentInterval, tick)
 
-	for _, comp := range rc.components(cl) {
-		comp := comp
-		sched.At(simtime.Time(cfg.FailAt), func() { net.Fail(comp) })
-	}
-
-	sched.RunUntil(simtime.Time(cfg.Duration))
-	for _, r := range routers {
-		r.Stop()
-	}
+	cluster.ScheduleFaults()
+	cluster.RunUntil(cfg.Duration)
+	cluster.StopRouters()
 
 	fs := flow.Stats()
 	res := &FlowRecoveryResult{
@@ -198,10 +151,11 @@ func FlowRecovery(cfg FlowRecoveryConfig) (*FlowRecoveryResult, error) {
 }
 
 // CompareFlowRecovery runs the connection-level scenario under every
-// protocol.
+// registered protocol, in the registry's canonical order.
 func CompareFlowRecovery(base FlowRecoveryConfig) ([]*FlowRecoveryResult, error) {
-	out := make([]*FlowRecoveryResult, 0, 4)
-	for _, p := range []Protocol{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic} {
+	protocols := runtime.Protocols()
+	out := make([]*FlowRecoveryResult, 0, len(protocols))
+	for _, p := range protocols {
 		cfg := base
 		cfg.Protocol = p
 		res, err := FlowRecovery(cfg)

@@ -4,13 +4,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"drsnet/internal/runtime"
 )
 
 func TestFlowRecoveryDRSUnawareApplications(t *testing.T) {
 	// The paper's headline, measured end to end: with 200 ms probing
 	// the DRS repairs fast enough that one retransmission heals the
 	// stream and the connection never notices.
-	cfg := DefaultFlowRecoveryConfig(ProtoDRS, ScenarioNIC)
+	cfg := DefaultFlowRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
 	res, err := FlowRecovery(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -29,15 +31,15 @@ func TestFlowRecoveryDRSUnawareApplications(t *testing.T) {
 }
 
 func TestFlowRecoveryComparison(t *testing.T) {
-	results, err := CompareFlowRecovery(DefaultFlowRecoveryConfig(ProtoDRS, ScenarioNIC))
+	results, err := CompareFlowRecovery(DefaultFlowRecoveryConfig(runtime.ProtoDRS, ScenarioNIC))
 	if err != nil {
 		t.Fatal(err)
 	}
-	by := map[Protocol]*FlowRecoveryResult{}
+	by := map[string]*FlowRecoveryResult{}
 	for _, r := range results {
 		by[r.Config.Protocol] = r
 	}
-	drs, reactive, static := by[ProtoDRS], by[ProtoReactive], by[ProtoStatic]
+	drs, reactive, static := by[runtime.ProtoDRS], by[runtime.ProtoReactive], by[runtime.ProtoStatic]
 	if !drs.Survived {
 		t.Fatal("DRS connection died")
 	}
@@ -74,7 +76,7 @@ func TestFlowRecoveryComparison(t *testing.T) {
 }
 
 func TestFlowRecoveryCrossRail(t *testing.T) {
-	res, err := FlowRecovery(DefaultFlowRecoveryConfig(ProtoDRS, ScenarioCrossRail))
+	res, err := FlowRecovery(DefaultFlowRecoveryConfig(runtime.ProtoDRS, ScenarioCrossRail))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func TestFlowRecoveryCrossRail(t *testing.T) {
 }
 
 func TestFlowRecoveryValidation(t *testing.T) {
-	cfg := DefaultFlowRecoveryConfig(ProtoDRS, ScenarioNIC)
+	cfg := DefaultFlowRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
 	cfg.Nodes = 2
 	if _, err := FlowRecovery(cfg); err == nil {
 		t.Error("2-node config accepted")
@@ -93,7 +95,7 @@ func TestFlowRecoveryValidation(t *testing.T) {
 	if _, err := FlowRecovery(cfg); err == nil {
 		t.Error("bogus protocol accepted")
 	}
-	cfg = DefaultFlowRecoveryConfig(ProtoDRS, ScenarioNIC)
+	cfg = DefaultFlowRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
 	cfg.Flow.RTO = 0
 	if _, err := FlowRecovery(cfg); err == nil {
 		t.Error("zero RTO accepted")

@@ -5,25 +5,11 @@ import (
 	"io"
 	"time"
 
-	"drsnet/internal/core"
 	"drsnet/internal/costmodel"
-	"drsnet/internal/netsim"
-	"drsnet/internal/routing"
-	"drsnet/internal/simtime"
+	"drsnet/internal/runtime"
 	"drsnet/internal/tcpmodel"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
-)
-
-// Protocol selects the routing implementation under test in E5.
-type Protocol string
-
-// Protocols available to the recovery experiment.
-const (
-	ProtoDRS       Protocol = "drs"
-	ProtoReactive  Protocol = "reactive"
-	ProtoLinkState Protocol = "linkstate"
-	ProtoStatic    Protocol = "static"
 )
 
 // Scenario names a canned failure to inject.
@@ -46,8 +32,9 @@ const (
 
 // RecoveryConfig describes one E5 run.
 type RecoveryConfig struct {
-	// Protocol under test.
-	Protocol Protocol
+	// Protocol names the registered routing protocol under test
+	// (runtime.Protocols lists the choices).
+	Protocol string
 	// Nodes is the cluster size (the deployed clusters were 8–12).
 	Nodes int
 	// Scenario selects the injected failure.
@@ -58,10 +45,10 @@ type RecoveryConfig struct {
 	FailAt time.Duration
 	// Duration is the total simulated time.
 	Duration time.Duration
-	// DRS tunables (used when Protocol == ProtoDRS).
+	// DRS tunables (used when Protocol == runtime.ProtoDRS).
 	ProbeInterval time.Duration
 	MissThreshold int
-	// Reactive tunables (used when Protocol == ProtoReactive).
+	// Reactive tunables (used when Protocol == runtime.ProtoReactive).
 	AdvertiseInterval time.Duration
 	RouteTimeout      time.Duration
 	// Seed drives the simulator's stochastic pieces.
@@ -74,7 +61,7 @@ type RecoveryConfig struct {
 
 // DefaultRecoveryConfig returns the standard E5 run: a 10-node
 // cluster, failure at t = 10 s, application messages every 100 ms.
-func DefaultRecoveryConfig(p Protocol, s Scenario) RecoveryConfig {
+func DefaultRecoveryConfig(p string, s Scenario) RecoveryConfig {
 	return RecoveryConfig{
 		Protocol:          p,
 		Nodes:             10,
@@ -98,10 +85,11 @@ func (c *RecoveryConfig) normalize() error {
 		return fmt.Errorf("experiments: bad timing (interval %v, fail %v, duration %v)",
 			c.TrafficInterval, c.FailAt, c.Duration)
 	}
-	switch c.Protocol {
-	case ProtoDRS, ProtoReactive, ProtoLinkState, ProtoStatic:
-	default:
-		return fmt.Errorf("experiments: unknown protocol %q", c.Protocol)
+	if c.Protocol == "" {
+		c.Protocol = runtime.ProtoDRS
+	}
+	if _, err := runtime.Lookup(c.Protocol); err != nil {
+		return err
 	}
 	switch c.Scenario {
 	case ScenarioNIC, ScenarioBackplane, ScenarioCrossRail:
@@ -123,6 +111,35 @@ func (c RecoveryConfig) components(cl topology.Cluster) []topology.Component {
 	default:
 		return nil
 	}
+}
+
+// spec translates the experiment configuration into a runtime spec:
+// one 0 → 1 flow and the scenario's faults at FailAt.
+func (c RecoveryConfig) spec() runtime.ClusterSpec {
+	spec := runtime.ClusterSpec{
+		Nodes:    c.Nodes,
+		Protocol: c.Protocol,
+		Seed:     c.Seed,
+		Duration: c.Duration,
+		Tunables: runtime.Tunables{
+			ProbeInterval:     c.ProbeInterval,
+			MissThreshold:     c.MissThreshold,
+			AdvertiseInterval: c.AdvertiseInterval,
+			RouteTimeout:      c.RouteTimeout,
+		},
+		Flows: []runtime.Flow{{
+			From:     0,
+			To:       1,
+			Interval: c.TrafficInterval,
+			Payload:  []byte("app"),
+		}},
+		Trace: c.TraceSink,
+	}
+	cl := topology.Dual(c.Nodes)
+	for _, comp := range c.components(cl) {
+		spec.Faults = append(spec.Faults, runtime.Fault{At: c.FailAt, Comp: comp})
+	}
+	return spec
 }
 
 // RecoveryResult reports what the application experienced.
@@ -151,115 +168,23 @@ type RecoveryResult struct {
 	SurvivedByTCP bool
 }
 
-// Recovery runs one E5 experiment.
+// Recovery runs one E5 experiment on the unified cluster runtime.
 func Recovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	sched := simtime.NewScheduler()
-	cl := topology.Dual(cfg.Nodes)
-	net, err := netsim.New(sched, cl, netsim.DefaultParams(), cfg.Seed)
+	run, err := runtime.Run(cfg.spec())
 	if err != nil {
 		return nil, err
 	}
-	clock := routing.SimClock{Sched: sched}
-	log := cfg.TraceSink
-	if log == nil {
-		log = trace.NewLog(0)
-	}
 
-	routers := make([]routing.Router, cfg.Nodes)
-	var drsSender *core.Daemon
-	for node := 0; node < cfg.Nodes; node++ {
-		tr := routing.NewSimNode(net, node)
-		switch cfg.Protocol {
-		case ProtoDRS:
-			c := core.DefaultConfig()
-			c.ProbeInterval = cfg.ProbeInterval
-			c.MissThreshold = cfg.MissThreshold
-			c.Trace = log
-			d, err := core.New(tr, clock, c)
-			if err != nil {
-				return nil, err
-			}
-			if node == 0 {
-				drsSender = d
-			}
-			routers[node] = d
-		case ProtoReactive:
-			rc := routing.DefaultReactiveConfig()
-			rc.AdvertiseInterval = cfg.AdvertiseInterval
-			rc.RouteTimeout = cfg.RouteTimeout
-			rc.Trace = log
-			r, err := routing.NewReactive(tr, clock, rc)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = r
-		case ProtoLinkState:
-			lc := routing.DefaultLinkStateConfig()
-			lc.HelloInterval = cfg.AdvertiseInterval
-			lc.Trace = log
-			l, err := routing.NewLinkState(tr, clock, lc)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = l
-		case ProtoStatic:
-			s, err := routing.NewStatic(tr, 0)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = s
-		}
-	}
-
-	// The application flow: node 0 sends a message to node 1 every
-	// TrafficInterval; node 1 records delivery times.
-	var deliveries []time.Duration
-	routers[1].SetDeliverFunc(func(src int, data []byte) {
-		if src == 0 {
-			deliveries = append(deliveries, sched.Now().Duration())
-		}
-	})
-	for _, r := range routers {
-		if err := r.Start(); err != nil {
-			return nil, err
-		}
-	}
-
-	sent := 0
-	var tick func()
-	tick = func() {
-		// Reactive routers legitimately return ErrNoRoute during
-		// warm-up and outages; the message is simply lost, exactly as
-		// an application datagram would be.
-		if err := routers[0].SendData(1, []byte("app")); err == nil {
-			sent++
-		} else {
-			sent++ // the application still tried
-		}
-		sched.After(cfg.TrafficInterval, tick)
-	}
-	// Give routing protocols one interval of warm-up before traffic.
-	sched.After(cfg.TrafficInterval, tick)
-
-	for _, comp := range cfg.components(cl) {
-		comp := comp
-		sched.At(simtime.Time(cfg.FailAt), func() { net.Fail(comp) })
-	}
-
-	sched.RunUntil(simtime.Time(cfg.Duration))
-	for _, r := range routers {
-		r.Stop()
-	}
-
-	res := &RecoveryResult{Config: cfg, Sent: sent, Delivered: len(deliveries)}
+	flow := run.Flows[0]
+	res := &RecoveryResult{Config: cfg, Sent: flow.Sent, Delivered: flow.Delivered}
 	res.Lost = res.Sent - res.Delivered
 
 	// Outage: failure time to first subsequent delivery.
 	var firstAfter time.Duration = -1
-	for _, at := range deliveries {
+	for _, at := range flow.Deliveries {
 		if at >= cfg.FailAt {
 			firstAfter = at
 			break
@@ -273,19 +198,17 @@ func Recovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 	}
 
 	// Protocol-level latencies from the trace (sender's view).
-	if cfg.Protocol == ProtoDRS {
-		for _, e := range log.Events() {
+	if cfg.Protocol == runtime.ProtoDRS {
+		for _, e := range run.Trace.Events() {
 			if e.Kind == trace.KindLinkDown && e.Node == 0 && e.At >= cfg.FailAt {
 				res.DetectionLatency = e.At - cfg.FailAt
 				break
 			}
 		}
-		if drsSender != nil {
-			for _, rep := range drsSender.Repairs() {
-				if rep.Peer == 1 && rep.RepairedAt >= cfg.FailAt {
-					res.RepairLatency = rep.RepairedAt - cfg.FailAt
-					break
-				}
+		for _, rep := range run.Repairs {
+			if rep.Node == 0 && rep.Peer == 1 && rep.RepairedAt >= cfg.FailAt {
+				res.RepairLatency = rep.RepairedAt - cfg.FailAt
+				break
 			}
 		}
 	}
@@ -300,10 +223,14 @@ func Recovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 	return res, nil
 }
 
-// CompareRecovery runs the same scenario under every protocol.
+// CompareRecovery runs the same scenario under every registered
+// protocol, in the registry's canonical (sorted) order. A protocol
+// registered by a test or a plugin appears in the table without any
+// change here.
 func CompareRecovery(base RecoveryConfig) ([]*RecoveryResult, error) {
-	out := make([]*RecoveryResult, 0, 4)
-	for _, p := range []Protocol{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic} {
+	protocols := runtime.Protocols()
+	out := make([]*RecoveryResult, 0, len(protocols))
+	for _, p := range protocols {
 		cfg := base
 		cfg.Protocol = p
 		res, err := Recovery(cfg)
@@ -352,34 +279,22 @@ func ProbeOverhead(n int, probeInterval, duration time.Duration, switched bool) 
 	if n < 2 || probeInterval <= 0 || duration <= 0 {
 		return 0, 0, fmt.Errorf("experiments: bad probe-overhead parameters")
 	}
-	sched := simtime.NewScheduler()
-	netParams := netsim.DefaultParams()
-	netParams.Switched = switched
-	net, err := netsim.New(sched, topology.Dual(n), netParams, 1)
+	cluster, err := runtime.Build(runtime.ClusterSpec{
+		Nodes:    n,
+		Protocol: runtime.ProtoDRS,
+		Switched: switched,
+		Seed:     1,
+		Tunables: runtime.Tunables{ProbeInterval: probeInterval},
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-	clock := routing.SimClock{Sched: sched}
-	daemons := make([]*core.Daemon, n)
-	for node := 0; node < n; node++ {
-		cfg := core.DefaultConfig()
-		cfg.ProbeInterval = probeInterval
-		d, err := core.New(routing.NewSimNode(net, node), clock, cfg)
-		if err != nil {
-			return 0, 0, err
-		}
-		daemons[node] = d
+	if err := cluster.Start(); err != nil {
+		return 0, 0, err
 	}
-	for _, d := range daemons {
-		if err := d.Start(); err != nil {
-			return 0, 0, err
-		}
-	}
-	sched.RunUntil(simtime.Time(duration))
-	for _, d := range daemons {
-		d.Stop()
-	}
-	measured = net.Utilization(0)
+	cluster.RunUntil(duration)
+	cluster.StopRouters()
+	measured = cluster.Network().Utilization(0)
 
 	params := costmodel.Defaults()
 	params.OrderedPairs = true

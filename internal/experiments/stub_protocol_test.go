@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"drsnet/internal/routing"
+	"drsnet/internal/runtime"
+)
+
+// TestStubProtocolInCompareRecovery verifies the registry's promise at
+// the harness level: registering a new protocol makes it appear in the
+// compare-all-protocols table without editing this package (or
+// cmd/drsim, which only enumerates the registry).
+func TestStubProtocolInCompareRecovery(t *testing.T) {
+	const name = "zstub" // sorts last, so built-in rows keep their order
+	runtime.Register(name, func(ctx runtime.BuildContext) (routing.Router, error) {
+		return routing.NewStatic(ctx.Transport, 0)
+	})
+	defer runtime.Deregister(name)
+
+	base := DefaultRecoveryConfig(runtime.ProtoDRS, ScenarioNIC)
+	base.Nodes = 4
+	base.Duration = 15 * base.TrafficInterval
+	base.FailAt = 5 * base.TrafficInterval
+	results, err := CompareRecovery(base)
+	if err != nil {
+		t.Fatalf("CompareRecovery: %v", err)
+	}
+	want := append([]string{}, runtime.Protocols()...)
+	if len(results) != len(want) {
+		t.Fatalf("%d results for %d registered protocols", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Config.Protocol != want[i] {
+			t.Fatalf("result %d is %q, want %q", i, r.Config.Protocol, want[i])
+		}
+	}
+	last := results[len(results)-1]
+	if last.Config.Protocol != name {
+		t.Fatalf("stub row missing: last protocol %q", last.Config.Protocol)
+	}
+	if last.Sent == 0 {
+		t.Fatalf("stub protocol run sent no traffic")
+	}
+
+	// The stub also runs directly through runtime.Run.
+	cfg := base
+	cfg.Protocol = name
+	res, err := Recovery(cfg)
+	if err != nil {
+		t.Fatalf("Recovery under stub protocol: %v", err)
+	}
+	if res.Config.Protocol != name {
+		t.Fatalf("Recovery result protocol %q, want %q", res.Config.Protocol, name)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"drsnet/internal/experiments"
 	"drsnet/internal/failure"
 	"drsnet/internal/montecarlo"
+	"drsnet/internal/runtime"
 	"drsnet/internal/survival"
 	"drsnet/internal/topology"
 )
@@ -188,7 +189,7 @@ func sectionRecovery(w io.Writer, cfg Config) error {
 	for _, sc := range []experiments.Scenario{
 		experiments.ScenarioNIC, experiments.ScenarioBackplane, experiments.ScenarioCrossRail,
 	} {
-		base := experiments.DefaultRecoveryConfig(experiments.ProtoDRS, sc)
+		base := experiments.DefaultRecoveryConfig(runtime.ProtoDRS, sc)
 		base.Seed = cfg.Seed
 		if cfg.Quick {
 			base.Duration = 25 * time.Second
@@ -210,7 +211,7 @@ func sectionRecovery(w io.Writer, cfg Config) error {
 func sectionFlow(w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "## Connection level — \"applications are unaware\"")
 	fmt.Fprintln(w)
-	base := experiments.DefaultFlowRecoveryConfig(experiments.ProtoDRS, experiments.ScenarioNIC)
+	base := experiments.DefaultFlowRecoveryConfig(runtime.ProtoDRS, experiments.ScenarioNIC)
 	base.Seed = cfg.Seed
 	if cfg.Quick {
 		base.Duration = 30 * time.Second

@@ -1,0 +1,100 @@
+package runtime
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"drsnet/internal/routing"
+)
+
+func stubBuilder(ctx BuildContext) (routing.Router, error) {
+	return routing.NewStatic(ctx.Transport, 0)
+}
+
+func TestProtocolsSortedAndComplete(t *testing.T) {
+	got := Protocols()
+	want := []string{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic}
+	if len(got) != len(want) {
+		t.Fatalf("Protocols() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Protocols() = %v, want %v", got, want)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Protocols() not sorted: %v", got)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("duplicate Register did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "registered twice") {
+			t.Fatalf("panic message %v, want mention of double registration", r)
+		}
+	}()
+	Register(ProtoDRS, stubBuilder)
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Register with empty name did not panic")
+		}
+	}()
+	Register("", stubBuilder)
+}
+
+func TestRegisterNilBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Register with nil builder did not panic")
+		}
+	}()
+	Register("zstub-nil", nil)
+}
+
+func TestLookupUnknownListsRegistered(t *testing.T) {
+	_, err := Lookup("ospf")
+	if err == nil {
+		t.Fatalf("Lookup of unknown protocol succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"ospf"`) {
+		t.Fatalf("error %q does not name the unknown protocol", msg)
+	}
+	for _, name := range []string{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list registered protocol %q", msg, name)
+		}
+	}
+}
+
+func TestRegisterDeregisterRoundTrip(t *testing.T) {
+	const name = "zstub-roundtrip"
+	Register(name, stubBuilder)
+	defer Deregister(name)
+
+	if _, err := Lookup(name); err != nil {
+		t.Fatalf("Lookup(%q) after Register: %v", name, err)
+	}
+	found := false
+	for _, p := range Protocols() {
+		if p == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Protocols() = %v missing %q", Protocols(), name)
+	}
+
+	Deregister(name)
+	if _, err := Lookup(name); err == nil {
+		t.Fatalf("Lookup(%q) after Deregister succeeded", name)
+	}
+}

@@ -1,0 +1,361 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"drsnet/internal/core"
+	"drsnet/internal/metrics"
+	"drsnet/internal/netsim"
+	"drsnet/internal/parallel"
+	"drsnet/internal/routing"
+	"drsnet/internal/simtime"
+	"drsnet/internal/trace"
+)
+
+// Metrics collects runtime engine telemetry: RunMany records
+// runmany.wall_ns and runmany.workers gauges plus a runmany.runs
+// counter for each sharded fleet call.
+var Metrics = metrics.NewSet()
+
+// defaultPayload is the flow body when a spec leaves Payload nil.
+var defaultPayload = []byte("flow")
+
+// pair keys delivery accounting by (source, destination).
+type pair struct{ from, to int }
+
+// Cluster is one assembled simulation: scheduler, network, and one
+// router per node built from the spec's registered protocol. Build
+// wires everything but starts nothing, so callers that need custom
+// instrumentation (extra timers, transport endpoints) can interpose
+// between Build and Start. Most callers just use Run.
+//
+// The canonical event-scheduling order — the determinism contract —
+// is Start (routers in node order), ScheduleFlows (spec order),
+// ScheduleFaults (spec order), then RunUntil.
+type Cluster struct {
+	spec    ClusterSpec
+	sched   *simtime.Scheduler
+	net     *netsim.Network
+	routers []routing.Router
+	log     *trace.Log
+
+	sent       []int
+	deliveries map[pair][]time.Duration
+
+	started         bool
+	stopped         bool
+	flowsScheduled  bool
+	faultsScheduled bool
+}
+
+// Build assembles a cluster from the spec: deterministic scheduler,
+// packet-level network, and one router per node constructed by the
+// spec's registered protocol builder. Routers are created in node
+// order and are not started.
+func Build(spec ClusterSpec) (*Cluster, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	builder, err := Lookup(spec.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	sched := simtime.NewScheduler()
+	params := netsim.DefaultParams()
+	params.LossRate = spec.LossRate
+	params.Switched = spec.Switched
+	net, err := netsim.New(sched, spec.topology(), params, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	log := spec.Trace
+	if log == nil {
+		log = trace.NewLog(0)
+	}
+	c := &Cluster{
+		spec:       spec,
+		sched:      sched,
+		net:        net,
+		log:        log,
+		sent:       make([]int, len(spec.Flows)),
+		deliveries: make(map[pair][]time.Duration),
+	}
+	c.spec.Trace = log
+	clock := routing.SimClock{Sched: sched}
+	for node := 0; node < spec.Nodes; node++ {
+		node := node
+		r, err := builder(BuildContext{
+			Node:      node,
+			Transport: routing.NewSimNode(net, node),
+			Clock:     clock,
+			Spec:      &c.spec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: building %s router for node %d: %v", spec.Protocol, node, err)
+		}
+		r.SetDeliverFunc(func(src int, data []byte) {
+			at := sched.Now().Duration()
+			k := pair{from: src, to: node}
+			c.deliveries[k] = append(c.deliveries[k], at)
+			if c.spec.OnDeliver != nil {
+				c.spec.OnDeliver(at, src, node, data)
+			}
+		})
+		c.routers = append(c.routers, r)
+	}
+	return c, nil
+}
+
+// Spec returns the normalized spec the cluster was built from.
+func (c *Cluster) Spec() ClusterSpec { return c.spec }
+
+// Scheduler exposes the simulation scheduler.
+func (c *Cluster) Scheduler() *simtime.Scheduler { return c.sched }
+
+// Network exposes the simulated network (fault injection, utilization).
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Clock returns the simulation clock routers were built with.
+func (c *Cluster) Clock() routing.Clock { return routing.SimClock{Sched: c.sched} }
+
+// TraceLog returns the protocol event log (the spec's sink, or the
+// private log Build created).
+func (c *Cluster) TraceLog() *trace.Log { return c.log }
+
+// Router returns node's router.
+func (c *Cluster) Router(node int) routing.Router { return c.routers[node] }
+
+// Daemon returns node's DRS daemon when the spec's protocol is the
+// DRS (or any protocol whose router is a *core.Daemon).
+func (c *Cluster) Daemon(node int) (*core.Daemon, bool) {
+	d, ok := c.routers[node].(*core.Daemon)
+	return d, ok
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() time.Duration { return c.sched.Now().Duration() }
+
+// Start starts every router in node order. It must be called exactly
+// once, before any simulated time elapses under flows or faults.
+func (c *Cluster) Start() error {
+	if c.started {
+		return fmt.Errorf("runtime: cluster started twice")
+	}
+	c.started = true
+	for _, r := range c.routers {
+		if err := r.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScheduleFlows installs the spec's application flows, in spec order.
+func (c *Cluster) ScheduleFlows() {
+	if c.flowsScheduled {
+		return
+	}
+	c.flowsScheduled = true
+	for i := range c.spec.Flows {
+		i := i
+		f := c.spec.Flows[i]
+		payload := f.Payload
+		if payload == nil {
+			payload = defaultPayload
+		}
+		start := f.Interval
+		switch {
+		case f.Start > 0:
+			start = f.Start
+		case f.Start == StartImmediately:
+			start = 0
+		}
+		var tick func()
+		tick = func() {
+			if f.Stop > 0 && c.sched.Now().Duration() >= f.Stop {
+				return
+			}
+			// A router legitimately returns ErrNoRoute during warm-up
+			// and outages; the message is simply lost, exactly as an
+			// application datagram would be. The application still
+			// tried, so the send counts either way.
+			_ = c.routers[f.From].SendData(f.To, payload)
+			c.sent[i]++
+			c.sched.After(f.Interval, tick)
+		}
+		c.sched.After(start, tick)
+	}
+}
+
+// ScheduleFaults installs the spec's component failure/repair script,
+// in spec order.
+func (c *Cluster) ScheduleFaults() {
+	if c.faultsScheduled {
+		return
+	}
+	c.faultsScheduled = true
+	for _, f := range c.spec.Faults {
+		f := f
+		c.sched.At(simtime.Time(f.At), func() {
+			if f.Restore {
+				c.net.Restore(f.Comp)
+			} else {
+				c.net.Fail(f.Comp)
+			}
+		})
+	}
+}
+
+// RunUntil advances the simulation to absolute time t.
+func (c *Cluster) RunUntil(t time.Duration) {
+	c.sched.RunUntil(simtime.Time(t))
+}
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d time.Duration) {
+	c.sched.RunUntil(c.sched.Now().Add(d))
+}
+
+// StopRouters halts every router. The cluster can still be inspected
+// but no longer routes.
+func (c *Cluster) StopRouters() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, r := range c.routers {
+		r.Stop()
+	}
+}
+
+// FlowResult is one flow's delivery accounting.
+type FlowResult struct {
+	Flow Flow
+	// Sent counts send attempts (including ones the router refused).
+	Sent int
+	// Delivered counts messages delivered for the flow's (from, to)
+	// pair. Flows sharing a pair share the count.
+	Delivered int
+	// Deliveries are the delivery timestamps for the flow's pair.
+	Deliveries []time.Duration
+}
+
+// Repair records one completed DRS route repair.
+type Repair struct {
+	Node, Peer int
+	// LostAt and RepairedAt bound the repair.
+	LostAt, RepairedAt time.Duration
+	// Kind, Rail and Via describe the replacement route.
+	Kind      string
+	Rail, Via int
+}
+
+// Latency returns the repair duration.
+func (r Repair) Latency() time.Duration { return r.RepairedAt - r.LostAt }
+
+// Result is the outcome of one spec run.
+type Result struct {
+	Spec ClusterSpec
+	// Flows reports per-flow accounting, in spec order.
+	Flows []FlowResult
+	// Repairs lists every completed DRS route repair, in node order
+	// (empty for protocols without repair accounting).
+	Repairs []Repair
+	// Utilization is the fraction of each rail's capacity consumed.
+	Utilization []float64
+	// Trace is the protocol event log of the run.
+	Trace *trace.Log
+}
+
+// DeliveriesFor returns the delivery timestamps recorded for the
+// (from, to) pair.
+func (c *Cluster) DeliveriesFor(from, to int) []time.Duration {
+	return append([]time.Duration(nil), c.deliveries[pair{from, to}]...)
+}
+
+// Finish collects the run's outcome. Call after the simulation has
+// been advanced (and, normally, after StopRouters).
+func (c *Cluster) Finish() *Result {
+	res := &Result{Spec: c.spec, Trace: c.log}
+	totalSent, totalDelivered := 0, 0
+	for i, f := range c.spec.Flows {
+		del := c.deliveries[pair{f.From, f.To}]
+		res.Flows = append(res.Flows, FlowResult{
+			Flow:       f,
+			Sent:       c.sent[i],
+			Delivered:  len(del),
+			Deliveries: append([]time.Duration(nil), del...),
+		})
+		totalSent += c.sent[i]
+		totalDelivered += len(del)
+	}
+	for node := range c.routers {
+		d, ok := c.Daemon(node)
+		if !ok {
+			continue
+		}
+		for _, rep := range d.Repairs() {
+			res.Repairs = append(res.Repairs, Repair{
+				Node:       node,
+				Peer:       rep.Peer,
+				LostAt:     rep.LostAt,
+				RepairedAt: rep.RepairedAt,
+				Kind:       rep.Route.Kind.String(),
+				Rail:       rep.Route.Rail,
+				Via:        rep.Route.Via,
+			})
+		}
+	}
+	for rail := 0; rail < c.spec.Rails; rail++ {
+		res.Utilization = append(res.Utilization, c.net.Utilization(rail))
+	}
+	if m := c.spec.Metrics; m != nil {
+		m.Gauge("run.sent").Set(int64(totalSent))
+		m.Gauge("run.delivered").Set(int64(totalDelivered))
+		m.Gauge("run.repairs").Set(int64(len(res.Repairs)))
+		m.Counter("run.completed").Inc()
+	}
+	return res
+}
+
+// Run executes one spec end to end: Build, Start, flows, faults,
+// advance to the spec's Duration, stop, collect. The event-scheduling
+// order is fixed, so a spec always produces the same Result.
+func Run(spec ClusterSpec) (*Result, error) {
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("runtime: spec duration must be positive")
+	}
+	c, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	c.ScheduleFlows()
+	c.ScheduleFaults()
+	c.RunUntil(spec.Duration)
+	c.StopRouters()
+	return c.Finish(), nil
+}
+
+// RunMany executes every spec, sharded over the parallel sweep engine
+// (workers goroutines; 0 = GOMAXPROCS). Each spec runs in its own
+// private simulator and its Result lands in its own slot, so the
+// output is bit-identical for every worker count. A nil ctx means
+// context.Background().
+func RunMany(ctx context.Context, specs []ClusterSpec, workers int) ([]*Result, error) {
+	start := time.Now()
+	results, err := parallel.Map(ctx, workers, len(specs), func(i int) (*Result, error) {
+		return Run(specs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	Metrics.Gauge("runmany.wall_ns").Set(int64(time.Since(start)))
+	Metrics.Gauge("runmany.workers").Set(int64(parallel.Workers(workers, len(specs))))
+	Metrics.Counter("runmany.runs").Inc()
+	return results, nil
+}

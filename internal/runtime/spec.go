@@ -1,0 +1,170 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/metrics"
+	"drsnet/internal/topology"
+	"drsnet/internal/trace"
+)
+
+// Tunables carries every protocol knob a spec can set. Each protocol
+// reads the fields it understands and ignores the rest, so one struct
+// serves the whole registry.
+type Tunables struct {
+	// ProbeInterval is the DRS link-check period (default 1 s).
+	ProbeInterval time.Duration
+	// MissThreshold is the DRS consecutive-miss count that declares a
+	// link down (default 2).
+	MissThreshold int
+	// StaggerProbes spreads DRS link checks across the probe interval.
+	StaggerProbes bool
+	// PreferLowLatency steers DRS routes toward the lower-RTT rail.
+	PreferLowLatency bool
+	// AdvertiseInterval is the reactive advertisement period and the
+	// link-state hello period (default 1 s).
+	AdvertiseInterval time.Duration
+	// RouteTimeout is the reactive route expiry (default 6× the
+	// advertisement interval).
+	RouteTimeout time.Duration
+	// StaticRail pins static routing to one rail (default 0).
+	StaticRail int
+}
+
+// StartImmediately, as a Flow.Start value, fires the flow's first
+// message at time zero (a Start of zero means the default one-interval
+// warm-up, matching the scenario loader's semantics).
+const StartImmediately = -1
+
+// Flow is one periodic application flow: From sends Payload to To
+// every Interval. Message loss is the application's problem, exactly
+// as on real hardware — the runtime only counts.
+type Flow struct {
+	From, To int
+	Interval time.Duration
+	// Start delays the first message. Zero means one Interval;
+	// StartImmediately means time zero.
+	Start time.Duration
+	// Stop, when positive, is the first instant at which no further
+	// messages are sent; zero means the flow runs to the horizon.
+	Stop time.Duration
+	// Payload is the datagram body (default "flow"). Its length feeds
+	// the simulator's serialization model, so it is part of the spec.
+	Payload []byte
+}
+
+// Fault is one scripted component state change.
+type Fault struct {
+	At time.Duration
+	// Comp identifies the NIC or back plane (topology numbering for
+	// the spec's cluster shape).
+	Comp topology.Component
+	// Restore brings the component back instead of failing it.
+	Restore bool
+}
+
+// ClusterSpec is the declarative description of one simulated cluster
+// run: shape, protocol, tunables, traffic, fault schedule and sinks.
+// The zero value of every optional field means its documented default.
+type ClusterSpec struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Rails is the number of independent networks (default 2, the
+	// paper's dual-rail configuration).
+	Rails int
+	// Protocol names a registered routing protocol (default "drs").
+	Protocol string
+	// Switched replaces the shared hubs with switched fabrics.
+	Switched bool
+	// LossRate injects random frame loss.
+	LossRate float64
+	// Seed drives the simulation's stochastic pieces.
+	Seed uint64
+	// Duration is the simulated horizon of Run (unused by Build-only
+	// callers that drive the scheduler themselves).
+	Duration time.Duration
+	// Tunables are the protocol knobs.
+	Tunables Tunables
+	// Flows is the application traffic matrix.
+	Flows []Flow
+	// Faults is the component failure/repair script.
+	Faults []Fault
+	// Trace, if non-nil, receives every protocol event of the run;
+	// nil means a private log, exposed on the Result.
+	Trace *trace.Log
+	// Metrics, if non-nil, receives run telemetry gauges (per-flow
+	// sent/delivered, repair count) when the run finishes.
+	Metrics *metrics.Set
+	// OnDeliver, if non-nil, observes every application delivery in
+	// simulation order.
+	OnDeliver func(at time.Duration, src, dst int, data []byte)
+}
+
+// normalize applies defaults and validates the spec in place.
+func (s *ClusterSpec) normalize() error {
+	if s.Rails == 0 {
+		s.Rails = 2
+	}
+	cl := topology.Cluster{Nodes: s.Nodes, Rails: s.Rails}
+	if err := cl.Validate(); err != nil {
+		return fmt.Errorf("runtime: %v", err)
+	}
+	if s.Protocol == "" {
+		s.Protocol = ProtoDRS
+	}
+	if _, err := Lookup(s.Protocol); err != nil {
+		return err
+	}
+	if s.LossRate < 0 || s.LossRate >= 1 {
+		return fmt.Errorf("runtime: loss rate %v outside [0,1)", s.LossRate)
+	}
+	if s.Tunables.ProbeInterval == 0 {
+		s.Tunables.ProbeInterval = time.Second
+	}
+	if s.Tunables.MissThreshold == 0 {
+		s.Tunables.MissThreshold = 2
+	}
+	if s.Tunables.AdvertiseInterval == 0 {
+		s.Tunables.AdvertiseInterval = time.Second
+	}
+	if s.Tunables.RouteTimeout == 0 {
+		s.Tunables.RouteTimeout = 6 * s.Tunables.AdvertiseInterval
+	}
+	if s.Tunables.ProbeInterval < 0 || s.Tunables.MissThreshold < 0 ||
+		s.Tunables.AdvertiseInterval < 0 || s.Tunables.RouteTimeout < 0 {
+		return fmt.Errorf("runtime: negative protocol tunable")
+	}
+	if s.Tunables.StaticRail < 0 || s.Tunables.StaticRail >= s.Rails {
+		return fmt.Errorf("runtime: static rail %d out of range [0,%d)", s.Tunables.StaticRail, s.Rails)
+	}
+	for i, f := range s.Flows {
+		if f.From < 0 || f.From >= s.Nodes || f.To < 0 || f.To >= s.Nodes || f.From == f.To {
+			return fmt.Errorf("runtime: flows[%d] endpoints (%d,%d) invalid", i, f.From, f.To)
+		}
+		if f.Interval <= 0 {
+			return fmt.Errorf("runtime: flows[%d] interval must be positive", i)
+		}
+		if f.Start < StartImmediately {
+			return fmt.Errorf("runtime: flows[%d] start must be ≥ 0 (or StartImmediately)", i)
+		}
+		if f.Stop < 0 {
+			return fmt.Errorf("runtime: flows[%d] stop must be ≥ 0", i)
+		}
+	}
+	universe := cl.Components()
+	for i, f := range s.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("runtime: faults[%d] at %v before time zero", i, f.At)
+		}
+		if int(f.Comp) < 0 || int(f.Comp) >= universe {
+			return fmt.Errorf("runtime: faults[%d] component %d outside universe %d", i, int(f.Comp), universe)
+		}
+	}
+	return nil
+}
+
+// topology returns the spec's cluster shape (after normalize).
+func (s *ClusterSpec) topology() topology.Cluster {
+	return topology.Cluster{Nodes: s.Nodes, Rails: s.Rails}
+}

@@ -12,10 +12,7 @@ import (
 	"io"
 	"time"
 
-	"drsnet/internal/core"
-	"drsnet/internal/netsim"
-	"drsnet/internal/routing"
-	"drsnet/internal/simtime"
+	"drsnet/internal/runtime"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
 )
@@ -77,7 +74,9 @@ type Scenario struct {
 	Name string `json:"name,omitempty"`
 	// Nodes is the cluster size.
 	Nodes int `json:"nodes"`
-	// Protocol is "drs" (default), "reactive" or "static".
+	// Protocol names a routing protocol registered with
+	// internal/runtime ("drs", the default; "reactive"; "linkstate";
+	// "static"; or any protocol a plugin registered).
 	Protocol string `json:"protocol,omitempty"`
 	// Duration is the simulated horizon.
 	Duration Duration `json:"duration"`
@@ -124,12 +123,11 @@ func (s *Scenario) Validate() error {
 	if s.Duration <= 0 {
 		return fmt.Errorf("scenario: duration must be positive")
 	}
-	switch s.Protocol {
-	case "":
-		s.Protocol = "drs"
-	case "drs", "reactive", "linkstate", "static":
-	default:
-		return fmt.Errorf("scenario: unknown protocol %q", s.Protocol)
+	if s.Protocol == "" {
+		s.Protocol = runtime.ProtoDRS
+	}
+	if _, err := runtime.Lookup(s.Protocol); err != nil {
+		return fmt.Errorf("scenario: %v", err)
 	}
 	if s.ProbeInterval == 0 {
 		s.ProbeInterval = Duration(time.Second)
@@ -208,136 +206,74 @@ type Report struct {
 	Trace *trace.Log
 }
 
-// Run executes the scenario deterministically.
-func (s *Scenario) Run() (*Report, error) {
+// Spec translates the document into a runtime.ClusterSpec — the
+// declarative layer the unified runtime executes.
+func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return runtime.ClusterSpec{}, err
 	}
-	sched := simtime.NewScheduler()
-	params := netsim.DefaultParams()
-	params.LossRate = s.LossRate
-	params.Switched = s.Switched
-	net, err := netsim.New(sched, topology.Dual(s.Nodes), params, s.Seed)
-	if err != nil {
-		return nil, err
+	spec := runtime.ClusterSpec{
+		Nodes:    s.Nodes,
+		Protocol: s.Protocol,
+		Switched: s.Switched,
+		LossRate: s.LossRate,
+		Seed:     s.Seed,
+		Duration: time.Duration(s.Duration),
+		Tunables: runtime.Tunables{
+			ProbeInterval:     time.Duration(s.ProbeInterval),
+			MissThreshold:     s.MissThreshold,
+			StaggerProbes:     s.StaggerProbes,
+			PreferLowLatency:  s.PreferLowLatency,
+			AdvertiseInterval: time.Duration(s.AdvertiseInterval),
+			RouteTimeout:      time.Duration(s.RouteTimeout),
+		},
 	}
-	clock := routing.SimClock{Sched: sched}
-	log := trace.NewLog(0)
-
-	routers := make([]routing.Router, s.Nodes)
-	var daemons []*core.Daemon
-	for node := 0; node < s.Nodes; node++ {
-		tr := routing.NewSimNode(net, node)
-		switch s.Protocol {
-		case "drs":
-			cfg := core.DefaultConfig()
-			cfg.ProbeInterval = time.Duration(s.ProbeInterval)
-			cfg.MissThreshold = s.MissThreshold
-			cfg.StaggerProbes = s.StaggerProbes
-			cfg.PreferLowLatency = s.PreferLowLatency
-			cfg.Trace = log
-			d, err := core.New(tr, clock, cfg)
-			if err != nil {
-				return nil, err
-			}
-			daemons = append(daemons, d)
-			routers[node] = d
-		case "reactive":
-			cfg := routing.DefaultReactiveConfig()
-			cfg.AdvertiseInterval = time.Duration(s.AdvertiseInterval)
-			cfg.RouteTimeout = time.Duration(s.RouteTimeout)
-			cfg.Trace = log
-			r, err := routing.NewReactive(tr, clock, cfg)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = r
-		case "linkstate":
-			cfg := routing.DefaultLinkStateConfig()
-			cfg.HelloInterval = time.Duration(s.AdvertiseInterval)
-			cfg.Trace = log
-			l, err := routing.NewLinkState(tr, clock, cfg)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = l
-		case "static":
-			st, err := routing.NewStatic(tr, 0)
-			if err != nil {
-				return nil, err
-			}
-			routers[node] = st
-		}
-	}
-
-	// Delivery accounting: one counter per (from, to) flow.
-	type flowKey struct{ from, to int }
-	delivered := make(map[flowKey]int)
-	for node := 0; node < s.Nodes; node++ {
-		node := node
-		routers[node].SetDeliverFunc(func(src int, data []byte) {
-			delivered[flowKey{from: src, to: node}]++
+	for _, t := range s.Traffic {
+		spec.Flows = append(spec.Flows, runtime.Flow{
+			From:     t.From,
+			To:       t.To,
+			Interval: time.Duration(t.Interval),
+			Start:    time.Duration(t.Start),
 		})
 	}
-	for _, r := range routers {
-		if err := r.Start(); err != nil {
-			return nil, err
-		}
-	}
-
-	sent := make([]int, len(s.Traffic))
-	for i, t := range s.Traffic {
-		i, t := i, t
-		interval := time.Duration(t.Interval)
-		start := time.Duration(t.Start)
-		if start == 0 {
-			start = interval
-		}
-		var tick func()
-		tick = func() {
-			_ = routers[t.From].SendData(t.To, []byte("flow"))
-			sent[i]++
-			sched.After(interval, tick)
-		}
-		sched.After(start, tick)
-	}
-
+	cl := topology.Dual(s.Nodes)
 	for _, e := range s.Events {
-		e := e
 		var comp topology.Component
-		cl := net.Cluster()
 		if e.Kind == "nic" {
 			comp = cl.NIC(e.Node, e.Rail)
 		} else {
 			comp = cl.Backplane(e.Rail)
 		}
-		sched.At(simtime.Time(e.At), func() {
-			if e.Restore {
-				net.Restore(comp)
-			} else {
-				net.Fail(comp)
-			}
+		spec.Faults = append(spec.Faults, runtime.Fault{
+			At:      time.Duration(e.At),
+			Comp:    comp,
+			Restore: e.Restore,
 		})
 	}
+	return spec, nil
+}
 
-	sched.RunUntil(simtime.Time(s.Duration))
-	for _, r := range routers {
-		r.Stop()
+// Run executes the scenario deterministically on the unified runtime.
+func (s *Scenario) Run() (*Report, error) {
+	spec, err := s.Spec()
+	if err != nil {
+		return nil, err
+	}
+	run, err := runtime.Run(spec)
+	if err != nil {
+		return nil, err
 	}
 
-	rep := &Report{Name: s.Name, Trace: log}
-	for i, t := range s.Traffic {
+	rep := &Report{Name: s.Name, Trace: run.Trace, Repairs: len(run.Repairs)}
+	for _, f := range run.Flows {
 		rep.Flows = append(rep.Flows, FlowReport{
-			From: t.From, To: t.To,
-			Sent:      sent[i],
-			Delivered: delivered[flowKey{from: t.From, to: t.To}],
+			From: f.Flow.From, To: f.Flow.To,
+			Sent:      f.Sent,
+			Delivered: f.Delivered,
 		})
 	}
-	for _, d := range daemons {
-		rep.Repairs += len(d.Repairs())
-	}
-	for rail := 0; rail < 2; rail++ {
-		rep.Utilization[rail] = net.Utilization(rail)
+	for rail := 0; rail < 2 && rail < len(run.Utilization); rail++ {
+		rep.Utilization[rail] = run.Utilization[rail]
 	}
 	return rep, nil
 }

@@ -5,12 +5,19 @@ import (
 	"time"
 
 	"drsnet/internal/experiments"
+	"drsnet/internal/runtime"
 )
+
+// Protocols returns the names of every registered routing protocol in
+// the runtime registry's canonical (sorted) order — the protocols
+// CompareProtocols reports on.
+func Protocols() []string { return runtime.Protocols() }
 
 // ProtocolResult summarizes what an application flow experienced
 // across an injected failure under one routing protocol.
 type ProtocolResult struct {
-	// Protocol is "drs", "reactive" or "static".
+	// Protocol is the registered protocol name (e.g. "drs",
+	// "reactive", "linkstate", "static").
 	Protocol string
 	// Recovered reports whether delivery resumed after the failure.
 	Recovered bool
@@ -40,9 +47,11 @@ const (
 )
 
 // CompareProtocols replays the same failure scenario on an identical
-// cluster under the DRS, a RIP-like reactive protocol, and static
-// routing, and reports the application-visible outcome of each — the
-// paper's proactive-vs-traditional-routing comparison.
+// cluster under every registered routing protocol — the DRS, the
+// RIP-like reactive baseline, the OSPF-like link-state baseline and
+// static routing by default — and reports the application-visible
+// outcome of each: the paper's proactive-vs-traditional-routing
+// comparison.
 func CompareProtocols(nodes int, scenario string) ([]ProtocolResult, error) {
 	if err := validateClusterSize(nodes); err != nil {
 		return nil, err
@@ -58,7 +67,7 @@ func CompareProtocols(nodes int, scenario string) ([]ProtocolResult, error) {
 	default:
 		return nil, fmt.Errorf("drsnet: unknown failure scenario %q", scenario)
 	}
-	base := experiments.DefaultRecoveryConfig(experiments.ProtoDRS, sc)
+	base := experiments.DefaultRecoveryConfig(runtime.ProtoDRS, sc)
 	base.Nodes = nodes
 	results, err := experiments.CompareRecovery(base)
 	if err != nil {
@@ -67,7 +76,7 @@ func CompareProtocols(nodes int, scenario string) ([]ProtocolResult, error) {
 	out := make([]ProtocolResult, 0, len(results))
 	for _, r := range results {
 		out = append(out, ProtocolResult{
-			Protocol:         string(r.Config.Protocol),
+			Protocol:         r.Config.Protocol,
 			Recovered:        r.Recovered,
 			Outage:           r.Outage,
 			Lost:             r.Lost,
