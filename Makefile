@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover fuzz clean
+.PHONY: all build test race bench benchsmoke cover fuzz clean
 
 all: build test
 
@@ -23,6 +23,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or panic without paying for a real measurement run (CI gate).
+benchsmoke:
+	$(GO) test -run xxx -bench=. -benchtime=1x ./...
 
 # Coverage pass: per-package profile plus the aggregate per-function
 # summary (the `total:` line at the end is the headline number).

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,13 +20,21 @@ import (
 )
 
 func main() {
-	fs := flag.String("f", "2,3,4,5,6,7,8,9,10", "failure counts, comma separated")
-	nmax := flag.Int("nmax", 63, "largest cluster size")
-	iters := flag.String("iters", "10,100,1000,10000,100000", "iteration ladder, ascending")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-	plot := flag.Bool("plot", false, "render the figure as an ASCII chart instead of a table")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("drsconverge", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	fs := flags.String("f", "2,3,4,5,6,7,8,9,10", "failure counts, comma separated")
+	nmax := flags.Int("nmax", 63, "largest cluster size")
+	iters := flags.String("iters", "10,100,1000,10000,100000", "iteration ladder, ascending")
+	seed := flags.Uint64("seed", 1, "simulation seed")
+	workers := flags.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	plot := flags.Bool("plot", false, "render the figure as an ASCII chart instead of a table")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := experiments.Figure3Defaults()
 	cfg.NMax = *nmax
@@ -35,8 +44,8 @@ func main() {
 	for _, tok := range strings.Split(*fs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drsconverge: bad failure count %q: %v\n", tok, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "drsconverge: bad failure count %q: %v\n", tok, err)
+			return 1
 		}
 		cfg.Failures = append(cfg.Failures, v)
 	}
@@ -44,23 +53,24 @@ func main() {
 	for _, tok := range strings.Split(*iters, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drsconverge: bad iteration count %q: %v\n", tok, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "drsconverge: bad iteration count %q: %v\n", tok, err)
+			return 1
 		}
 		cfg.Iterations = append(cfg.Iterations, v)
 	}
 
 	res, err := experiments.Figure3(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "drsconverge: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "drsconverge: %v\n", err)
+		return 1
 	}
 	write := res.WriteTable
 	if *plot {
 		write = res.WritePlot
 	}
-	if err := write(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "drsconverge: %v\n", err)
-		os.Exit(1)
+	if err := write(stdout); err != nil {
+		fmt.Fprintf(stderr, "drsconverge: %v\n", err)
+		return 1
 	}
+	return 0
 }

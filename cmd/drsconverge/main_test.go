@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigure3Golden pins the exact convergence table for a small grid:
+// the Monte Carlo substreams are seeded, so the mean absolute
+// deviations are reproducible to the digit.
+func TestFigure3Golden(t *testing.T) {
+	const golden = `# Figure 3: mean |simulated - analytic| over f<N<13 vs iterations
+     iters         2f         3f
+        10   0.041632   0.073011
+       100   0.028219   0.026630
+`
+	var out, errb bytes.Buffer
+	if code := run([]string{"-f", "2,3", "-nmax", "12", "-iters", "10,100"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("Figure 3 table drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestFigure3WorkersIdentical: worker count changes wall time only.
+func TestFigure3WorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		args := []string{"-f", "2,3,4", "-nmax", "14", "-iters", "10,100", "-workers", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n--- got ---\n%s--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestPlotMode: -plot renders the ASCII chart with the per-f legend.
+func TestPlotMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-f", "2,3", "-nmax", "12", "-iters", "10,100", "-plot"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"iterations (log scale)", "f=2", "f=3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("plot output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBadFlags exercises the error paths.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-f", "two"},
+		{"-iters", "ten"},
+		{"-not-a-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("args %v produced no diagnostics", args)
+		}
+	}
+}

@@ -11,39 +11,49 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"drsnet/internal/report"
 )
 
 func main() {
-	out := flag.String("out", "", "output file (default stdout)")
-	quick := flag.Bool("quick", false, "shrink Monte Carlo ladders for a fast smoke report")
-	seed := flag.Uint64("seed", 1, "seed for every stochastic experiment")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	w := bufio.NewWriter(os.Stdout)
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("drsreport", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	out := flags.String("out", "", "output file (default stdout)")
+	quick := flags.Bool("quick", false, "shrink Monte Carlo ladders for a fast smoke report")
+	seed := flags.Uint64("seed", 1, "seed for every stochastic experiment")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	w := bufio.NewWriter(stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drsreport: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "drsreport: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
 	if err := report.Generate(w, report.Config{Quick: *quick, Seed: *seed}); err != nil {
-		fmt.Fprintf(os.Stderr, "drsreport: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "drsreport: %v\n", err)
+		return 1
 	}
 	if err := w.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "drsreport: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "drsreport: %v\n", err)
+		return 1
 	}
 
 	if err := report.Headline(); err != nil {
-		fmt.Fprintf(os.Stderr, "drsreport: HEADLINE CHECK FAILED: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "drsreport: HEADLINE CHECK FAILED: %v\n", err)
+		return 1
 	}
-	fmt.Fprintln(os.Stderr, "drsreport: headline numbers reproduce (thresholds 18/32/45, 90 hosts < 1 s at 10%)")
+	fmt.Fprintln(stderr, "drsreport: headline numbers reproduce (thresholds 18/32/45, 90 hosts < 1 s at 10%)")
+	return 0
 }

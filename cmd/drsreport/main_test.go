@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickReportGolden pins the full -quick report byte-for-byte: the
+// shrunk Monte Carlo ladders are seeded, so every figure and table in
+// the Markdown output is deterministic.
+func TestQuickReportGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "quick_report.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("quick report drifted from testdata/quick_report.golden (%d vs %d bytes)\n--- got ---\n%s",
+			out.Len(), len(want), out.String())
+	}
+	const headline = "drsreport: headline numbers reproduce"
+	if !strings.Contains(errb.String(), headline) {
+		t.Fatalf("stderr missing %q:\n%s", headline, errb.String())
+	}
+}
+
+// TestOutFlag writes the report to a file instead of stdout.
+func TestOutFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty with -out: %q", out.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "quick_report.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-out file differs from golden (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestBadFlags: unwritable -out path and unknown flags fail loudly.
+func TestBadFlags(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		code int
+	}{
+		{[]string{"-quick", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "r.md")}, 1},
+		{[]string{"-not-a-flag"}, 2},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(tc.args, &out, &errb); code != tc.code {
+			t.Errorf("args %v: exit %d, want %d (stderr: %s)", tc.args, code, tc.code, errb.String())
+		}
+		if errb.Len() == 0 {
+			t.Errorf("args %v produced no diagnostics", tc.args)
+		}
+	}
+}

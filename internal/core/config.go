@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/trace"
+)
+
+// Config parameterizes a DRS daemon.
+type Config struct {
+	// ProbeInterval is the period of the phase-1 link-check round.
+	// The cost model (internal/costmodel) relates this to cluster
+	// size and bandwidth budget. Default 1 s.
+	ProbeInterval time.Duration
+	// MissThreshold is the number of consecutive unanswered probes
+	// after which a link is declared down. Default 2. A threshold of
+	// 1 detects fastest but false-positives under frame loss — the
+	// miss-threshold ablation bench quantifies the trade.
+	MissThreshold int
+	// RelayTTL is the rebroadcast depth of route queries. The default
+	// of 1 is always sufficient on a dual-rail cluster (a single relay
+	// bridges the rails); higher values let discovery cross relay
+	// chains on ≥3-rail topologies.
+	RelayTTL int
+	// QueryTimeout is how long the daemon waits for route offers
+	// before giving up (it retries at the next probe round while the
+	// destination stays unreachable). Default ProbeInterval/2.
+	QueryTimeout time.Duration
+	// DataTTL bounds data-plane forwarding hops. Default 4.
+	DataTTL int
+	// QueueCapacity is the number of datagrams buffered per
+	// destination while route discovery is in flight. When the queue
+	// is full the oldest datagram is dropped (and counted by the
+	// queue.overflow metric) so the freshest traffic survives the
+	// wait. Default 16.
+	QueueCapacity int
+	// Monitor lists the peers this daemon link-checks; nil means all
+	// other nodes (the deployed DRS monitors the whole cluster).
+	Monitor []int
+	// StaggerProbes spreads each round's link checks evenly across
+	// the probe interval instead of bursting them at the round start.
+	// Detection latency is unchanged (misses are still accounted per
+	// round); what changes is the instantaneous load on the shared
+	// segments — the difference between a once-a-second frame train
+	// and a smooth trickle.
+	StaggerProbes bool
+	// DynamicMembership switches the daemon from the deployed DRS's
+	// static host list to discovery: each round the daemon broadcasts
+	// a hello, and any hello it hears adds the sender to its monitored
+	// set. Monitor then lists only pre-seeded peers (nil means start
+	// empty). An extension beyond the paper.
+	DynamicMembership bool
+	// PreferLowLatency steers direct routes toward the rail with the
+	// lower smoothed probe RTT: each round, a route moves if another
+	// healthy rail has been measured at less than half its current
+	// rail's SRTT (the 2× hysteresis prevents flapping). The deployed
+	// DRS used fixed rail preference; this extension uses the probes
+	// the protocol already pays for as a congestion signal.
+	PreferLowLatency bool
+	// ForgetAfter removes a dynamically learned peer that has been
+	// silent on every rail for this long (0 = never forget; static
+	// members are never forgotten).
+	ForgetAfter time.Duration
+	// Trace, if non-nil, receives protocol events.
+	Trace *trace.Log
+}
+
+// DefaultConfig returns the deployed defaults.
+func DefaultConfig() Config {
+	return Config{
+		ProbeInterval: time.Second,
+		MissThreshold: 2,
+		RelayTTL:      1,
+		DataTTL:       4,
+		QueueCapacity: 16,
+	}
+}
+
+func (c *Config) normalize(nodes, self int) error {
+	if c.ProbeInterval <= 0 {
+		return fmt.Errorf("core: probe interval must be positive")
+	}
+	if c.MissThreshold <= 0 {
+		return fmt.Errorf("core: miss threshold must be positive")
+	}
+	if c.RelayTTL <= 0 {
+		return fmt.Errorf("core: relay TTL must be positive")
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = c.ProbeInterval / 2
+	}
+	if c.QueryTimeout <= 0 {
+		return fmt.Errorf("core: query timeout must be positive")
+	}
+	if c.DataTTL <= 0 {
+		c.DataTTL = 4
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 16
+	}
+	if c.ForgetAfter < 0 {
+		return fmt.Errorf("core: negative ForgetAfter")
+	}
+	if c.Monitor == nil && !c.DynamicMembership {
+		for n := 0; n < nodes; n++ {
+			if n != self {
+				c.Monitor = append(c.Monitor, n)
+			}
+		}
+	}
+	seen := make(map[int]bool)
+	for _, p := range c.Monitor {
+		if p < 0 || p >= nodes || p == self {
+			return fmt.Errorf("core: monitored peer %d invalid for node %d of %d", p, self, nodes)
+		}
+		if seen[p] {
+			return fmt.Errorf("core: peer %d monitored twice", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"drsnet/internal/routing"
+	"drsnet/internal/trace"
+)
+
+// Phase-2 control plane: route queries and offers (relay discovery)
+// and the hello/goodbye membership messages.
+
+func (d *Daemon) onControl(rail, src int, body []byte) {
+	if len(body) == 0 {
+		return
+	}
+	switch body[0] {
+	case msgRouteQuery:
+		q, err := unmarshalQuery(body)
+		if err != nil {
+			return
+		}
+		d.onQuery(rail, src, q)
+	case msgRouteOffer:
+		o, err := unmarshalOffer(body)
+		if err != nil {
+			return
+		}
+		d.onOffer(rail, o)
+	case msgHello:
+		d.onHello(rail, src)
+	case msgGoodbye:
+		d.onGoodbye(src)
+	}
+}
+
+// onHello learns a peer (dynamic membership) and refreshes liveness.
+func (d *Daemon) onHello(rail, src int) {
+	if !d.cfg.DynamicMembership || src == d.tr.Node() {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	now := d.clock.Now()
+	d.members.Heard(src, now)
+	if !d.links.Monitored(src) {
+		d.addPeerLocked(src, rail)
+		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteInstalled,
+			Peer: src, Rail: rail, Detail: "peer discovered (hello)"})
+	}
+}
+
+// onGoodbye retracts a dynamically learned peer immediately.
+func (d *Daemon) onGoodbye(src int) {
+	if !d.cfg.DynamicMembership {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped || !d.links.Monitored(src) || d.members.IsStatic(src) {
+		return
+	}
+	d.removePeerLocked(src)
+	d.event(trace.Event{At: d.clock.Now(), Node: d.tr.Node(), Kind: trace.KindRouteLost,
+		Peer: src, Rail: -1, Detail: "peer left (goodbye)"})
+}
+
+func (d *Daemon) onQuery(rail, src int, q routeQuery) {
+	self := d.tr.Node()
+	origin := int(q.Origin)
+	target := int(q.Target)
+	if origin == self || origin < 0 || origin >= d.tr.Nodes() ||
+		target < 0 || target >= d.tr.Nodes() {
+		return
+	}
+	d.mset.Counter(routing.CtrQueriesRecv).Inc()
+
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	now := d.clock.Now()
+	if d.routes.SeenRecently(q.Origin, q.Seq, now, 10*d.cfg.ProbeInterval) {
+		d.mu.Unlock()
+		return
+	}
+
+	canOffer := false
+	if target == self {
+		// The query reached us, so origin↔us works on this rail:
+		// offer ourselves; the origin installs a direct route.
+		canOffer = true
+	} else if d.links.Monitored(target) && d.links.AnyUp(target) {
+		canOffer = true
+	} else if rt := d.routes.Route(target); rt.Kind == RouteRelay && rt.Via != origin {
+		// We reach the target through our own relay: offering chains
+		// discoveries, which is what connects multi-rail topologies
+		// where no single server touches both endpoints' rails. The
+		// data plane's TTL and its no-bounce-back rule keep stale
+		// chains from looping.
+		canOffer = true
+	}
+	ttl := q.TTL
+	d.mu.Unlock()
+
+	if canOffer {
+		offer := routeOffer{Origin: q.Origin, Target: q.Target, Seq: q.Seq, Relay: uint16(self)}
+		if err := d.tr.Send(rail, origin, routing.Envelope(routing.ProtoControl, marshalOffer(offer))); err == nil {
+			d.mset.Counter(routing.CtrOffersSent).Inc()
+			d.event(trace.Event{At: now, Node: self, Kind: trace.KindOfferSent,
+				Peer: origin, Rail: rail, Detail: fmt.Sprintf("target=%d", target)})
+		}
+		return
+	}
+	// Cannot help directly: extend the search if the query has depth
+	// left (multi-rail topologies; a no-op at the default TTL of 1).
+	if ttl > 1 {
+		q.TTL = ttl - 1
+		payload := routing.Envelope(routing.ProtoControl, marshalQuery(q))
+		for r := 0; r < d.tr.Rails(); r++ {
+			_ = d.tr.Send(r, routing.Broadcast, payload)
+		}
+	}
+}
+
+func (d *Daemon) onOffer(rail int, o routeOffer) {
+	self := d.tr.Node()
+	if int(o.Origin) != self {
+		return // not addressed to us
+	}
+	target := int(o.Target)
+	relay := int(o.Relay)
+	if target < 0 || target >= d.tr.Nodes() || relay < 0 || relay >= d.tr.Nodes() {
+		return
+	}
+	d.mset.Counter(routing.CtrOffersRecv).Inc()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	q, ok := d.routes.Pending(target)
+	if !ok || q.Seq != o.Seq {
+		return // stale or unsolicited offer; first offer already won
+	}
+	now := d.clock.Now()
+	if relay == target {
+		// The target itself answered: the rail works after all.
+		d.installLocked(target, Route{Kind: RouteDirect, Rail: rail, Via: target}, now)
+	} else {
+		d.installLocked(target, Route{Kind: RouteRelay, Rail: rail, Via: relay}, now)
+	}
+}

@@ -24,6 +24,15 @@
 // interval, so applications never see the outage — the property the
 // drsim experiment measures against the reactive baseline.
 //
+// The Daemon itself is a thin composition of the repository's protocol
+// layers: linkmon schedules the rounds and keeps per-(peer, rail)
+// probe and RTT state, routetable holds routes, repairs and the relay
+// discovery lifecycle, dataplane builds, queues and polices data
+// frames, membership tracks who belongs to the cluster, and
+// routing/wire encodes everything that crosses the network. This file
+// holds only the orchestration: what a probe means, when a route is
+// repaired, how discovery is answered.
+//
 // The daemon is transport-agnostic (routing.Transport / routing.Clock)
 // and runs unmodified over the deterministic packet simulator and over
 // real UDP sockets.
@@ -35,217 +44,43 @@ import (
 	"sync"
 	"time"
 
+	"drsnet/internal/core/membership"
+	"drsnet/internal/dataplane"
 	"drsnet/internal/icmp"
+	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
+	"drsnet/internal/routetable"
 	"drsnet/internal/routing"
 	"drsnet/internal/trace"
 )
 
-// Config parameterizes a DRS daemon.
-type Config struct {
-	// ProbeInterval is the period of the phase-1 link-check round.
-	// The cost model (internal/costmodel) relates this to cluster
-	// size and bandwidth budget. Default 1 s.
-	ProbeInterval time.Duration
-	// MissThreshold is the number of consecutive unanswered probes
-	// after which a link is declared down. Default 2. A threshold of
-	// 1 detects fastest but false-positives under frame loss — the
-	// miss-threshold ablation bench quantifies the trade.
-	MissThreshold int
-	// RelayTTL is the rebroadcast depth of route queries. The default
-	// of 1 is always sufficient on a dual-rail cluster (a single relay
-	// bridges the rails); higher values let discovery cross relay
-	// chains on ≥3-rail topologies.
-	RelayTTL int
-	// QueryTimeout is how long the daemon waits for route offers
-	// before giving up (it retries at the next probe round while the
-	// destination stays unreachable). Default ProbeInterval/2.
-	QueryTimeout time.Duration
-	// DataTTL bounds data-plane forwarding hops. Default 4.
-	DataTTL int
-	// QueueCapacity is the number of datagrams buffered per
-	// destination while route discovery is in flight. Default 16.
-	QueueCapacity int
-	// Monitor lists the peers this daemon link-checks; nil means all
-	// other nodes (the deployed DRS monitors the whole cluster).
-	Monitor []int
-	// StaggerProbes spreads each round's link checks evenly across
-	// the probe interval instead of bursting them at the round start.
-	// Detection latency is unchanged (misses are still accounted per
-	// round); what changes is the instantaneous load on the shared
-	// segments — the difference between a once-a-second frame train
-	// and a smooth trickle.
-	StaggerProbes bool
-	// DynamicMembership switches the daemon from the deployed DRS's
-	// static host list to discovery: each round the daemon broadcasts
-	// a hello, and any hello it hears adds the sender to its monitored
-	// set. Monitor then lists only pre-seeded peers (nil means start
-	// empty). An extension beyond the paper.
-	DynamicMembership bool
-	// PreferLowLatency steers direct routes toward the rail with the
-	// lower smoothed probe RTT: each round, a route moves if another
-	// healthy rail has been measured at less than half its current
-	// rail's SRTT (the 2× hysteresis prevents flapping). The deployed
-	// DRS used fixed rail preference; this extension uses the probes
-	// the protocol already pays for as a congestion signal.
-	PreferLowLatency bool
-	// ForgetAfter removes a dynamically learned peer that has been
-	// silent on every rail for this long (0 = never forget; static
-	// members are never forgotten).
-	ForgetAfter time.Duration
-	// Trace, if non-nil, receives protocol events.
-	Trace *trace.Log
-}
-
-// DefaultConfig returns the deployed defaults.
-func DefaultConfig() Config {
-	return Config{
-		ProbeInterval: time.Second,
-		MissThreshold: 2,
-		RelayTTL:      1,
-		DataTTL:       4,
-		QueueCapacity: 16,
-	}
-}
-
-func (c *Config) normalize(nodes, self int) error {
-	if c.ProbeInterval <= 0 {
-		return fmt.Errorf("core: probe interval must be positive")
-	}
-	if c.MissThreshold <= 0 {
-		return fmt.Errorf("core: miss threshold must be positive")
-	}
-	if c.RelayTTL <= 0 {
-		return fmt.Errorf("core: relay TTL must be positive")
-	}
-	if c.QueryTimeout == 0 {
-		c.QueryTimeout = c.ProbeInterval / 2
-	}
-	if c.QueryTimeout <= 0 {
-		return fmt.Errorf("core: query timeout must be positive")
-	}
-	if c.DataTTL <= 0 {
-		c.DataTTL = 4
-	}
-	if c.QueueCapacity <= 0 {
-		c.QueueCapacity = 16
-	}
-	if c.ForgetAfter < 0 {
-		return fmt.Errorf("core: negative ForgetAfter")
-	}
-	if c.Monitor == nil && !c.DynamicMembership {
-		for n := 0; n < nodes; n++ {
-			if n != self {
-				c.Monitor = append(c.Monitor, n)
-			}
-		}
-	}
-	seen := make(map[int]bool)
-	for _, p := range c.Monitor {
-		if p < 0 || p >= nodes || p == self {
-			return fmt.Errorf("core: monitored peer %d invalid for node %d of %d", p, self, nodes)
-		}
-		if seen[p] {
-			return fmt.Errorf("core: peer %d monitored twice", p)
-		}
-		seen[p] = true
-	}
-	return nil
-}
-
-// RouteKind classifies an installed route.
-type RouteKind int
+// The route vocabulary is defined by internal/routetable and re-
+// exported here: the daemon's public API predates the layering, and
+// every consumer (runtime, experiments, examples) speaks these names.
+type (
+	// RouteKind classifies an installed route.
+	RouteKind = routetable.Kind
+	// Route describes the daemon's current path to one destination.
+	Route = routetable.Route
+	// Repair records one completed route repair, the unit of the
+	// recovery-latency experiments.
+	Repair = routetable.Repair
+	// RTTStats is the smoothed round-trip estimate of one monitored
+	// path.
+	RTTStats = linkmon.RTTStats
+)
 
 // Route kinds.
 const (
 	// RouteNone means the destination is currently unreachable (or
 	// discovery is in flight).
-	RouteNone RouteKind = iota
+	RouteNone = routetable.None
 	// RouteDirect sends straight to the destination on a rail.
-	RouteDirect
+	RouteDirect = routetable.Direct
 	// RouteRelay sends through another server that can reach the
 	// destination.
-	RouteRelay
+	RouteRelay = routetable.Relay
 )
-
-// String implements fmt.Stringer.
-func (k RouteKind) String() string {
-	switch k {
-	case RouteNone:
-		return "none"
-	case RouteDirect:
-		return "direct"
-	case RouteRelay:
-		return "relay"
-	default:
-		return fmt.Sprintf("RouteKind(%d)", int(k))
-	}
-}
-
-// Route describes the daemon's current path to one destination.
-type Route struct {
-	Kind RouteKind
-	Rail int // rail the first hop uses
-	Via  int // next-hop node (== destination for direct routes)
-}
-
-// Repair records one completed route repair, the unit of the
-// recovery-latency experiments.
-type Repair struct {
-	Peer       int
-	LostAt     time.Duration // when the previous route became unusable
-	RepairedAt time.Duration // when the replacement was installed
-	Route      Route         // the replacement
-}
-
-// Latency returns the repair latency.
-func (r Repair) Latency() time.Duration { return r.RepairedAt - r.LostAt }
-
-// linkState tracks phase-1 monitoring of one (peer, rail) path.
-type linkState struct {
-	up         bool
-	misses     int
-	pending    bool
-	pendingSeq uint16
-	// RTT estimation (Jacobson/Karels) from probe timestamps.
-	srtt    time.Duration
-	rttvar  time.Duration
-	samples int64
-}
-
-// observeRTT folds one probe round-trip sample into the smoothed
-// estimate: srtt ← srtt + (rtt−srtt)/8, rttvar ← rttvar + (|err|−rttvar)/4.
-func (st *linkState) observeRTT(rtt time.Duration) {
-	if rtt < 0 {
-		return
-	}
-	st.samples++
-	if st.samples == 1 {
-		st.srtt = rtt
-		st.rttvar = rtt / 2
-		return
-	}
-	err := rtt - st.srtt
-	if err < 0 {
-		err = -err
-	}
-	st.srtt += (rtt - st.srtt) / 8
-	st.rttvar += (err - st.rttvar) / 4
-}
-
-// RTTStats is the smoothed round-trip estimate of one monitored path.
-type RTTStats struct {
-	// SRTT is the smoothed round-trip time; RTTVar its mean deviation.
-	SRTT, RTTVar time.Duration
-	// Samples is the number of probe round trips measured.
-	Samples int64
-}
-
-type pendingQuery struct {
-	seq    uint32
-	lostAt time.Duration
-	cancel func() bool
-}
 
 // Daemon is one node's DRS instance.
 type Daemon struct {
@@ -259,30 +94,13 @@ type Daemon struct {
 	stopped bool
 	deliver func(src int, data []byte)
 
-	// link[peer][rail]; nil slice for unmonitored peers.
-	link [][]linkState
-	// static[peer] marks pre-configured members, which are never
-	// forgotten by dynamic membership.
-	static []bool
-	// lastHeard[peer] is the last time any valid traffic arrived from
-	// the peer (dynamic-membership bookkeeping).
-	lastHeard []time.Duration
-	// routes[peer]
-	routes []Route
-	// probeSeq is the global echo sequence counter.
-	probeSeq uint16
-	// querySeq numbers this daemon's route discoveries.
-	querySeq uint32
-	// pending route discoveries by target.
-	pending map[int]*pendingQuery
-	// seenQueries dedupes (origin, seq) across rails/rebroadcasts.
-	seenQueries map[uint64]time.Duration
-	// queued data awaiting a route, by destination.
-	queued  map[int][][]byte
-	dataSeq uint32
-	repairs []Repair
+	// The protocol layers. All are guarded by mu.
+	links   *linkmon.Table      // phase-1 probe state per (peer, rail)
+	members *membership.Tracker // static marks + last-heard times
+	routes  *routetable.Table   // routes, repairs, discovery lifecycle
+	plane   *dataplane.Plane    // data frames + discovery queues
 
-	probeCancel func() bool
+	rounds *linkmon.Rounds // probe-round driver (own locking)
 }
 
 // New creates a DRS daemon for the node tr is attached to.
@@ -294,21 +112,20 @@ func New(tr routing.Transport, clock routing.Clock, cfg Config) (*Daemon, error)
 		return nil, err
 	}
 	d := &Daemon{
-		cfg:         cfg,
-		tr:          tr,
-		clock:       clock,
-		mset:        metrics.NewSet(),
-		link:        make([][]linkState, tr.Nodes()),
-		static:      make([]bool, tr.Nodes()),
-		lastHeard:   make([]time.Duration, tr.Nodes()),
-		routes:      make([]Route, tr.Nodes()),
-		pending:     make(map[int]*pendingQuery),
-		seenQueries: make(map[uint64]time.Duration),
-		queued:      make(map[int][][]byte),
+		cfg:     cfg,
+		tr:      tr,
+		clock:   clock,
+		mset:    metrics.NewSet(),
+		links:   linkmon.NewTable(tr.Nodes(), tr.Rails()),
+		members: membership.New(tr.Nodes()),
+		routes:  routetable.New(tr.Nodes()),
+		rounds:  linkmon.NewRounds(clock),
 	}
+	d.plane = dataplane.New(tr.Node(), tr.Nodes(), cfg.DataTTL, cfg.QueueCapacity,
+		d.mset.Counter(routing.CtrQueueOverflow))
 	for _, p := range cfg.Monitor {
 		d.addPeerLocked(p, 0)
-		d.static[p] = true
+		d.members.MarkStatic(p)
 	}
 	return d, nil
 }
@@ -317,31 +134,21 @@ func New(tr routing.Transport, clock routing.Clock, cfg Config) (*Daemon, error)
 // on rail. Links start optimistically up: the deployed daemon assumes
 // health until a check fails. Caller holds d.mu (or is initializing).
 func (d *Daemon) addPeerLocked(peer, rail int) {
-	if d.link[peer] != nil {
+	if !d.links.Add(peer) {
 		return
 	}
-	d.link[peer] = make([]linkState, d.tr.Rails())
-	for r := range d.link[peer] {
-		d.link[peer][r] = linkState{up: true}
-	}
-	d.routes[peer] = Route{Kind: RouteDirect, Rail: rail, Via: peer}
-	d.lastHeard[peer] = d.clock.Now()
+	d.routes.SetRoute(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer})
+	d.members.Heard(peer, d.clock.Now())
 }
 
 // removePeerLocked forgets a dynamically learned peer entirely.
 func (d *Daemon) removePeerLocked(peer int) {
-	if d.link[peer] == nil || d.static[peer] {
+	if !d.links.Monitored(peer) || d.members.IsStatic(peer) {
 		return
 	}
-	d.link[peer] = nil
-	d.routes[peer] = Route{}
-	delete(d.queued, peer)
-	if q, ok := d.pending[peer]; ok {
-		if q.cancel != nil {
-			q.cancel()
-		}
-		delete(d.pending, peer)
-	}
+	d.links.Remove(peer)
+	d.plane.Discard(peer)
+	d.routes.Drop(peer)
 }
 
 // Peers returns the currently monitored peers in ascending order.
@@ -349,8 +156,8 @@ func (d *Daemon) Peers() []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var out []int
-	for p := range d.link {
-		if d.link[p] != nil {
+	for p := 0; p < d.links.Nodes(); p++ {
+		if d.links.Monitored(p) {
 			out = append(out, p)
 		}
 	}
@@ -367,7 +174,7 @@ func (d *Daemon) Start() error {
 	d.started = true
 	d.mu.Unlock()
 	d.tr.SetReceiver(d.onFrame)
-	d.probeRound()
+	d.rounds.Run(d.cfg.ProbeInterval, d.probeRound)
 	return nil
 }
 
@@ -375,16 +182,23 @@ func (d *Daemon) Start() error {
 func (d *Daemon) Stop() {
 	d.mu.Lock()
 	d.stopped = true
-	cancels := []func() bool{d.probeCancel}
-	for _, q := range d.pending {
-		cancels = append(cancels, q.cancel)
-	}
+	cancels := d.routes.Cancels()
 	d.mu.Unlock()
+	d.rounds.Stop()
 	for _, c := range cancels {
 		if c != nil {
 			c()
 		}
 	}
+}
+
+// Leave announces departure to the cluster (dynamic membership) and
+// stops the daemon.
+func (d *Daemon) Leave() {
+	if d.cfg.DynamicMembership {
+		membership.Goodbye(d.tr)
+	}
+	d.Stop()
 }
 
 // SetDeliverFunc installs the application receive callback.
@@ -401,324 +215,35 @@ func (d *Daemon) Metrics() *metrics.Set { return d.mset }
 func (d *Daemon) LinkUp(peer, rail int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.link[peer] == nil {
-		return false
-	}
-	return d.link[peer][rail].up
+	st := d.links.State(peer, rail)
+	return st != nil && st.Up
 }
 
 // RouteTo returns the current route to peer.
 func (d *Daemon) RouteTo(peer int) Route {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.routes[peer]
+	return d.routes.Route(peer)
 }
 
 // Repairs returns the completed route repairs in order.
 func (d *Daemon) Repairs() []Repair {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]Repair(nil), d.repairs...)
+	return d.routes.Repairs()
 }
 
-// ---------------------------------------------------------------
-// Phase 1: link checks.
-
-// probeRound runs one phase-1 round: account the previous round's
-// misses, then probe every monitored peer on every rail.
-func (d *Daemon) probeRound() {
-	d.mu.Lock()
-	if d.stopped {
-		d.mu.Unlock()
-		return
-	}
-	now := d.clock.Now()
-	// Dynamic membership: forget peers that have been silent too long
-	// before probing them again.
-	if d.cfg.DynamicMembership && d.cfg.ForgetAfter > 0 {
-		for peer := range d.link {
-			if d.link[peer] == nil || d.static[peer] {
-				continue
-			}
-			if now-d.lastHeard[peer] > d.cfg.ForgetAfter {
-				d.removePeerLocked(peer)
-				d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteLost,
-					Peer: peer, Rail: -1, Detail: "peer forgotten (silent)"})
-			}
-		}
-	}
-	if d.cfg.PreferLowLatency {
-		d.steerByLatencyLocked(now)
-	}
-	type probe struct{ peer, rail int }
-	var probes []probe
-	for peer := range d.link {
-		if d.link[peer] == nil {
-			continue
-		}
-		for rail := 0; rail < d.tr.Rails(); rail++ {
-			st := &d.link[peer][rail]
-			if st.pending {
-				st.misses++
-				if st.up && st.misses >= d.cfg.MissThreshold {
-					d.markDownLocked(peer, rail, now)
-				}
-			}
-			d.probeSeq++
-			st.pending = true
-			st.pendingSeq = d.probeSeq
-			probes = append(probes, probe{peer, rail})
-		}
-	}
-	seqs := make(map[probe]uint16, len(probes))
-	for _, p := range probes {
-		seqs[p] = d.link[p.peer][p.rail].pendingSeq
-	}
-	self := uint16(d.tr.Node())
-	stagger := d.cfg.StaggerProbes && len(probes) > 1
-	dynamic := d.cfg.DynamicMembership
-	d.mu.Unlock()
-
-	if dynamic {
-		// Announce ourselves so unknown peers learn us (and we learn
-		// them from their hellos).
-		hello := routing.Envelope(routing.ProtoControl, marshalHello())
-		for rail := 0; rail < d.tr.Rails(); rail++ {
-			_ = d.tr.Send(rail, routing.Broadcast, hello)
-		}
-	}
-
-	send := func(p probe) {
-		// The probe carries its send time; the echoed copy yields an
-		// RTT sample with no per-probe state at the sender.
-		ts := make([]byte, 8)
-		binary.BigEndian.PutUint64(ts, uint64(d.clock.Now()))
-		echo := icmp.Echo{Request: true, ID: self, Seq: seqs[p], Data: ts}
-		payload := routing.Envelope(routing.ProtoICMP, echo.Marshal())
-		if err := d.tr.Send(p.rail, p.peer, payload); err == nil {
-			d.mset.Counter(routing.CtrProbesSent).Inc()
-		}
-	}
-	if stagger {
-		step := d.cfg.ProbeInterval / time.Duration(len(probes))
-		for i, p := range probes {
-			p := p
-			if i == 0 {
-				send(p)
-				continue
-			}
-			d.clock.AfterFunc(time.Duration(i)*step, func() {
-				d.mu.Lock()
-				stopped := d.stopped
-				d.mu.Unlock()
-				if !stopped {
-					send(p)
-				}
-			})
-		}
-	} else {
-		for _, p := range probes {
-			send(p)
-		}
-	}
-
-	d.mu.Lock()
-	if !d.stopped {
-		d.probeCancel = d.clock.AfterFunc(d.cfg.ProbeInterval, d.probeRound)
-	}
-	d.mu.Unlock()
-}
-
-// steerByLatencyLocked moves direct routes to a clearly faster rail.
-// A move needs both rails measured (≥ minSteerSamples each) and the
-// candidate's SRTT below half the current rail's — hysteresis that
-// keeps routes stable under ordinary jitter. Caller holds d.mu.
-func (d *Daemon) steerByLatencyLocked(now time.Duration) {
-	const minSteerSamples = 8
-	for peer := range d.link {
-		if d.link[peer] == nil {
-			continue
-		}
-		rt := d.routes[peer]
-		if rt.Kind != RouteDirect {
-			continue
-		}
-		cur := d.link[peer][rt.Rail]
-		if !cur.up || cur.samples < minSteerSamples {
-			continue
-		}
-		best := rt.Rail
-		bestRTT := cur.srtt
-		for rail := 0; rail < d.tr.Rails(); rail++ {
-			if rail == rt.Rail {
-				continue
-			}
-			st := d.link[peer][rail]
-			if st.up && st.samples >= minSteerSamples && st.srtt*2 < cur.srtt && st.srtt < bestRTT {
-				best = rail
-				bestRTT = st.srtt
-			}
-		}
-		if best != rt.Rail {
-			d.installLocked(peer, Route{Kind: RouteDirect, Rail: best, Via: peer}, now)
-		}
-	}
-}
-
-// markDownLocked transitions a link to down and repairs routes that
-// depended on it. Caller holds d.mu.
-func (d *Daemon) markDownLocked(peer, rail int, now time.Duration) {
-	st := &d.link[peer][rail]
-	if !st.up {
-		return
-	}
-	st.up = false
-	d.mset.Counter(routing.CtrLinkDown).Inc()
-	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindLinkDown,
-		Peer: peer, Rail: rail})
-	// Repair the peer's own route if it used this rail directly.
-	if rt := d.routes[peer]; rt.Kind == RouteDirect && rt.Rail == rail {
-		d.repairLocked(peer, now)
-	}
-	// Relay routes through this peer survive while any rail to the
-	// relay works; once every rail to the relay is down, they die too.
-	if !d.anyLinkUpLocked(peer) {
-		for dst := range d.routes {
-			if rt := d.routes[dst]; rt.Kind == RouteRelay && rt.Via == peer {
-				d.repairLocked(dst, now)
-			}
-		}
-	}
-}
-
-// markUpLocked transitions a link to up and upgrades routes.
-func (d *Daemon) markUpLocked(peer, rail int, now time.Duration) {
-	st := &d.link[peer][rail]
-	if st.up {
-		return
-	}
-	st.up = true
-	d.mset.Counter(routing.CtrLinkUp).Inc()
-	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindLinkUp,
-		Peer: peer, Rail: rail})
-	// A live direct link always beats a relay, and beats a direct
-	// route on a dead rail.
-	rt := d.routes[peer]
-	needUpgrade := rt.Kind != RouteDirect || !d.link[peer][rt.Rail].up
-	if needUpgrade {
-		d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
-	}
-}
-
-func (d *Daemon) anyLinkUpLocked(peer int) bool {
-	if d.link[peer] == nil {
-		return false
-	}
-	for rail := range d.link[peer] {
-		if d.link[peer][rail].up {
-			return true
-		}
-	}
-	return false
-}
-
-// repairLocked replaces the route to peer: second direct rail first,
-// then relay discovery.
-func (d *Daemon) repairLocked(peer int, now time.Duration) {
-	for rail := 0; rail < d.tr.Rails(); rail++ {
-		if d.link[peer][rail].up {
-			d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
-			return
-		}
-	}
-	// No direct path remains: note the loss and ask the cluster.
-	if d.routes[peer].Kind != RouteNone {
-		d.routes[peer] = Route{Kind: RouteNone}
-		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteLost, Peer: peer, Rail: -1})
-	}
-	d.startQueryLocked(peer, now)
-}
-
-// installLocked records a new route, completes any pending discovery,
-// logs the repair, and flushes queued traffic.
-func (d *Daemon) installLocked(peer int, rt Route, now time.Duration) {
-	prev := d.routes[peer]
-	if prev == rt {
-		return
-	}
-	d.routes[peer] = rt
-	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteInstalled,
-		Peer: peer, Rail: rt.Rail, Detail: fmt.Sprintf("%s via %d", rt.Kind, rt.Via)})
-	d.mset.Counter(routing.CtrRepairs).Inc()
-
-	lostAt := now
-	if q, ok := d.pending[peer]; ok {
-		lostAt = q.lostAt
-		if q.cancel != nil {
-			q.cancel()
-		}
-		delete(d.pending, peer)
-	}
-	d.repairs = append(d.repairs, Repair{Peer: peer, LostAt: lostAt, RepairedAt: now, Route: rt})
-
-	if queue := d.queued[peer]; len(queue) > 0 {
-		delete(d.queued, peer)
-		// Flush outside the lock is unnecessary: transports never
-		// call back inline into SendData paths, and the simulator
-		// delivers asynchronously.
-		for _, frame := range queue {
-			d.forwardLocked(peer, frame)
-		}
-	}
-}
-
-// startQueryLocked begins (or refreshes) relay discovery for peer.
-func (d *Daemon) startQueryLocked(peer int, now time.Duration) {
-	if _, ok := d.pending[peer]; ok {
-		return // one discovery in flight per target
-	}
-	d.querySeq++
-	q := &pendingQuery{seq: d.querySeq, lostAt: now}
-	d.pending[peer] = q
-	query := routeQuery{
-		Origin: uint16(d.tr.Node()),
-		Target: uint16(peer),
-		Seq:    q.seq,
-		TTL:    uint8(d.cfg.RelayTTL),
-	}
-	payload := routing.Envelope(routing.ProtoControl, marshalQuery(query))
-	for rail := 0; rail < d.tr.Rails(); rail++ {
-		if err := d.tr.Send(rail, routing.Broadcast, payload); err == nil {
-			d.mset.Counter(routing.CtrQueriesSent).Inc()
-		}
-	}
-	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindQuerySent,
-		Peer: peer, Rail: -1, Detail: fmt.Sprintf("seq=%d ttl=%d", q.seq, query.TTL)})
-	q.cancel = d.clock.AfterFunc(d.cfg.QueryTimeout, func() { d.queryExpired(peer, q.seq) })
-}
-
-// queryExpired abandons a discovery that received no offer; the next
-// probe round retries while the peer remains unreachable.
-func (d *Daemon) queryExpired(peer int, seq uint32) {
+// RTT returns the smoothed round-trip estimate for the (peer, rail)
+// path; ok is false when the peer is unmonitored or no probe has
+// completed yet.
+func (d *Daemon) RTT(peer, rail int) (RTTStats, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.stopped {
-		return
+	st := d.links.State(peer, rail)
+	if st == nil {
+		return RTTStats{}, false
 	}
-	q, ok := d.pending[peer]
-	if !ok || q.seq != seq {
-		return
-	}
-	delete(d.pending, peer)
-	// Retry immediately if the peer is still routeless and a sender is
-	// waiting; otherwise the next markDown/SendData will requery.
-	if d.routes[peer].Kind == RouteNone && len(d.queued[peer]) > 0 {
-		d.startQueryLocked(peer, d.clock.Now())
-		// Preserve the original loss time for latency accounting.
-		if nq, ok := d.pending[peer]; ok {
-			nq.lostAt = q.lostAt
-		}
-	}
+	return st.RTT()
 }
 
 // ---------------------------------------------------------------
@@ -758,46 +283,27 @@ func (d *Daemon) onICMP(rail, src int, body []byte) {
 	// Echo reply: must match our outstanding probe for (src, rail).
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.stopped || d.link[src] == nil {
+	if d.stopped || !d.links.Monitored(src) {
 		return
 	}
 	if echo.ID != uint16(d.tr.Node()) {
 		return // not ours
 	}
-	st := &d.link[src][rail]
-	if !st.pending || echo.Seq != st.pendingSeq {
+	st, ok := d.links.Confirm(src, rail, echo.Seq)
+	if !ok {
 		return // stale reply
 	}
-	st.pending = false
-	st.misses = 0
 	now := d.clock.Now()
-	d.lastHeard[src] = now
+	d.members.Heard(src, now)
 	d.mset.Counter(routing.CtrProbeReplies).Inc()
 	if len(echo.Data) >= 8 {
 		if sentAt := time.Duration(binary.BigEndian.Uint64(echo.Data[:8])); sentAt <= now {
-			st.observeRTT(now - sentAt)
+			st.ObserveRTT(now - sentAt)
 		}
 	}
-	if !st.up {
+	if !st.Up {
 		d.markUpLocked(src, rail, now)
 	}
-}
-
-// RTT returns the smoothed round-trip estimate for the (peer, rail)
-// path; ok is false when the peer is unmonitored or no probe has
-// completed yet.
-func (d *Daemon) RTT(peer, rail int) (RTTStats, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if peer < 0 || peer >= len(d.link) || d.link[peer] == nil ||
-		rail < 0 || rail >= d.tr.Rails() {
-		return RTTStats{}, false
-	}
-	st := d.link[peer][rail]
-	if st.samples == 0 {
-		return RTTStats{}, false
-	}
-	return RTTStats{SRTT: st.srtt, RTTVar: st.rttvar, Samples: st.samples}, true
 }
 
 // noteAlive records implicit liveness evidence for (src, rail):
@@ -805,313 +311,15 @@ func (d *Daemon) RTT(peer, rail int) (RTTStats, bool) {
 func (d *Daemon) noteAlive(rail, src int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.stopped || d.link[src] == nil {
+	if d.stopped || !d.links.Monitored(src) {
 		return
 	}
-	d.lastHeard[src] = d.clock.Now()
-	st := &d.link[src][rail]
-	st.misses = 0
-	if !st.up {
+	d.members.Heard(src, d.clock.Now())
+	st := d.links.State(src, rail)
+	st.Misses = 0
+	if !st.Up {
 		d.markUpLocked(src, rail, d.clock.Now())
 	}
-}
-
-func (d *Daemon) onControl(rail, src int, body []byte) {
-	if len(body) == 0 {
-		return
-	}
-	switch body[0] {
-	case msgRouteQuery:
-		q, err := unmarshalQuery(body)
-		if err != nil {
-			return
-		}
-		d.onQuery(rail, src, q)
-	case msgRouteOffer:
-		o, err := unmarshalOffer(body)
-		if err != nil {
-			return
-		}
-		d.onOffer(rail, o)
-	case msgHello:
-		d.onHello(rail, src)
-	case msgGoodbye:
-		d.onGoodbye(src)
-	}
-}
-
-// onHello learns a peer (dynamic membership) and refreshes liveness.
-func (d *Daemon) onHello(rail, src int) {
-	if !d.cfg.DynamicMembership || src == d.tr.Node() {
-		return
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.stopped {
-		return
-	}
-	now := d.clock.Now()
-	d.lastHeard[src] = now
-	if d.link[src] == nil {
-		d.addPeerLocked(src, rail)
-		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteInstalled,
-			Peer: src, Rail: rail, Detail: "peer discovered (hello)"})
-	}
-}
-
-// onGoodbye retracts a dynamically learned peer immediately.
-func (d *Daemon) onGoodbye(src int) {
-	if !d.cfg.DynamicMembership {
-		return
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.stopped || d.link[src] == nil || d.static[src] {
-		return
-	}
-	d.removePeerLocked(src)
-	d.event(trace.Event{At: d.clock.Now(), Node: d.tr.Node(), Kind: trace.KindRouteLost,
-		Peer: src, Rail: -1, Detail: "peer left (goodbye)"})
-}
-
-// Leave announces departure to the cluster (dynamic membership) and
-// stops the daemon.
-func (d *Daemon) Leave() {
-	if d.cfg.DynamicMembership {
-		bye := routing.Envelope(routing.ProtoControl, marshalGoodbye())
-		for rail := 0; rail < d.tr.Rails(); rail++ {
-			_ = d.tr.Send(rail, routing.Broadcast, bye)
-		}
-	}
-	d.Stop()
-}
-
-func (d *Daemon) onQuery(rail, src int, q routeQuery) {
-	self := d.tr.Node()
-	origin := int(q.Origin)
-	target := int(q.Target)
-	if origin == self || origin < 0 || origin >= d.tr.Nodes() ||
-		target < 0 || target >= d.tr.Nodes() {
-		return
-	}
-	d.mset.Counter(routing.CtrQueriesRecv).Inc()
-
-	d.mu.Lock()
-	if d.stopped {
-		d.mu.Unlock()
-		return
-	}
-	now := d.clock.Now()
-	key := uint64(q.Origin)<<32 | uint64(q.Seq)
-	if at, seen := d.seenQueries[key]; seen && now-at < 10*d.cfg.ProbeInterval {
-		d.mu.Unlock()
-		return
-	}
-	d.seenQueries[key] = now
-	d.gcSeenLocked(now)
-
-	canOffer := false
-	if target == self {
-		// The query reached us, so origin↔us works on this rail:
-		// offer ourselves; the origin installs a direct route.
-		canOffer = true
-	} else if d.link[target] != nil && d.anyLinkUpLocked(target) {
-		canOffer = true
-	} else if rt := d.routes[target]; rt.Kind == RouteRelay && rt.Via != origin {
-		// We reach the target through our own relay: offering chains
-		// discoveries, which is what connects multi-rail topologies
-		// where no single server touches both endpoints' rails. The
-		// data plane's TTL and its no-bounce-back rule keep stale
-		// chains from looping.
-		canOffer = true
-	}
-	ttl := q.TTL
-	d.mu.Unlock()
-
-	if canOffer {
-		offer := routeOffer{Origin: q.Origin, Target: q.Target, Seq: q.Seq, Relay: uint16(self)}
-		if err := d.tr.Send(rail, origin, routing.Envelope(routing.ProtoControl, marshalOffer(offer))); err == nil {
-			d.mset.Counter(routing.CtrOffersSent).Inc()
-			d.event(trace.Event{At: now, Node: self, Kind: trace.KindOfferSent,
-				Peer: origin, Rail: rail, Detail: fmt.Sprintf("target=%d", target)})
-		}
-		return
-	}
-	// Cannot help directly: extend the search if the query has depth
-	// left (multi-rail topologies; a no-op at the default TTL of 1).
-	if ttl > 1 {
-		q.TTL = ttl - 1
-		payload := routing.Envelope(routing.ProtoControl, marshalQuery(q))
-		for r := 0; r < d.tr.Rails(); r++ {
-			_ = d.tr.Send(r, routing.Broadcast, payload)
-		}
-	}
-}
-
-// gcSeenLocked bounds the dedupe cache.
-func (d *Daemon) gcSeenLocked(now time.Duration) {
-	if len(d.seenQueries) < 4096 {
-		return
-	}
-	for k, at := range d.seenQueries {
-		if now-at >= 10*d.cfg.ProbeInterval {
-			delete(d.seenQueries, k)
-		}
-	}
-}
-
-func (d *Daemon) onOffer(rail int, o routeOffer) {
-	self := d.tr.Node()
-	if int(o.Origin) != self {
-		return // not addressed to us
-	}
-	target := int(o.Target)
-	relay := int(o.Relay)
-	if target < 0 || target >= d.tr.Nodes() || relay < 0 || relay >= d.tr.Nodes() {
-		return
-	}
-	d.mset.Counter(routing.CtrOffersRecv).Inc()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.stopped {
-		return
-	}
-	q, ok := d.pending[target]
-	if !ok || q.seq != o.Seq {
-		return // stale or unsolicited offer; first offer already won
-	}
-	now := d.clock.Now()
-	if relay == target {
-		// The target itself answered: the rail works after all.
-		d.installLocked(target, Route{Kind: RouteDirect, Rail: rail, Via: target}, now)
-	} else {
-		d.installLocked(target, Route{Kind: RouteRelay, Rail: rail, Via: relay}, now)
-	}
-}
-
-// ---------------------------------------------------------------
-// Data plane.
-
-// SendData routes one application datagram to dst. While discovery is
-// in flight the datagram is queued (bounded) and flushed when a route
-// installs; nil is returned in that case because recovery is the
-// expected outcome.
-func (d *Daemon) SendData(dst int, data []byte) error {
-	d.mu.Lock()
-	if d.stopped {
-		d.mu.Unlock()
-		return routing.ErrStopped
-	}
-	if dst < 0 || dst >= d.tr.Nodes() || dst == d.tr.Node() {
-		d.mu.Unlock()
-		return fmt.Errorf("core: bad destination %d", dst)
-	}
-	if d.link[dst] == nil {
-		d.mu.Unlock()
-		return fmt.Errorf("core: destination %d is not monitored", dst)
-	}
-	d.dataSeq++
-	h := routing.DataHeader{
-		Origin: uint16(d.tr.Node()),
-		Final:  uint16(dst),
-		TTL:    uint8(d.cfg.DataTTL),
-		Seq:    d.dataSeq,
-	}
-	frame := routing.Envelope(routing.ProtoData, routing.MarshalData(h, data))
-
-	if d.routes[dst].Kind == RouteNone {
-		now := d.clock.Now()
-		if len(d.queued[dst]) >= d.cfg.QueueCapacity {
-			d.mu.Unlock()
-			d.mset.Counter(routing.CtrDataNoRoute).Inc()
-			return routing.ErrNoRoute
-		}
-		d.queued[dst] = append(d.queued[dst], frame)
-		d.startQueryLocked(dst, now)
-		d.mu.Unlock()
-		return nil
-	}
-	d.forwardLocked(dst, frame)
-	d.mu.Unlock()
-	d.mset.Counter(routing.CtrDataSent).Inc()
-	return nil
-}
-
-// forwardLocked transmits an already-enveloped data frame along the
-// installed route to dst. Caller holds d.mu.
-func (d *Daemon) forwardLocked(dst int, frame []byte) {
-	rt := d.routes[dst]
-	if rt.Kind == RouteNone {
-		d.mset.Counter(routing.CtrDataDropped).Inc()
-		return
-	}
-	_ = d.tr.Send(rt.Rail, rt.Via, frame)
-}
-
-func (d *Daemon) onData(rail, src int, body []byte) {
-	h, data, err := routing.UnmarshalData(body)
-	if err != nil {
-		return
-	}
-	self := d.tr.Node()
-	if int(h.Final) == self {
-		d.mu.Lock()
-		deliver := d.deliver
-		stopped := d.stopped
-		now := d.clock.Now()
-		d.mu.Unlock()
-		if stopped || deliver == nil {
-			return
-		}
-		d.mset.Counter(routing.CtrDataDelivered).Inc()
-		d.event(trace.Event{At: now, Node: self, Kind: trace.KindDataDelivered,
-			Peer: int(h.Origin), Rail: rail, Detail: fmt.Sprintf("seq=%d", h.Seq)})
-		deliver(int(h.Origin), data)
-		return
-	}
-	// Relay duty: forward toward the final destination.
-	if h.TTL <= 1 {
-		d.mset.Counter(routing.CtrDataDropped).Inc()
-		return
-	}
-	h.TTL--
-	final := int(h.Final)
-	if final < 0 || final >= d.tr.Nodes() || final == self {
-		d.mset.Counter(routing.CtrDataDropped).Inc()
-		return
-	}
-	d.mu.Lock()
-	if d.stopped || d.link[final] == nil {
-		d.mu.Unlock()
-		d.mset.Counter(routing.CtrDataDropped).Inc()
-		return
-	}
-	now := d.clock.Now()
-	// Prefer a live direct rail; fall back to our own relay route as
-	// long as it does not bounce the frame back where it came from
-	// (the TTL is the backstop against longer cycles on exotic
-	// topologies).
-	outRail, outVia := -1, -1
-	for r := 0; r < d.tr.Rails(); r++ {
-		if d.link[final][r].up {
-			outRail, outVia = r, final
-			break
-		}
-	}
-	if outRail < 0 {
-		if rt := d.routes[final]; rt.Kind == RouteRelay && rt.Via != src && rt.Via != int(h.Origin) {
-			outRail, outVia = rt.Rail, rt.Via
-		}
-	}
-	d.mu.Unlock()
-	if outRail < 0 {
-		d.mset.Counter(routing.CtrDataDropped).Inc()
-		return
-	}
-	d.mset.Counter(routing.CtrDataForwarded).Inc()
-	d.event(trace.Event{At: now, Node: self, Kind: trace.KindDataForwarded,
-		Peer: final, Rail: outRail, Detail: fmt.Sprintf("origin=%d seq=%d", h.Origin, h.Seq)})
-	_ = d.tr.Send(outRail, outVia, routing.Envelope(routing.ProtoData, routing.MarshalData(h, data)))
 }
 
 func (d *Daemon) event(e trace.Event) {

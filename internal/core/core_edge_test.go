@@ -254,7 +254,7 @@ func TestSeenQueryCacheGC(t *testing.T) {
 	}
 	c.runFor(time.Second)
 	c.daemons[0].mu.Lock()
-	size := len(c.daemons[0].seenQueries)
+	size := c.daemons[0].routes.SeenSize()
 	c.daemons[0].mu.Unlock()
 	if size > 5000 {
 		t.Fatalf("seen-query cache grew to %d entries", size)
@@ -310,13 +310,13 @@ func TestProbeSeqWraparound(t *testing.T) {
 	// Jump the counters to the brink of the wrap on both daemons.
 	for _, d := range c.daemons {
 		d.mu.Lock()
-		d.probeSeq = 65530
+		d.links.SetSeq(65530)
 		d.mu.Unlock()
 	}
 	c.runFor(10 * time.Second) // ~100 rounds × 2 probes: well past the wrap
 	for _, d := range c.daemons {
 		d.mu.Lock()
-		seq := d.probeSeq
+		seq := d.links.Seq()
 		d.mu.Unlock()
 		if seq >= 65530 {
 			t.Fatalf("sequence did not wrap (%d)", seq)

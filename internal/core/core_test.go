@@ -29,12 +29,12 @@ type msg struct {
 	data string
 }
 
-func newCluster(t *testing.T, n int, cfg Config) *cluster {
+func newCluster(t testing.TB, n int, cfg Config) *cluster {
 	t.Helper()
 	return newClusterShape(t, topology.Dual(n), cfg)
 }
 
-func newClusterShape(t *testing.T, shape topology.Cluster, cfg Config) *cluster {
+func newClusterShape(t testing.TB, shape topology.Cluster, cfg Config) *cluster {
 	t.Helper()
 	sched := simtime.NewScheduler()
 	net, err := netsim.New(sched, shape, netsim.DefaultParams(), 1)
@@ -295,7 +295,7 @@ func TestRecoveryReinstatesDirectRoute(t *testing.T) {
 	}
 }
 
-func TestTotalPartitionQueuesThenRejects(t *testing.T) {
+func TestTotalPartitionQueuesThenDropsOldest(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.QueueCapacity = 4
 	c := newCluster(t, 3, cfg)
@@ -310,23 +310,35 @@ func TestTotalPartitionQueuesThenRejects(t *testing.T) {
 	if rt := c.daemons[0].RouteTo(1); rt.Kind != RouteNone {
 		t.Fatalf("route to isolated node = %+v, want none", rt)
 	}
-	// Queue fills, then SendData reports no route.
-	var errs []error
+	// The queue fills, then overflow evicts the oldest datagram: every
+	// send still succeeds (recovery is the expected outcome) and the
+	// overflow counter records each eviction.
 	for i := 0; i < cfg.QueueCapacity+2; i++ {
-		errs = append(errs, c.daemons[0].SendData(1, []byte("x")))
+		if err := c.daemons[0].SendData(1, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d failed: %v", i, err)
+		}
 		c.runFor(10 * time.Millisecond)
 	}
-	sawNoRoute := false
-	for _, err := range errs {
-		if err == routing.ErrNoRoute {
-			sawNoRoute = true
-		}
-	}
-	if !sawNoRoute {
-		t.Fatalf("queue overflow never reported ErrNoRoute: %v", errs)
+	if got := c.daemons[0].Metrics().Counter(routing.CtrQueueOverflow).Value(); got != 2 {
+		t.Fatalf("queue.overflow = %d, want 2", got)
 	}
 	if len(c.delivered[1]) != 0 {
 		t.Fatal("data delivered to an isolated node")
+	}
+
+	// Repair the partition: discovery reruns, the route reinstalls and
+	// exactly the freshest QueueCapacity datagrams flush, oldest-first.
+	c.net.Restore(cl.NIC(1, 0))
+	c.net.Restore(cl.NIC(1, 1))
+	c.runFor(time.Duration(cfg.MissThreshold+3) * cfg.ProbeInterval)
+	got := c.delivered[1]
+	if len(got) != cfg.QueueCapacity {
+		t.Fatalf("%d datagrams delivered after repair, want %d: %v", len(got), cfg.QueueCapacity, got)
+	}
+	for i, m := range got {
+		if want := string([]byte{byte(i + 2)}); m.src != 0 || m.data != want {
+			t.Fatalf("delivery %d = %+v, want payload %q from 0", i, m, want)
+		}
 	}
 }
 

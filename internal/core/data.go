@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"drsnet/internal/dataplane"
+	"drsnet/internal/routing"
+	"drsnet/internal/trace"
+)
+
+// Data plane: originate, relay and deliver application datagrams over
+// whatever routes phase 2 has installed. The mechanics (sequence
+// numbers, TTL policing, discovery queues) live in internal/dataplane;
+// this file supplies the DRS's next-hop policy.
+
+// SendData routes one application datagram to dst. While discovery is
+// in flight the datagram is queued (bounded, oldest dropped first on
+// overflow) and flushed when a route installs; nil is returned in that
+// case because recovery is the expected outcome.
+func (d *Daemon) SendData(dst int, data []byte) error {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return routing.ErrStopped
+	}
+	if dst < 0 || dst >= d.tr.Nodes() || dst == d.tr.Node() {
+		d.mu.Unlock()
+		return fmt.Errorf("core: bad destination %d", dst)
+	}
+	if !d.links.Monitored(dst) {
+		d.mu.Unlock()
+		return fmt.Errorf("core: destination %d is not monitored", dst)
+	}
+	frame := d.plane.NewFrame(dst, data)
+
+	if d.routes.Route(dst).Kind == RouteNone {
+		now := d.clock.Now()
+		d.plane.Enqueue(dst, frame)
+		d.startQueryLocked(dst, now)
+		d.mu.Unlock()
+		return nil
+	}
+	d.forwardLocked(dst, frame)
+	d.mu.Unlock()
+	d.mset.Counter(routing.CtrDataSent).Inc()
+	return nil
+}
+
+// forwardLocked transmits an already-enveloped data frame along the
+// installed route to dst. Caller holds d.mu.
+func (d *Daemon) forwardLocked(dst int, frame []byte) {
+	rt := d.routes.Route(dst)
+	if rt.Kind == RouteNone {
+		d.mset.Counter(routing.CtrDataDropped).Inc()
+		return
+	}
+	_ = d.tr.Send(rt.Rail, rt.Via, frame)
+}
+
+func (d *Daemon) onData(rail, src int, body []byte) {
+	h, data, act := d.plane.Classify(body)
+	switch act {
+	case dataplane.Deliver:
+		d.mu.Lock()
+		deliver := d.deliver
+		stopped := d.stopped
+		now := d.clock.Now()
+		d.mu.Unlock()
+		if stopped || deliver == nil {
+			return
+		}
+		d.mset.Counter(routing.CtrDataDelivered).Inc()
+		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindDataDelivered,
+			Peer: int(h.Origin), Rail: rail, Detail: fmt.Sprintf("seq=%d", h.Seq)})
+		deliver(int(h.Origin), data)
+	case dataplane.Drop:
+		d.mset.Counter(routing.CtrDataDropped).Inc()
+	case dataplane.Forward:
+		// Relay duty: forward toward the final destination. Classify
+		// already decremented the TTL.
+		final := int(h.Final)
+		d.mu.Lock()
+		if d.stopped || !d.links.Monitored(final) {
+			d.mu.Unlock()
+			d.mset.Counter(routing.CtrDataDropped).Inc()
+			return
+		}
+		now := d.clock.Now()
+		// Prefer a live direct rail; fall back to our own relay route
+		// as long as it does not bounce the frame back where it came
+		// from (the TTL is the backstop against longer cycles on
+		// exotic topologies).
+		outRail, outVia := -1, -1
+		if r, ok := d.links.FirstUp(final); ok {
+			outRail, outVia = r, final
+		}
+		if outRail < 0 {
+			if rt := d.routes.Route(final); rt.Kind == RouteRelay && rt.Via != src && rt.Via != int(h.Origin) {
+				outRail, outVia = rt.Rail, rt.Via
+			}
+		}
+		d.mu.Unlock()
+		if outRail < 0 {
+			d.mset.Counter(routing.CtrDataDropped).Inc()
+			return
+		}
+		d.mset.Counter(routing.CtrDataForwarded).Inc()
+		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindDataForwarded,
+			Peer: final, Rail: outRail, Detail: fmt.Sprintf("origin=%d seq=%d", h.Origin, h.Seq)})
+		_ = d.tr.Send(outRail, outVia, dataplane.Frame(h, data))
+	}
+}

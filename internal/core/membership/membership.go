@@ -1,0 +1,69 @@
+// Package membership implements the DRS's dynamic-membership
+// extension: instead of the deployed system's statically configured
+// host list, daemons announce themselves with a hello each probe
+// round, retract themselves with a goodbye, and forget peers that
+// have gone silent. The Tracker only keeps the who-and-when
+// bookkeeping; the owning daemon decides what joining or leaving does
+// to its monitoring and route state.
+//
+// A Tracker is not goroutine-safe; the daemon serializes access under
+// its own lock.
+package membership
+
+import (
+	"time"
+
+	"drsnet/internal/routing"
+	"drsnet/internal/routing/wire"
+)
+
+// Tracker records which peers are statically configured and when each
+// peer was last heard from.
+type Tracker struct {
+	static    []bool
+	lastHeard []time.Duration
+}
+
+// New returns a tracker for a cluster of nodes.
+func New(nodes int) *Tracker {
+	return &Tracker{
+		static:    make([]bool, nodes),
+		lastHeard: make([]time.Duration, nodes),
+	}
+}
+
+// MarkStatic pins peer as pre-configured: static members are never
+// forgotten, no matter how long they stay silent.
+func (m *Tracker) MarkStatic(peer int) { m.static[peer] = true }
+
+// IsStatic reports whether peer is pre-configured.
+func (m *Tracker) IsStatic(peer int) bool { return m.static[peer] }
+
+// Heard records valid traffic from peer at now.
+func (m *Tracker) Heard(peer int, now time.Duration) { m.lastHeard[peer] = now }
+
+// LastHeard returns the last time peer produced valid traffic.
+func (m *Tracker) LastHeard(peer int) time.Duration { return m.lastHeard[peer] }
+
+// Stale reports whether a dynamically learned peer has been silent on
+// every rail for longer than ttl (static members are never stale).
+func (m *Tracker) Stale(peer int, now, ttl time.Duration) bool {
+	return !m.static[peer] && now-m.lastHeard[peer] > ttl
+}
+
+// Announce broadcasts a hello on every rail so unknown peers learn
+// the sender (and the sender learns them from their hellos).
+func Announce(tr routing.Transport) {
+	hello := routing.Envelope(routing.ProtoControl, wire.MarshalHello())
+	for rail := 0; rail < tr.Rails(); rail++ {
+		_ = tr.Send(rail, routing.Broadcast, hello)
+	}
+}
+
+// Goodbye broadcasts a departure announcement on every rail.
+func Goodbye(tr routing.Transport) {
+	bye := routing.Envelope(routing.ProtoControl, wire.MarshalGoodbye())
+	for rail := 0; rail < tr.Rails(); rail++ {
+		_ = tr.Send(rail, routing.Broadcast, bye)
+	}
+}

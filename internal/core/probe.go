@@ -1,0 +1,251 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"drsnet/internal/core/membership"
+	"drsnet/internal/icmp"
+	"drsnet/internal/routing"
+	"drsnet/internal/trace"
+)
+
+// ---------------------------------------------------------------
+// Phase 1: link checks.
+
+// probeRound runs one phase-1 round: account the previous round's
+// misses, then probe every monitored peer on every rail. The rounds
+// driver reschedules it after it returns.
+func (d *Daemon) probeRound() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	now := d.clock.Now()
+	// Dynamic membership: forget peers that have been silent too long
+	// before probing them again.
+	if d.cfg.DynamicMembership && d.cfg.ForgetAfter > 0 {
+		for peer := 0; peer < d.links.Nodes(); peer++ {
+			if !d.links.Monitored(peer) || d.members.IsStatic(peer) {
+				continue
+			}
+			if d.members.Stale(peer, now, d.cfg.ForgetAfter) {
+				d.removePeerLocked(peer)
+				d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteLost,
+					Peer: peer, Rail: -1, Detail: "peer forgotten (silent)"})
+			}
+		}
+	}
+	if d.cfg.PreferLowLatency {
+		d.steerByLatencyLocked(now)
+	}
+	type probe struct {
+		peer, rail int
+		seq        uint16
+	}
+	var probes []probe
+	for peer := 0; peer < d.links.Nodes(); peer++ {
+		if !d.links.Monitored(peer) {
+			continue
+		}
+		for rail := 0; rail < d.tr.Rails(); rail++ {
+			seq, down := d.links.BeginProbe(peer, rail, d.cfg.MissThreshold)
+			if down {
+				d.markDownLocked(peer, rail, now)
+			}
+			probes = append(probes, probe{peer, rail, seq})
+		}
+	}
+	self := uint16(d.tr.Node())
+	stagger := d.cfg.StaggerProbes && len(probes) > 1
+	dynamic := d.cfg.DynamicMembership
+	d.mu.Unlock()
+
+	if dynamic {
+		// Announce ourselves so unknown peers learn us (and we learn
+		// them from their hellos).
+		membership.Announce(d.tr)
+	}
+
+	send := func(p probe) {
+		// The probe carries its send time; the echoed copy yields an
+		// RTT sample with no per-probe state at the sender.
+		ts := make([]byte, 8)
+		binary.BigEndian.PutUint64(ts, uint64(d.clock.Now()))
+		echo := icmp.Echo{Request: true, ID: self, Seq: p.seq, Data: ts}
+		payload := routing.Envelope(routing.ProtoICMP, echo.Marshal())
+		if err := d.tr.Send(p.rail, p.peer, payload); err == nil {
+			d.mset.Counter(routing.CtrProbesSent).Inc()
+		}
+	}
+	if stagger {
+		d.rounds.Stagger(d.cfg.ProbeInterval, len(probes), func(i int) { send(probes[i]) })
+	} else {
+		for _, p := range probes {
+			send(p)
+		}
+	}
+}
+
+// steerByLatencyLocked moves direct routes to a clearly faster rail.
+// A move needs both rails measured (≥ minSteerSamples each) and the
+// candidate's SRTT below half the current rail's — hysteresis that
+// keeps routes stable under ordinary jitter. Caller holds d.mu.
+func (d *Daemon) steerByLatencyLocked(now time.Duration) {
+	const minSteerSamples = 8
+	for peer := 0; peer < d.links.Nodes(); peer++ {
+		if !d.links.Monitored(peer) {
+			continue
+		}
+		rt := d.routes.Route(peer)
+		if rt.Kind != RouteDirect {
+			continue
+		}
+		cur := d.links.State(peer, rt.Rail)
+		curRTT, curSamples := cur.SRTT()
+		if !cur.Up || curSamples < minSteerSamples {
+			continue
+		}
+		best := rt.Rail
+		bestRTT := curRTT
+		for rail := 0; rail < d.tr.Rails(); rail++ {
+			if rail == rt.Rail {
+				continue
+			}
+			st := d.links.State(peer, rail)
+			srtt, samples := st.SRTT()
+			if st.Up && samples >= minSteerSamples && srtt*2 < curRTT && srtt < bestRTT {
+				best = rail
+				bestRTT = srtt
+			}
+		}
+		if best != rt.Rail {
+			d.installLocked(peer, Route{Kind: RouteDirect, Rail: best, Via: peer}, now)
+		}
+	}
+}
+
+// markDownLocked transitions a link to down and repairs routes that
+// depended on it. Caller holds d.mu.
+func (d *Daemon) markDownLocked(peer, rail int, now time.Duration) {
+	st := d.links.State(peer, rail)
+	if !st.Up {
+		return
+	}
+	st.Up = false
+	d.mset.Counter(routing.CtrLinkDown).Inc()
+	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindLinkDown,
+		Peer: peer, Rail: rail})
+	// Repair the peer's own route if it used this rail directly.
+	if rt := d.routes.Route(peer); rt.Kind == RouteDirect && rt.Rail == rail {
+		d.repairLocked(peer, now)
+	}
+	// Relay routes through this peer survive while any rail to the
+	// relay works; once every rail to the relay is down, they die too.
+	if !d.links.AnyUp(peer) {
+		for dst := 0; dst < d.links.Nodes(); dst++ {
+			if rt := d.routes.Route(dst); rt.Kind == RouteRelay && rt.Via == peer {
+				d.repairLocked(dst, now)
+			}
+		}
+	}
+}
+
+// markUpLocked transitions a link to up and upgrades routes.
+func (d *Daemon) markUpLocked(peer, rail int, now time.Duration) {
+	st := d.links.State(peer, rail)
+	if st.Up {
+		return
+	}
+	st.Up = true
+	d.mset.Counter(routing.CtrLinkUp).Inc()
+	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindLinkUp,
+		Peer: peer, Rail: rail})
+	// A live direct link always beats a relay, and beats a direct
+	// route on a dead rail.
+	rt := d.routes.Route(peer)
+	needUpgrade := rt.Kind != RouteDirect || !d.links.State(peer, rt.Rail).Up
+	if needUpgrade {
+		d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
+	}
+}
+
+// repairLocked replaces the route to peer: second direct rail first,
+// then relay discovery.
+func (d *Daemon) repairLocked(peer int, now time.Duration) {
+	if rail, ok := d.links.FirstUp(peer); ok {
+		d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
+		return
+	}
+	// No direct path remains: note the loss and ask the cluster.
+	if d.routes.Route(peer).Kind != RouteNone {
+		d.routes.SetRoute(peer, Route{Kind: RouteNone})
+		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteLost, Peer: peer, Rail: -1})
+	}
+	d.startQueryLocked(peer, now)
+}
+
+// installLocked records a new route, completes any pending discovery,
+// logs the repair, and flushes queued traffic.
+func (d *Daemon) installLocked(peer int, rt Route, now time.Duration) {
+	if !d.routes.Install(peer, rt, now) {
+		return
+	}
+	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteInstalled,
+		Peer: peer, Rail: rt.Rail, Detail: fmt.Sprintf("%s via %d", rt.Kind, rt.Via)})
+	d.mset.Counter(routing.CtrRepairs).Inc()
+	// Flush outside the lock is unnecessary: transports never call
+	// back inline into SendData paths, and the simulator delivers
+	// asynchronously.
+	for _, frame := range d.plane.Flush(peer) {
+		d.forwardLocked(peer, frame)
+	}
+}
+
+// startQueryLocked begins (or refreshes) relay discovery for peer.
+func (d *Daemon) startQueryLocked(peer int, now time.Duration) {
+	q := d.routes.Begin(peer, now)
+	if q == nil {
+		return // one discovery in flight per target
+	}
+	query := routeQuery{
+		Origin: uint16(d.tr.Node()),
+		Target: uint16(peer),
+		Seq:    q.Seq,
+		TTL:    uint8(d.cfg.RelayTTL),
+	}
+	payload := routing.Envelope(routing.ProtoControl, marshalQuery(query))
+	for rail := 0; rail < d.tr.Rails(); rail++ {
+		if err := d.tr.Send(rail, routing.Broadcast, payload); err == nil {
+			d.mset.Counter(routing.CtrQueriesSent).Inc()
+		}
+	}
+	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindQuerySent,
+		Peer: peer, Rail: -1, Detail: fmt.Sprintf("seq=%d ttl=%d", q.Seq, query.TTL)})
+	q.Cancel = d.clock.AfterFunc(d.cfg.QueryTimeout, func() { d.queryExpired(peer, q.Seq) })
+}
+
+// queryExpired abandons a discovery that received no offer; the next
+// probe round retries while the peer remains unreachable.
+func (d *Daemon) queryExpired(peer int, seq uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	q, ok := d.routes.Abandon(peer, seq)
+	if !ok {
+		return
+	}
+	// Retry immediately if the peer is still routeless and a sender is
+	// waiting; otherwise the next markDown/SendData will requery.
+	if d.routes.Route(peer).Kind == RouteNone && d.plane.QueueLen(peer) > 0 {
+		d.startQueryLocked(peer, d.clock.Now())
+		// Preserve the original loss time for latency accounting.
+		if nq, ok := d.routes.Pending(peer); ok {
+			nq.LostAt = q.LostAt
+		}
+	}
+}

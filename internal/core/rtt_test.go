@@ -96,32 +96,3 @@ func TestRTTUnknownPeer(t *testing.T) {
 		t.Fatal("RTT before first round reported")
 	}
 }
-
-func TestObserveRTTSmoothing(t *testing.T) {
-	var st linkState
-	st.observeRTT(100 * time.Microsecond)
-	if st.srtt != 100*time.Microsecond || st.rttvar != 50*time.Microsecond {
-		t.Fatalf("first sample: srtt=%v rttvar=%v", st.srtt, st.rttvar)
-	}
-	// A constant stream converges: variance decays toward zero.
-	for i := 0; i < 100; i++ {
-		st.observeRTT(100 * time.Microsecond)
-	}
-	if st.srtt != 100*time.Microsecond {
-		t.Fatalf("constant stream moved srtt to %v", st.srtt)
-	}
-	if st.rttvar > time.Microsecond {
-		t.Fatalf("rttvar did not decay: %v", st.rttvar)
-	}
-	// A spike moves the estimate by 1/8 of the error.
-	st.observeRTT(900 * time.Microsecond)
-	if st.srtt != 200*time.Microsecond {
-		t.Fatalf("spike handling: srtt=%v, want 200µs", st.srtt)
-	}
-	// Negative samples (clock confusion) are ignored.
-	before := st
-	st.observeRTT(-time.Second)
-	if st != before {
-		t.Fatal("negative sample accepted")
-	}
-}

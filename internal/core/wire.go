@@ -1,93 +1,31 @@
 package core
 
-import (
-	"encoding/binary"
-	"errors"
-)
+import "drsnet/internal/routing/wire"
+
+// The DRS control codecs live in drsnet/internal/routing/wire together
+// with every other on-the-wire format; the aliases below keep this
+// package's internals reading naturally.
 
 // DRS control message types (carried in routing.ProtoControl frames).
 const (
-	msgRouteQuery = 1
-	msgRouteOffer = 2
-	// msgHello and msgGoodbye implement dynamic membership (an
-	// extension beyond the paper's statically configured host lists):
-	// hello announces the sender, goodbye retracts it. The sender's
-	// identity comes from the frame, so both are a bare type byte.
-	msgHello   = 3
-	msgGoodbye = 4
+	msgRouteQuery = wire.MsgRouteQuery
+	msgRouteOffer = wire.MsgRouteOffer
+	msgHello      = wire.MsgHello
+	msgGoodbye    = wire.MsgGoodbye
 )
 
-func marshalHello() []byte   { return []byte{msgHello} }
-func marshalGoodbye() []byte { return []byte{msgGoodbye} }
-
-// errBadControl is returned for undecodable control messages.
-var errBadControl = errors.New("core: malformed control message")
-
 // routeQuery is the broadcast the DRS makes when no direct link to a
-// peer remains: "is some other server able to act as a router to
-// create a new path between the sender and the proposed recipient?"
-type routeQuery struct {
-	Origin uint16 // node asking
-	Target uint16 // node it wants to reach
-	Seq    uint32 // per-origin discovery sequence (dedupes rebroadcasts)
-	TTL    uint8  // remaining rebroadcast depth
-}
+// peer remains; routeOffer answers it (see wire.Query / wire.Offer).
+type (
+	routeQuery = wire.Query
+	routeOffer = wire.Offer
+)
 
-const routeQueryLen = 1 + 2 + 2 + 4 + 1
-
-func marshalQuery(q routeQuery) []byte {
-	b := make([]byte, routeQueryLen)
-	b[0] = msgRouteQuery
-	binary.BigEndian.PutUint16(b[1:3], q.Origin)
-	binary.BigEndian.PutUint16(b[3:5], q.Target)
-	binary.BigEndian.PutUint32(b[5:9], q.Seq)
-	b[9] = q.TTL
-	return b
-}
-
-func unmarshalQuery(b []byte) (routeQuery, error) {
-	if len(b) < routeQueryLen || b[0] != msgRouteQuery {
-		return routeQuery{}, errBadControl
-	}
-	return routeQuery{
-		Origin: binary.BigEndian.Uint16(b[1:3]),
-		Target: binary.BigEndian.Uint16(b[3:5]),
-		Seq:    binary.BigEndian.Uint32(b[5:9]),
-		TTL:    b[9],
-	}, nil
-}
-
-// routeOffer answers a routeQuery: "I can reach Target; route through
-// me." When Relay equals Target the offer came from the target itself,
-// so the origin installs a direct route on the rail the offer arrived
-// on.
-type routeOffer struct {
-	Origin uint16 // the querying node (offer is unicast back to it)
-	Target uint16
-	Seq    uint32 // echoes the query sequence
-	Relay  uint16 // the offering node
-}
-
-const routeOfferLen = 1 + 2 + 2 + 4 + 2
-
-func marshalOffer(o routeOffer) []byte {
-	b := make([]byte, routeOfferLen)
-	b[0] = msgRouteOffer
-	binary.BigEndian.PutUint16(b[1:3], o.Origin)
-	binary.BigEndian.PutUint16(b[3:5], o.Target)
-	binary.BigEndian.PutUint32(b[5:9], o.Seq)
-	binary.BigEndian.PutUint16(b[9:11], o.Relay)
-	return b
-}
-
-func unmarshalOffer(b []byte) (routeOffer, error) {
-	if len(b) < routeOfferLen || b[0] != msgRouteOffer {
-		return routeOffer{}, errBadControl
-	}
-	return routeOffer{
-		Origin: binary.BigEndian.Uint16(b[1:3]),
-		Target: binary.BigEndian.Uint16(b[3:5]),
-		Seq:    binary.BigEndian.Uint32(b[5:9]),
-		Relay:  binary.BigEndian.Uint16(b[9:11]),
-	}, nil
-}
+var (
+	marshalHello   = wire.MarshalHello
+	marshalGoodbye = wire.MarshalGoodbye
+	marshalQuery   = wire.MarshalQuery
+	unmarshalQuery = wire.UnmarshalQuery
+	marshalOffer   = wire.MarshalOffer
+	unmarshalOffer = wire.UnmarshalOffer
+)

@@ -1,0 +1,30 @@
+// Package linkmon provides the link-monitoring building blocks every
+// protocol in this repository schedules its periodic work with:
+//
+//   - Rounds drives a periodic protocol round (the DRS probe round,
+//     the link-state hello round, the reactive advertisement loop) and
+//     can stagger a round's transmissions across the interval.
+//   - Table tracks per-(peer, rail) probe state for request/reply
+//     monitoring: outstanding probe sequence, consecutive misses,
+//     up/down, and a Jacobson/Karels RTT estimate.
+//   - Deadlines tracks per-(peer, rail) expiry times for
+//     timeout-style monitoring: link-state adjacencies and reactive
+//     routes are both "alive until silent too long".
+//
+// The package is deliberately free of wire formats and transports: it
+// holds state and timing, the protocol decides what a probe is.
+// Unless stated otherwise the types are not goroutine-safe; the
+// owning protocol serializes access under its own lock.
+package linkmon
+
+import "time"
+
+// Clock abstracts time. It is structurally identical to routing.Clock
+// (this package sits below routing and cannot import it).
+type Clock interface {
+	// Now returns the time elapsed since an arbitrary epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn after d; the returned function cancels
+	// the timer and reports whether it was still pending.
+	AfterFunc(d time.Duration, fn func()) (cancel func() bool)
+}

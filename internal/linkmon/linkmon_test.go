@@ -1,0 +1,211 @@
+package linkmon
+
+import (
+	"testing"
+	"time"
+
+	"drsnet/internal/simtime"
+)
+
+// simClock adapts the deterministic scheduler to the Clock interface
+// (the same shape internal/netsim uses for protocol code).
+type simClock struct{ s *simtime.Scheduler }
+
+func (c simClock) Now() time.Duration { return c.s.Now().Duration() }
+
+func (c simClock) AfterFunc(d time.Duration, fn func()) func() bool {
+	t := c.s.After(d, fn)
+	return t.Cancel
+}
+
+func TestRoundsPeriodAndStop(t *testing.T) {
+	s := simtime.NewScheduler()
+	r := NewRounds(simClock{s})
+	var fired []time.Duration
+	r.Run(time.Second, func() { fired = append(fired, s.Now().Duration()) })
+	s.RunUntil(simtime.Time(3500 * time.Millisecond))
+	if len(fired) != 4 { // t=0s,1s,2s,3s
+		t.Fatalf("fired %d times: %v", len(fired), fired)
+	}
+	for i, at := range fired {
+		if want := time.Duration(i) * time.Second; at != want {
+			t.Fatalf("round %d at %v, want %v", i, at, want)
+		}
+	}
+	r.Stop()
+	if !r.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	s.RunUntil(simtime.Time(10 * time.Second))
+	if len(fired) != 4 {
+		t.Fatalf("rounds kept firing after Stop: %d", len(fired))
+	}
+}
+
+func TestStaggerSpreadsSends(t *testing.T) {
+	s := simtime.NewScheduler()
+	r := NewRounds(simClock{s})
+	type send struct {
+		i  int
+		at time.Duration
+	}
+	var sends []send
+	r.Stagger(time.Second, 4, func(i int) {
+		sends = append(sends, send{i, s.Now().Duration()})
+	})
+	// send(0) runs inline, before any event executes.
+	if len(sends) != 1 || sends[0] != (send{0, 0}) {
+		t.Fatalf("inline send = %v", sends)
+	}
+	s.RunUntil(simtime.Time(time.Second))
+	if len(sends) != 4 {
+		t.Fatalf("sends = %v", sends)
+	}
+	for i, got := range sends {
+		want := send{i, time.Duration(i) * 250 * time.Millisecond}
+		if got != want {
+			t.Fatalf("send %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestStaggerSkipsAfterStop(t *testing.T) {
+	s := simtime.NewScheduler()
+	r := NewRounds(simClock{s})
+	var count int
+	r.Stagger(time.Second, 4, func(int) { count++ })
+	s.RunUntil(simtime.Time(300 * time.Millisecond)) // send 0 and 1
+	r.Stop()
+	s.RunUntil(simtime.Time(2 * time.Second))
+	if count != 2 {
+		t.Fatalf("sends after stop: count = %d, want 2", count)
+	}
+}
+
+func TestTableProbeLifecycle(t *testing.T) {
+	tbl := NewTable(4, 2)
+	if tbl.Monitored(1) {
+		t.Fatal("peer 1 monitored before Add")
+	}
+	if !tbl.Add(1) || tbl.Add(1) {
+		t.Fatal("Add should succeed once")
+	}
+	if !tbl.AnyUp(1) {
+		t.Fatal("links should start optimistically up")
+	}
+
+	// First probe: no miss (nothing pending yet).
+	seq, down := tbl.BeginProbe(1, 0, 2)
+	if down {
+		t.Fatal("down on first probe")
+	}
+	// Reply confirms it; miss count clears.
+	st, ok := tbl.Confirm(1, 0, seq)
+	if !ok || st.Misses != 0 || st.Pending {
+		t.Fatalf("confirm: ok=%v st=%+v", ok, st)
+	}
+	// A stale sequence is rejected.
+	if _, ok := tbl.Confirm(1, 0, seq); ok {
+		t.Fatal("stale reply accepted")
+	}
+
+	// Two unanswered rounds cross threshold 2.
+	if _, down := tbl.BeginProbe(1, 0, 2); down {
+		t.Fatal("down after zero misses")
+	}
+	if _, down := tbl.BeginProbe(1, 0, 2); down {
+		t.Fatal("down after one miss")
+	}
+	if _, down := tbl.BeginProbe(1, 0, 2); !down {
+		t.Fatal("not down after two misses")
+	}
+	tbl.State(1, 0).Up = false
+	if rail, ok := tbl.FirstUp(1); !ok || rail != 1 || !tbl.AnyUp(1) {
+		t.Fatalf("FirstUp = %d,%v after rail 0 down", rail, ok)
+	}
+
+	tbl.Remove(1)
+	if tbl.Monitored(1) || tbl.AnyUp(1) || tbl.State(1, 0) != nil {
+		t.Fatal("peer survives Remove")
+	}
+}
+
+func TestTableSeqSharedAndWraps(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	tbl.Add(2)
+	s1, _ := tbl.BeginProbe(1, 0, 2)
+	s2, _ := tbl.BeginProbe(2, 1, 2)
+	if s1 == s2 {
+		t.Fatalf("probes share sequence %d", s1)
+	}
+	tbl.SetSeq(0xffff)
+	s3, _ := tbl.BeginProbe(1, 1, 2)
+	if s3 != 0 {
+		t.Fatalf("wrapped seq = %d, want 0", s3)
+	}
+	if _, ok := tbl.Confirm(1, 1, 0); !ok {
+		t.Fatal("wrapped probe not confirmable")
+	}
+}
+
+func TestObserveRTTSmoothing(t *testing.T) {
+	var st State
+	st.ObserveRTT(-time.Millisecond) // negative samples ignored
+	if _, ok := st.RTT(); ok {
+		t.Fatal("negative sample recorded")
+	}
+	st.ObserveRTT(8 * time.Millisecond)
+	stats, ok := st.RTT()
+	if !ok || stats.SRTT != 8*time.Millisecond || stats.RTTVar != 4*time.Millisecond {
+		t.Fatalf("first sample: %+v ok=%v", stats, ok)
+	}
+	// Second sample of 16 ms: srtt += (16-8)/8 = 9 ms,
+	// rttvar += (8-4)/4 = 5 ms.
+	st.ObserveRTT(16 * time.Millisecond)
+	stats, _ = st.RTT()
+	if stats.SRTT != 9*time.Millisecond || stats.RTTVar != 5*time.Millisecond {
+		t.Fatalf("second sample: %+v", stats)
+	}
+	if stats.Samples != 2 {
+		t.Fatalf("samples = %d", stats.Samples)
+	}
+	if srtt, n := st.SRTT(); srtt != 9*time.Millisecond || n != 2 {
+		t.Fatalf("SRTT() = %v, %d", srtt, n)
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	d := NewDeadlines(3, 2)
+	now := time.Second
+	if d.AnyAlive(1, now) {
+		t.Fatal("alive before any refresh")
+	}
+	if !d.Refresh(1, 0, now, now+4*time.Second) {
+		t.Fatal("first refresh should report a dead->alive edge")
+	}
+	if d.Refresh(1, 0, now+time.Second, now+5*time.Second) {
+		t.Fatal("refresh of a live path reported an edge")
+	}
+	if !d.Alive(1, 0, now) || d.Alive(1, 1, now) {
+		t.Fatal("per-rail aliveness wrong")
+	}
+	if rail, ok := d.FirstAlive(1, now); !ok || rail != 0 {
+		t.Fatalf("FirstAlive = %d,%v", rail, ok)
+	}
+
+	// Sweep at the deadline: the entry expires exactly once.
+	var expired [][2]int
+	if !d.Sweep(now+5*time.Second, func(p, r int) { expired = append(expired, [2]int{p, r}) }) {
+		t.Fatal("sweep found nothing")
+	}
+	if len(expired) != 1 || expired[0] != [2]int{1, 0} {
+		t.Fatalf("expired = %v", expired)
+	}
+	if d.Sweep(now+6*time.Second, nil) {
+		t.Fatal("second sweep re-expired a zeroed entry")
+	}
+	if d.AnyAlive(1, now+5*time.Second) {
+		t.Fatal("alive after expiry")
+	}
+}

@@ -1,12 +1,14 @@
 package routing
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
 
+	"drsnet/internal/dataplane"
+	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
+	"drsnet/internal/routing/wire"
 	"drsnet/internal/trace"
 )
 
@@ -21,6 +23,12 @@ import (
 // the router-dead interval, re-flooded, and routed around — faster
 // than RIP-style route timeouts, still far slower than the DRS's
 // proactive link checks.
+//
+// The implementation composes the shared building blocks: hellos ride
+// on a linkmon.Rounds loop, adjacency liveness is a linkmon.Deadlines
+// matrix, LSAs travel in the wire package's codec, and datagrams flow
+// through a dataplane.Plane. Only the SPF computation and the flooding
+// discipline are LinkState's own.
 type LinkState struct {
 	cfg   LinkStateConfig
 	tr    Transport
@@ -31,19 +39,18 @@ type LinkState struct {
 	started bool
 	stopped bool
 	deliver func(src int, data []byte)
-	seq     uint32 // data seq
 	lsaSeq  uint32
 
-	// adjacency[peer][rail] is the expiry of the hello-learned
+	// adjacency holds the expiry of each hello-learned (peer, rail)
 	// adjacency.
-	adjacency [][]time.Duration
+	adjacency *linkmon.Deadlines
 	// lsdb[origin] is the freshest LSA heard (nil = none).
 	lsdb []*lsa
-	// routes[dst] is the SPF result: first hop and rail (nil Kind
-	// semantics via valid flag).
+	// routes[dst] is the SPF result: first hop and rail.
 	routes []lsRoute
 
-	helloCancel func() bool
+	plane  *dataplane.Plane
+	rounds *linkmon.Rounds
 }
 
 type lsRoute struct {
@@ -52,17 +59,11 @@ type lsRoute struct {
 	rail  int
 }
 
+// lsa is a database entry: the advertisement itself plus when this
+// router heard it (for aging).
 type lsa struct {
-	origin  int
-	seq     uint32
+	wire.LSA
 	heardAt time.Duration
-	// neighbors[i] is an (node, rail) adjacency claimed by origin.
-	neighbors []lsNeighbor
-}
-
-type lsNeighbor struct {
-	node int
-	rail int
 }
 
 // LinkStateConfig tunes the OSPF-lite baseline.
@@ -77,6 +78,12 @@ type LinkStateConfig struct {
 	LSAMaxAge time.Duration
 	// DataTTL bounds forwarding hops.
 	DataTTL int
+	// QueueCapacity, when positive, buffers up to that many datagrams
+	// per destination while SPF has no route and flushes them when one
+	// installs; overflow evicts the oldest (counted by queue.overflow).
+	// Zero — the default — keeps the traditional baseline behavior:
+	// SendData fails immediately with ErrNoRoute.
+	QueueCapacity int
 	// Trace receives protocol events if non-nil.
 	Trace *trace.Log
 }
@@ -110,6 +117,9 @@ func (c *LinkStateConfig) normalize() error {
 	if c.DataTTL <= 0 {
 		c.DataTTL = 8
 	}
+	if c.QueueCapacity < 0 {
+		return fmt.Errorf("routing: negative queue capacity")
+	}
 	return nil
 }
 
@@ -121,17 +131,18 @@ func NewLinkState(tr Transport, clock Clock, cfg LinkStateConfig) (*LinkState, e
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	mset := metrics.NewSet()
 	ls := &LinkState{
 		cfg:       cfg,
 		tr:        tr,
 		clock:     clock,
-		mset:      metrics.NewSet(),
-		adjacency: make([][]time.Duration, tr.Nodes()),
+		mset:      mset,
+		adjacency: linkmon.NewDeadlines(tr.Nodes(), tr.Rails()),
 		lsdb:      make([]*lsa, tr.Nodes()),
 		routes:    make([]lsRoute, tr.Nodes()),
-	}
-	for i := range ls.adjacency {
-		ls.adjacency[i] = make([]time.Duration, tr.Rails())
+		plane: dataplane.New(tr.Node(), tr.Nodes(), cfg.DataTTL,
+			cfg.QueueCapacity, mset.Counter(CtrQueueOverflow)),
+		rounds: linkmon.NewRounds(clock),
 	}
 	return ls, nil
 }
@@ -146,7 +157,7 @@ func (ls *LinkState) Start() error {
 	ls.started = true
 	ls.mu.Unlock()
 	ls.tr.SetReceiver(ls.onFrame)
-	ls.helloRound()
+	ls.rounds.Run(ls.cfg.HelloInterval, ls.helloRound)
 	return nil
 }
 
@@ -154,11 +165,8 @@ func (ls *LinkState) Start() error {
 func (ls *LinkState) Stop() {
 	ls.mu.Lock()
 	ls.stopped = true
-	cancel := ls.helloCancel
 	ls.mu.Unlock()
-	if cancel != nil {
-		cancel()
-	}
+	ls.rounds.Stop()
 }
 
 // SetDeliverFunc implements Router.
@@ -171,8 +179,9 @@ func (ls *LinkState) SetDeliverFunc(fn func(src int, data []byte)) {
 // Metrics implements Router.
 func (ls *LinkState) Metrics() *metrics.Set { return ls.mset }
 
-// helloRound is the periodic timer: send hellos, expire adjacencies
-// and stale LSAs, refresh our own LSA.
+// helloRound is the periodic round body: send hellos, expire
+// adjacencies and stale LSAs, refresh our own LSA. The Rounds loop
+// reschedules it after it returns.
 func (ls *LinkState) helloRound() {
 	ls.mu.Lock()
 	if ls.stopped {
@@ -183,17 +192,10 @@ func (ls *LinkState) helloRound() {
 
 	// Expire adjacencies that have gone silent; note whether anything
 	// changed so the LSA gets re-originated.
-	changed := false
-	for peer := range ls.adjacency {
-		for rail := range ls.adjacency[peer] {
-			if exp := ls.adjacency[peer][rail]; exp != 0 && exp <= now {
-				ls.adjacency[peer][rail] = 0
-				changed = true
-				ls.event(trace.Event{At: now, Node: ls.tr.Node(), Kind: trace.KindLinkDown,
-					Peer: peer, Rail: rail, Detail: "adjacency expired"})
-			}
-		}
-	}
+	changed := ls.adjacency.Sweep(now, func(peer, rail int) {
+		ls.event(trace.Event{At: now, Node: ls.tr.Node(), Kind: trace.KindLinkDown,
+			Peer: peer, Rail: rail, Detail: "adjacency expired"})
+	})
 	// Age out LSDB entries (other routers crashed without retracting).
 	for origin, entry := range ls.lsdb {
 		if entry != nil && now-entry.heardAt > ls.cfg.LSAMaxAge {
@@ -204,7 +206,7 @@ func (ls *LinkState) helloRound() {
 	ls.mu.Unlock()
 
 	// Hellos on every rail.
-	hello := Envelope(ProtoControl, []byte{lsMsgHello})
+	hello := Envelope(ProtoControl, wire.MarshalLSHello())
 	for rail := 0; rail < ls.tr.Rails(); rail++ {
 		_ = ls.tr.Send(rail, Broadcast, hello)
 	}
@@ -216,81 +218,30 @@ func (ls *LinkState) helloRound() {
 	if changed {
 		ls.recompute()
 	}
-
-	ls.mu.Lock()
-	if !ls.stopped {
-		ls.helloCancel = ls.clock.AfterFunc(ls.cfg.HelloInterval, ls.helloRound)
-	}
-	ls.mu.Unlock()
 }
-
-// Control sub-types for ProtoControl frames originated by LinkState.
-// They occupy a disjoint range from the DRS messages so a mixed
-// cluster fails loudly rather than silently misparsing.
-const (
-	lsMsgHello = 64
-	lsMsgLSA   = 65
-)
 
 // originateLSA floods this node's current adjacency list.
 func (ls *LinkState) originateLSA() {
 	ls.mu.Lock()
 	now := ls.clock.Now()
 	ls.lsaSeq++
-	entry := &lsa{origin: ls.tr.Node(), seq: ls.lsaSeq, heardAt: now}
-	for peer := range ls.adjacency {
-		for rail := range ls.adjacency[peer] {
-			if ls.adjacency[peer][rail] > now {
-				entry.neighbors = append(entry.neighbors, lsNeighbor{node: peer, rail: rail})
+	entry := &lsa{LSA: wire.LSA{Origin: uint16(ls.tr.Node()), Seq: ls.lsaSeq}, heardAt: now}
+	for peer := 0; peer < ls.tr.Nodes(); peer++ {
+		for rail := 0; rail < ls.tr.Rails(); rail++ {
+			if ls.adjacency.Alive(peer, rail, now) {
+				entry.Neighbors = append(entry.Neighbors,
+					wire.Adjacency{Node: uint16(peer), Rail: uint16(rail)})
 			}
 		}
 	}
 	ls.lsdb[ls.tr.Node()] = entry
-	payload := Envelope(ProtoControl, marshalLSA(entry))
+	payload := Envelope(ProtoControl, wire.MarshalLSA(entry.LSA))
 	ls.mu.Unlock()
 
 	for rail := 0; rail < ls.tr.Rails(); rail++ {
 		_ = ls.tr.Send(rail, Broadcast, payload)
 	}
 	ls.mset.Counter(CtrAdvertsSent).Inc()
-}
-
-func marshalLSA(e *lsa) []byte {
-	b := make([]byte, 1+2+4+2+4*len(e.neighbors))
-	b[0] = lsMsgLSA
-	binary.BigEndian.PutUint16(b[1:3], uint16(e.origin))
-	binary.BigEndian.PutUint32(b[3:7], e.seq)
-	binary.BigEndian.PutUint16(b[7:9], uint16(len(e.neighbors)))
-	off := 9
-	for _, n := range e.neighbors {
-		binary.BigEndian.PutUint16(b[off:], uint16(n.node))
-		binary.BigEndian.PutUint16(b[off+2:], uint16(n.rail))
-		off += 4
-	}
-	return b
-}
-
-func unmarshalLSA(b []byte) (*lsa, error) {
-	if len(b) < 9 || b[0] != lsMsgLSA {
-		return nil, fmt.Errorf("routing: malformed LSA")
-	}
-	count := int(binary.BigEndian.Uint16(b[7:9]))
-	if len(b) < 9+4*count {
-		return nil, fmt.Errorf("routing: truncated LSA")
-	}
-	e := &lsa{
-		origin: int(binary.BigEndian.Uint16(b[1:3])),
-		seq:    binary.BigEndian.Uint32(b[3:7]),
-	}
-	off := 9
-	for i := 0; i < count; i++ {
-		e.neighbors = append(e.neighbors, lsNeighbor{
-			node: int(binary.BigEndian.Uint16(b[off:])),
-			rail: int(binary.BigEndian.Uint16(b[off+2:])),
-		})
-		off += 4
-	}
-	return e, nil
 }
 
 func (ls *LinkState) onFrame(rail, src int, payload []byte) {
@@ -304,9 +255,9 @@ func (ls *LinkState) onFrame(rail, src int, payload []byte) {
 			return
 		}
 		switch body[0] {
-		case lsMsgHello:
+		case wire.MsgLSHello:
 			ls.onHello(rail, src)
-		case lsMsgLSA:
+		case wire.MsgLSA:
 			ls.onLSA(body)
 		}
 	case ProtoData:
@@ -321,8 +272,7 @@ func (ls *LinkState) onHello(rail, src int) {
 		return
 	}
 	now := ls.clock.Now()
-	wasDown := ls.adjacency[src][rail] <= now
-	ls.adjacency[src][rail] = now + ls.cfg.DeadInterval
+	wasDown := ls.adjacency.Refresh(src, rail, now, now+ls.cfg.DeadInterval)
 	ls.mu.Unlock()
 	if wasDown {
 		ls.event(trace.Event{At: now, Node: ls.tr.Node(), Kind: trace.KindLinkUp,
@@ -335,11 +285,12 @@ func (ls *LinkState) onHello(rail, src int) {
 }
 
 func (ls *LinkState) onLSA(body []byte) {
-	entry, err := unmarshalLSA(body)
+	entry, err := wire.UnmarshalLSA(body)
 	if err != nil {
 		return
 	}
-	if entry.origin < 0 || entry.origin >= ls.tr.Nodes() || entry.origin == ls.tr.Node() {
+	origin := int(entry.Origin)
+	if origin < 0 || origin >= ls.tr.Nodes() || origin == ls.tr.Node() {
 		return
 	}
 	ls.mset.Counter(CtrAdvertsRecv).Inc()
@@ -348,14 +299,13 @@ func (ls *LinkState) onLSA(body []byte) {
 		ls.mu.Unlock()
 		return
 	}
-	existing := ls.lsdb[entry.origin]
-	if existing != nil && entry.seq <= existing.seq {
+	existing := ls.lsdb[origin]
+	if existing != nil && entry.Seq <= existing.Seq {
 		ls.mu.Unlock()
 		return // stale or duplicate: do not re-flood (flooding terminates)
 	}
-	entry.heardAt = ls.clock.Now()
-	ls.lsdb[entry.origin] = entry
-	payload := Envelope(ProtoControl, marshalLSA(entry))
+	ls.lsdb[origin] = &lsa{LSA: entry, heardAt: ls.clock.Now()}
+	payload := Envelope(ProtoControl, wire.MarshalLSA(entry))
 	ls.mu.Unlock()
 
 	// Re-flood the news on every rail so it crosses rail boundaries.
@@ -376,14 +326,14 @@ func (ls *LinkState) recompute() {
 
 	claims := func(a, b, rail int) bool {
 		if a == self {
-			return ls.adjacency[b][rail] > now
+			return ls.adjacency.Alive(b, rail, now)
 		}
 		e := ls.lsdb[a]
 		if e == nil {
 			return false
 		}
-		for _, nb := range e.neighbors {
-			if nb.node == b && nb.rail == rail {
+		for _, nb := range e.Neighbors {
+			if int(nb.Node) == b && int(nb.Rail) == rail {
 				return true
 			}
 		}
@@ -436,6 +386,14 @@ func (ls *LinkState) recompute() {
 			ls.event(trace.Event{At: now, Node: self, Kind: trace.KindRouteInstalled,
 				Peer: dst, Rail: ls.routes[dst].rail,
 				Detail: fmt.Sprintf("spf via %d (valid=%v)", ls.routes[dst].via, ls.routes[dst].valid)})
+			// A freshly usable route releases any datagrams that queued
+			// while SPF had nowhere to send them (queueing mode only).
+			if rt := ls.routes[dst]; rt.valid {
+				for _, frame := range ls.plane.Flush(dst) {
+					ls.mset.Counter(CtrDataSent).Inc()
+					_ = ls.tr.Send(rt.rail, rt.via, frame)
+				}
+			}
 		}
 	}
 }
@@ -453,25 +411,25 @@ func (ls *LinkState) SendData(dst int, data []byte) error {
 	}
 	rt := ls.routes[dst]
 	if !rt.valid {
+		if ls.plane.CanQueue() {
+			ls.plane.Enqueue(dst, ls.plane.NewFrame(dst, data))
+			ls.mu.Unlock()
+			return nil
+		}
 		ls.mu.Unlock()
 		ls.mset.Counter(CtrDataNoRoute).Inc()
 		return ErrNoRoute
 	}
-	ls.seq++
-	h := DataHeader{Origin: uint16(ls.tr.Node()), Final: uint16(dst),
-		TTL: uint8(ls.cfg.DataTTL), Seq: ls.seq}
+	frame := ls.plane.NewFrame(dst, data)
 	ls.mu.Unlock()
 	ls.mset.Counter(CtrDataSent).Inc()
-	return ls.tr.Send(rt.rail, rt.via, Envelope(ProtoData, MarshalData(h, data)))
+	return ls.tr.Send(rt.rail, rt.via, frame)
 }
 
 func (ls *LinkState) onData(body []byte) {
-	h, data, err := UnmarshalData(body)
-	if err != nil {
-		return
-	}
-	self := ls.tr.Node()
-	if int(h.Final) == self {
+	h, data, act := ls.plane.Classify(body)
+	switch act {
+	case dataplane.Deliver:
 		ls.mu.Lock()
 		deliver := ls.deliver
 		stopped := ls.stopped
@@ -481,28 +439,21 @@ func (ls *LinkState) onData(body []byte) {
 		}
 		ls.mset.Counter(CtrDataDelivered).Inc()
 		deliver(int(h.Origin), data)
-		return
-	}
-	if h.TTL <= 1 {
+	case dataplane.Drop:
 		ls.mset.Counter(CtrDataDropped).Inc()
-		return
+	case dataplane.Forward:
+		final := int(h.Final)
+		ls.mu.Lock()
+		rt := ls.routes[final]
+		stopped := ls.stopped
+		ls.mu.Unlock()
+		if stopped || !rt.valid {
+			ls.mset.Counter(CtrDataDropped).Inc()
+			return
+		}
+		ls.mset.Counter(CtrDataForwarded).Inc()
+		_ = ls.tr.Send(rt.rail, rt.via, dataplane.Frame(h, data))
 	}
-	h.TTL--
-	final := int(h.Final)
-	if final < 0 || final >= ls.tr.Nodes() {
-		ls.mset.Counter(CtrDataDropped).Inc()
-		return
-	}
-	ls.mu.Lock()
-	rt := ls.routes[final]
-	stopped := ls.stopped
-	ls.mu.Unlock()
-	if stopped || !rt.valid {
-		ls.mset.Counter(CtrDataDropped).Inc()
-		return
-	}
-	ls.mset.Counter(CtrDataForwarded).Inc()
-	_ = ls.tr.Send(rt.rail, rt.via, Envelope(ProtoData, MarshalData(h, data)))
 }
 
 // RouteVia reports the current first hop toward dst (testing hook).

@@ -176,25 +176,6 @@ func TestLinkStateFloodingTerminates(t *testing.T) {
 	}
 }
 
-func TestLinkStateLSAWireRoundTrip(t *testing.T) {
-	e := &lsa{origin: 3, seq: 99, neighbors: []lsNeighbor{{node: 1, rail: 0}, {node: 2, rail: 1}}}
-	got, err := unmarshalLSA(marshalLSA(e))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.origin != 3 || got.seq != 99 || len(got.neighbors) != 2 ||
-		got.neighbors[1] != (lsNeighbor{node: 2, rail: 1}) {
-		t.Fatalf("round trip = %+v", got)
-	}
-	if _, err := unmarshalLSA([]byte{lsMsgLSA, 0}); err == nil {
-		t.Fatal("short LSA accepted")
-	}
-	b := marshalLSA(e)
-	if _, err := unmarshalLSA(b[:len(b)-1]); err == nil {
-		t.Fatal("truncated LSA accepted")
-	}
-}
-
 func TestLinkStateDeadNodeAgesOut(t *testing.T) {
 	cfg := DefaultLinkStateConfig()
 	h := newLSHarness(t, 3, cfg)
@@ -307,5 +288,53 @@ func TestLinkStateManyFailuresMatchReachability(t *testing.T) {
 	h.runFor(200 * time.Millisecond)
 	if len(h.delivered[3]) != 1 {
 		t.Fatal("reachable node did not receive")
+	}
+}
+
+func TestLinkStateQueueOverflowDropsOldest(t *testing.T) {
+	// With QueueCapacity set, a routeless SendData queues instead of
+	// failing; overflow evicts the oldest datagram deterministically
+	// and the survivors flush in order once SPF finds a route again.
+	cfg := DefaultLinkStateConfig()
+	cfg.QueueCapacity = 3
+	h := newLSHarness(t, 3, cfg)
+	defer h.stop()
+	h.runFor(3 * time.Second)
+
+	cl := h.net.Cluster()
+	nic0, nic1 := cl.NIC(1, 0), cl.NIC(1, 1)
+	h.net.Fail(nic0)
+	h.net.Fail(nic1)
+	h.runFor(cfg.DeadInterval + 2*cfg.HelloInterval)
+	if _, _, ok := h.routers[0].RouteVia(1); ok {
+		t.Fatal("route to isolated node survived the dead interval")
+	}
+
+	for i := 0; i < cfg.QueueCapacity+2; i++ {
+		if err := h.routers[0].SendData(1, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d failed: %v", i, err)
+		}
+	}
+	m := h.routers[0].Metrics()
+	if got := m.Counter(CtrQueueOverflow).Value(); got != 2 {
+		t.Fatalf("queue.overflow = %d, want 2", got)
+	}
+	if got := m.Counter(CtrDataNoRoute).Value(); got != 0 {
+		t.Fatalf("data.noroute = %d, want 0 with queueing enabled", got)
+	}
+
+	// Repair: adjacency reforms, SPF reinstalls the route, and exactly
+	// the three freshest datagrams arrive, oldest-first.
+	h.net.Restore(nic0)
+	h.net.Restore(nic1)
+	h.runFor(3 * cfg.HelloInterval)
+	got := h.delivered[1]
+	if len(got) != cfg.QueueCapacity {
+		t.Fatalf("%d datagrams delivered after repair, want %d: %v", len(got), cfg.QueueCapacity, got)
+	}
+	for i, msg := range got {
+		if want := string([]byte{byte(i + 2)}); msg.src != 0 || msg.data != want {
+			t.Fatalf("delivery %d = %+v, want payload %q from 0", i, msg, want)
+		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"drsnet/internal/dataplane"
+	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
 	"drsnet/internal/trace"
 )
@@ -58,6 +60,11 @@ func (c *ReactiveConfig) normalize() error {
 // probing. After a component fails, traffic keeps flowing into the
 // dead path until the stale route expires — the recovery latency the
 // DRS's proactive link checks are designed to eliminate.
+//
+// It is built from the same shared layers as the other protocols: the
+// advertisement loop is a linkmon.Rounds, the route timeouts are a
+// linkmon.Deadlines matrix, and datagram mechanics live in a
+// dataplane.Plane. Only the distance-vector policy is Reactive's own.
 type Reactive struct {
 	cfg   ReactiveConfig
 	tr    Transport
@@ -68,14 +75,15 @@ type Reactive struct {
 	started bool
 	stopped bool
 	deliver func(src int, data []byte)
-	seq     uint32
-	// direct[peer][rail] is the expiry of the direct route learned by
-	// hearing peer's advertisement on rail (zero = never learned).
-	direct [][]time.Duration
+	// direct holds the expiry of the direct route learned by hearing
+	// peer's advertisement on each rail.
+	direct *linkmon.Deadlines
 	// twoHop[peer] is a relay route learned from an advertisement
 	// listing peer as reachable.
 	twoHop []twoHopRoute
-	cancel func() bool
+
+	plane  *dataplane.Plane
+	rounds *linkmon.Rounds
 }
 
 type twoHopRoute struct {
@@ -92,16 +100,19 @@ func NewReactive(tr Transport, clock Clock, cfg ReactiveConfig) (*Reactive, erro
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	mset := metrics.NewSet()
 	r := &Reactive{
 		cfg:    cfg,
 		tr:     tr,
 		clock:  clock,
-		mset:   metrics.NewSet(),
-		direct: make([][]time.Duration, tr.Nodes()),
+		mset:   mset,
+		direct: linkmon.NewDeadlines(tr.Nodes(), tr.Rails()),
 		twoHop: make([]twoHopRoute, tr.Nodes()),
-	}
-	for i := range r.direct {
-		r.direct[i] = make([]time.Duration, tr.Rails())
+		// Queueing stays disabled (capacity 0): a distance-vector
+		// router has no discovery to wait on, so a routeless datagram
+		// fails fast instead.
+		plane:  dataplane.New(tr.Node(), tr.Nodes(), cfg.DataTTL, 0, mset.Counter(CtrQueueOverflow)),
+		rounds: linkmon.NewRounds(clock),
 	}
 	return r, nil
 }
@@ -117,7 +128,7 @@ func (r *Reactive) Start() error {
 	r.started = true
 	r.mu.Unlock()
 	r.tr.SetReceiver(r.onFrame)
-	r.advertise()
+	r.rounds.Run(r.cfg.AdvertiseInterval, r.advertise)
 	return nil
 }
 
@@ -125,11 +136,8 @@ func (r *Reactive) Start() error {
 func (r *Reactive) Stop() {
 	r.mu.Lock()
 	r.stopped = true
-	cancel := r.cancel
 	r.mu.Unlock()
-	if cancel != nil {
-		cancel()
-	}
+	r.rounds.Stop()
 }
 
 // SetDeliverFunc implements Router.
@@ -142,8 +150,8 @@ func (r *Reactive) SetDeliverFunc(fn func(src int, data []byte)) {
 // Metrics implements Router.
 func (r *Reactive) Metrics() *metrics.Set { return r.mset }
 
-// advertise broadcasts the advertisement on every rail and reschedules
-// itself.
+// advertise broadcasts the advertisement on every rail; the Rounds
+// loop reschedules it after it returns.
 func (r *Reactive) advertise() {
 	r.mu.Lock()
 	if r.stopped {
@@ -152,15 +160,12 @@ func (r *Reactive) advertise() {
 	}
 	now := r.clock.Now()
 	var reachable []uint16
-	for peer := range r.direct {
+	for peer := 0; peer < r.tr.Nodes(); peer++ {
 		if peer == r.tr.Node() {
 			continue
 		}
-		for rail := range r.direct[peer] {
-			if r.direct[peer][rail] > now {
-				reachable = append(reachable, uint16(peer))
-				break
-			}
+		if r.direct.AnyAlive(peer, now) {
+			reachable = append(reachable, uint16(peer))
 		}
 	}
 	r.mu.Unlock()
@@ -173,12 +178,6 @@ func (r *Reactive) advertise() {
 			}
 		}
 	}
-
-	r.mu.Lock()
-	if !r.stopped {
-		r.cancel = r.clock.AfterFunc(r.cfg.AdvertiseInterval, r.advertise)
-	}
-	r.mu.Unlock()
 }
 
 func (r *Reactive) onFrame(rail, src int, payload []byte) {
@@ -207,8 +206,8 @@ func (r *Reactive) onAdvert(rail, src int, body []byte) {
 	}
 	now := r.clock.Now()
 	expiry := now + r.cfg.RouteTimeout
-	wasUp := r.directAliveLocked(src, now)
-	r.direct[src][rail] = expiry
+	wasUp := r.direct.AnyAlive(src, now)
+	r.direct.Refresh(src, rail, now, expiry)
 	if !wasUp {
 		r.event(trace.Event{At: now, Node: r.tr.Node(), Kind: trace.KindRouteInstalled,
 			Peer: src, Rail: rail, Detail: "direct (advert)"})
@@ -225,15 +224,6 @@ func (r *Reactive) onAdvert(rail, src int, body []byte) {
 	}
 }
 
-func (r *Reactive) directAliveLocked(peer int, now time.Duration) bool {
-	for _, exp := range r.direct[peer] {
-		if exp > now {
-			return true
-		}
-	}
-	return false
-}
-
 // SendData implements Router.
 func (r *Reactive) SendData(dst int, data []byte) error {
 	r.mu.Lock()
@@ -245,9 +235,10 @@ func (r *Reactive) SendData(dst int, data []byte) error {
 		r.mu.Unlock()
 		return fmt.Errorf("routing: bad destination %d", dst)
 	}
-	r.seq++
-	h := DataHeader{Origin: uint16(r.tr.Node()), Final: uint16(dst),
-		TTL: uint8(r.cfg.DataTTL), Seq: r.seq}
+	// The sequence number advances even when routing fails — the next
+	// datagram that does get out keeps a gap-free view of what was
+	// attempted.
+	frame := r.plane.NewFrame(dst, data)
 	rail, via, ok := r.routeLocked(dst)
 	r.mu.Unlock()
 	if !ok {
@@ -255,17 +246,15 @@ func (r *Reactive) SendData(dst int, data []byte) error {
 		return ErrNoRoute
 	}
 	r.mset.Counter(CtrDataSent).Inc()
-	return r.tr.Send(rail, via, Envelope(ProtoData, MarshalData(h, data)))
+	return r.tr.Send(rail, via, frame)
 }
 
 // routeLocked picks the next hop for dst: the freshest-enough direct
 // rail first, then a two-hop relay.
 func (r *Reactive) routeLocked(dst int) (rail, via int, ok bool) {
 	now := r.clock.Now()
-	for rail := range r.direct[dst] {
-		if r.direct[dst][rail] > now {
-			return rail, dst, true
-		}
+	if rail, ok := r.direct.FirstAlive(dst, now); ok {
+		return rail, dst, true
 	}
 	if th := r.twoHop[dst]; th.expiry > now {
 		return th.rail, th.via, true
@@ -274,12 +263,9 @@ func (r *Reactive) routeLocked(dst int) (rail, via int, ok bool) {
 }
 
 func (r *Reactive) onData(rail, src int, body []byte) {
-	h, data, err := UnmarshalData(body)
-	if err != nil {
-		return
-	}
-	self := r.tr.Node()
-	if int(h.Final) == self {
+	h, data, act := r.plane.Classify(body)
+	switch act {
+	case dataplane.Deliver:
 		r.mu.Lock()
 		deliver := r.deliver
 		stopped := r.stopped
@@ -289,32 +275,27 @@ func (r *Reactive) onData(rail, src int, body []byte) {
 		}
 		r.mset.Counter(CtrDataDelivered).Inc()
 		deliver(int(h.Origin), data)
-		return
-	}
-	// Forward as relay: only along a live direct route, so paths stay
-	// at most two hops and cannot loop (the TTL is a backstop).
-	if h.TTL <= 1 {
+	case dataplane.Drop:
 		r.mset.Counter(CtrDataDropped).Inc()
-		return
-	}
-	h.TTL--
-	r.mu.Lock()
-	stopped := r.stopped
-	now := r.clock.Now()
-	outRail := -1
-	for candidate := range r.direct[h.Final] {
-		if r.direct[h.Final][candidate] > now {
-			outRail = candidate
-			break
+	case dataplane.Forward:
+		// Forward as relay: only along a live direct route, so paths
+		// stay at most two hops and cannot loop (the TTL is a
+		// backstop).
+		r.mu.Lock()
+		stopped := r.stopped
+		now := r.clock.Now()
+		outRail := -1
+		if rail, ok := r.direct.FirstAlive(int(h.Final), now); ok {
+			outRail = rail
 		}
+		r.mu.Unlock()
+		if stopped || outRail < 0 {
+			r.mset.Counter(CtrDataDropped).Inc()
+			return
+		}
+		r.mset.Counter(CtrDataForwarded).Inc()
+		_ = r.tr.Send(outRail, int(h.Final), dataplane.Frame(h, data))
 	}
-	r.mu.Unlock()
-	if stopped || outRail < 0 {
-		r.mset.Counter(CtrDataDropped).Inc()
-		return
-	}
-	r.mset.Counter(CtrDataForwarded).Inc()
-	_ = r.tr.Send(outRail, int(h.Final), Envelope(ProtoData, MarshalData(h, data)))
 }
 
 func (r *Reactive) event(e trace.Event) {

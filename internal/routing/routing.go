@@ -100,4 +100,7 @@ const (
 	CtrOffersSent    = "offers.sent"
 	CtrOffersRecv    = "offers.recv"
 	CtrRepairs       = "routes.repaired"
+	// CtrQueueOverflow counts datagrams evicted (oldest first) from a
+	// full discovery queue.
+	CtrQueueOverflow = "queue.overflow"
 )

@@ -1,0 +1,164 @@
+package wire
+
+import "encoding/binary"
+
+// Control message types carried in ProtoControl frames. The DRS and
+// the link-state baseline occupy disjoint ranges so a mixed cluster
+// fails loudly rather than silently misparsing.
+const (
+	// MsgRouteQuery / MsgRouteOffer are the DRS phase-2 relay
+	// discovery exchange.
+	MsgRouteQuery = 1
+	MsgRouteOffer = 2
+	// MsgHello and MsgGoodbye implement dynamic membership (an
+	// extension beyond the paper's statically configured host lists):
+	// hello announces the sender, goodbye retracts it. The sender's
+	// identity comes from the frame, so both are a bare type byte.
+	MsgHello   = 3
+	MsgGoodbye = 4
+	// MsgLSHello and MsgLSA belong to the OSPF-lite baseline:
+	// adjacency heartbeat and link-state advertisement.
+	MsgLSHello = 64
+	MsgLSA     = 65
+)
+
+// MarshalHello encodes a membership announcement.
+func MarshalHello() []byte { return []byte{MsgHello} }
+
+// MarshalGoodbye encodes a membership retraction.
+func MarshalGoodbye() []byte { return []byte{MsgGoodbye} }
+
+// MarshalLSHello encodes a link-state adjacency heartbeat.
+func MarshalLSHello() []byte { return []byte{MsgLSHello} }
+
+// Query is the broadcast the DRS makes when no direct link to a peer
+// remains: "is some other server able to act as a router to create a
+// new path between the sender and the proposed recipient?"
+type Query struct {
+	Origin uint16 // node asking
+	Target uint16 // node it wants to reach
+	Seq    uint32 // per-origin discovery sequence (dedupes rebroadcasts)
+	TTL    uint8  // remaining rebroadcast depth
+}
+
+// QueryLen is the encoded size of a Query.
+const QueryLen = 1 + 2 + 2 + 4 + 1
+
+// MarshalQuery encodes a route query as a ProtoControl body.
+func MarshalQuery(q Query) []byte {
+	b := make([]byte, QueryLen)
+	b[0] = MsgRouteQuery
+	binary.BigEndian.PutUint16(b[1:3], q.Origin)
+	binary.BigEndian.PutUint16(b[3:5], q.Target)
+	binary.BigEndian.PutUint32(b[5:9], q.Seq)
+	b[9] = q.TTL
+	return b
+}
+
+// UnmarshalQuery decodes a route query.
+func UnmarshalQuery(b []byte) (Query, error) {
+	if len(b) < QueryLen || b[0] != MsgRouteQuery {
+		return Query{}, ErrBadControl
+	}
+	return Query{
+		Origin: binary.BigEndian.Uint16(b[1:3]),
+		Target: binary.BigEndian.Uint16(b[3:5]),
+		Seq:    binary.BigEndian.Uint32(b[5:9]),
+		TTL:    b[9],
+	}, nil
+}
+
+// Offer answers a Query: "I can reach Target; route through me." When
+// Relay equals Target the offer came from the target itself, so the
+// origin installs a direct route on the rail the offer arrived on.
+type Offer struct {
+	Origin uint16 // the querying node (offer is unicast back to it)
+	Target uint16
+	Seq    uint32 // echoes the query sequence
+	Relay  uint16 // the offering node
+}
+
+// OfferLen is the encoded size of an Offer.
+const OfferLen = 1 + 2 + 2 + 4 + 2
+
+// MarshalOffer encodes a route offer as a ProtoControl body.
+func MarshalOffer(o Offer) []byte {
+	b := make([]byte, OfferLen)
+	b[0] = MsgRouteOffer
+	binary.BigEndian.PutUint16(b[1:3], o.Origin)
+	binary.BigEndian.PutUint16(b[3:5], o.Target)
+	binary.BigEndian.PutUint32(b[5:9], o.Seq)
+	binary.BigEndian.PutUint16(b[9:11], o.Relay)
+	return b
+}
+
+// UnmarshalOffer decodes a route offer.
+func UnmarshalOffer(b []byte) (Offer, error) {
+	if len(b) < OfferLen || b[0] != MsgRouteOffer {
+		return Offer{}, ErrBadControl
+	}
+	return Offer{
+		Origin: binary.BigEndian.Uint16(b[1:3]),
+		Target: binary.BigEndian.Uint16(b[3:5]),
+		Seq:    binary.BigEndian.Uint32(b[5:9]),
+		Relay:  binary.BigEndian.Uint16(b[9:11]),
+	}, nil
+}
+
+// Adjacency is one (node, rail) link an LSA's origin claims.
+type Adjacency struct {
+	Node uint16
+	Rail uint16
+}
+
+// LSA is a link-state advertisement: the origin's full adjacency list
+// under a per-origin sequence number (freshest wins, stale is not
+// re-flooded, so flooding terminates).
+type LSA struct {
+	Origin    uint16
+	Seq       uint32
+	Neighbors []Adjacency
+}
+
+// lsaFixedLen is the encoded size of an LSA with no neighbors.
+const lsaFixedLen = 1 + 2 + 4 + 2
+
+// MarshalLSA encodes a link-state advertisement as a ProtoControl body.
+func MarshalLSA(e LSA) []byte {
+	b := make([]byte, lsaFixedLen+4*len(e.Neighbors))
+	b[0] = MsgLSA
+	binary.BigEndian.PutUint16(b[1:3], e.Origin)
+	binary.BigEndian.PutUint32(b[3:7], e.Seq)
+	binary.BigEndian.PutUint16(b[7:9], uint16(len(e.Neighbors)))
+	off := lsaFixedLen
+	for _, n := range e.Neighbors {
+		binary.BigEndian.PutUint16(b[off:], n.Node)
+		binary.BigEndian.PutUint16(b[off+2:], n.Rail)
+		off += 4
+	}
+	return b
+}
+
+// UnmarshalLSA decodes a link-state advertisement.
+func UnmarshalLSA(b []byte) (LSA, error) {
+	if len(b) < lsaFixedLen || b[0] != MsgLSA {
+		return LSA{}, ErrBadControl
+	}
+	count := int(binary.BigEndian.Uint16(b[7:9]))
+	if len(b) < lsaFixedLen+4*count {
+		return LSA{}, ErrBadControl
+	}
+	e := LSA{
+		Origin: binary.BigEndian.Uint16(b[1:3]),
+		Seq:    binary.BigEndian.Uint32(b[3:7]),
+	}
+	off := lsaFixedLen
+	for i := 0; i < count; i++ {
+		e.Neighbors = append(e.Neighbors, Adjacency{
+			Node: binary.BigEndian.Uint16(b[off:]),
+			Rail: binary.BigEndian.Uint16(b[off+2:]),
+		})
+		off += 4
+	}
+	return e, nil
+}
