@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke cover fuzz clean
+.PHONY: all build test race bench benchsmoke cover fuzz fuzzsmoke chaos-smoke clean
 
 all: build test
 
@@ -39,6 +39,20 @@ cover:
 # in plain `make test` as well).
 fuzz:
 	$(GO) test ./internal/scenario/ -run FuzzLoad -fuzz FuzzLoad -fuzztime 30s
+
+# Ten-second fuzz pass over the wire-format frame parser — the surface
+# the chaos layer's frame corruption exercises (CI gate).
+fuzzsmoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFrame -fuzztime=10s ./internal/routing/wire
+
+# Gray-failure gate: the chaos injector and campaign-harness tests
+# (golden tables, worker-count determinism) plus one quick live
+# campaign and the flapping-rail damping scenario. Everything here is
+# deterministic, so any diff is a real regression.
+chaos-smoke:
+	$(GO) test ./internal/chaos/ ./cmd/drschaos/
+	$(GO) run ./cmd/drschaos -nodes 4 -duration 20s -levels 0,0.2 -protocols drs,static
+	$(GO) run ./cmd/drsim -config examples/scenarios/flapping-rail.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,286 @@
+// Command drschaos runs gray-failure campaigns against the routing
+// protocols: instead of the fail-stop faults of the paper's
+// experiments, it sweeps an impairment intensity ladder — random frame
+// loss on a backplane, or link flapping at increasing duty cycles —
+// and reports how each protocol's delivery availability degrades,
+// how many link flaps it observed, and how fast it repaired routes.
+//
+// The sweep runs on the parallel engine: every (protocol, intensity)
+// cell is an independent deterministic simulation, so the output is
+// bit-identical for any -workers count.
+//
+// Usage:
+//
+//	drschaos [-mode loss|flap] [-protocols list] [-levels list]
+//	         [-nodes n] [-duration d] [-seed s] [-damping]
+//	         [-workers n] [-plot]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"drsnet/internal/asciiplot"
+	"drsnet/internal/chaos"
+	"drsnet/internal/linkmon"
+	"drsnet/internal/netsim"
+	"drsnet/internal/runtime"
+	"drsnet/internal/topology"
+	"drsnet/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// campaign parameterizes one sweep.
+type campaign struct {
+	mode      string
+	protocols []string
+	levels    []float64
+	nodes     int
+	duration  time.Duration
+	seed      uint64
+	damping   bool
+	workers   int
+}
+
+// cell is the outcome of one (protocol, intensity) run.
+type cell struct {
+	protocol        string
+	intensity       float64
+	sent, delivered int
+	flaps, damped   int
+	meanRepair      time.Duration // 0 when the protocol records no repairs
+	repairs         int
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("drschaos", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss) or flap (NIC duty-cycle flapping)")
+	protocols := flags.String("protocols", "drs,reactive,linkstate,static", "protocols to torment, comma separated")
+	levels := flags.String("levels", "", "intensity ladder, comma separated (loss probabilities or flap duty cycles; default per mode)")
+	nodes := flags.Int("nodes", 6, "cluster size")
+	duration := flags.Duration("duration", 60*time.Second, "simulated horizon per run")
+	seed := flags.Uint64("seed", 1, "simulation seed")
+	damping := flags.Bool("damping", false, "enable DRS route-flap damping (linkmon defaults)")
+	workers := flags.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	plot := flags.Bool("plot", false, "render availability as an ASCII chart instead of a table")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	c := campaign{
+		mode:     *mode,
+		nodes:    *nodes,
+		duration: *duration,
+		seed:     *seed,
+		damping:  *damping,
+		workers:  *workers,
+	}
+	switch c.mode {
+	case "loss", "flap":
+	default:
+		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss or flap)\n", c.mode)
+		return 1
+	}
+	for _, tok := range strings.Split(*protocols, ",") {
+		p := strings.TrimSpace(tok)
+		if _, err := runtime.Lookup(p); err != nil {
+			fmt.Fprintf(stderr, "drschaos: %v\n", err)
+			return 1
+		}
+		c.protocols = append(c.protocols, p)
+	}
+	ladder := *levels
+	if ladder == "" {
+		if c.mode == "loss" {
+			ladder = "0,0.05,0.1,0.2,0.4"
+		} else {
+			ladder = "0,0.2,0.4,0.6"
+		}
+	}
+	for _, tok := range strings.Split(ladder, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "drschaos: bad intensity %q: %v\n", tok, err)
+			return 1
+		}
+		if v < 0 || v >= 1 {
+			fmt.Fprintf(stderr, "drschaos: intensity %v outside [0,1)\n", v)
+			return 1
+		}
+		c.levels = append(c.levels, v)
+	}
+	if c.nodes < 2 {
+		fmt.Fprintf(stderr, "drschaos: need at least 2 nodes, have %d\n", c.nodes)
+		return 1
+	}
+	if c.duration <= 0 {
+		fmt.Fprintf(stderr, "drschaos: duration must be positive\n")
+		return 1
+	}
+
+	cells, err := c.sweep()
+	if err != nil {
+		fmt.Fprintf(stderr, "drschaos: %v\n", err)
+		return 1
+	}
+	if *plot {
+		err = c.writePlot(stdout, cells)
+	} else {
+		err = c.writeTable(stdout, cells)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "drschaos: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// spec builds the deterministic simulation for one campaign cell.
+func (c *campaign) spec(protocol string, intensity float64) runtime.ClusterSpec {
+	cl := topology.Dual(c.nodes)
+	spec := runtime.ClusterSpec{
+		Nodes:    c.nodes,
+		Protocol: protocol,
+		Seed:     c.seed,
+		Duration: c.duration,
+	}
+	if c.damping {
+		spec.Tunables.FlapDamping = linkmon.DefaultDamping()
+	}
+	// Ring traffic: every node talks to its successor, so every rail
+	// segment carries load and any impairment is felt somewhere.
+	for n := 0; n < c.nodes; n++ {
+		spec.Flows = append(spec.Flows, runtime.Flow{
+			From: n, To: (n + 1) % c.nodes, Interval: 250 * time.Millisecond,
+		})
+	}
+	switch c.mode {
+	case "loss":
+		// Degrade rail 0's backplane for the whole run; rail 1 stays
+		// clean, so a protocol that reroutes can dodge the loss.
+		if intensity > 0 {
+			spec.Impairments = append(spec.Impairments, chaos.Spec{
+				Comp:   cl.Backplane(0),
+				Impair: netsim.Impairment{Loss: intensity},
+			})
+		}
+	case "flap":
+		// Node 1 loses its rail-1 NIC for good at 1 s, then its rail-0
+		// NIC — the only path left — flaps with the intensity as duty
+		// cycle. Higher duty, longer outages, more route churn.
+		spec.Faults = append(spec.Faults, runtime.Fault{At: time.Second, Comp: cl.NIC(1, 1)})
+		if intensity > 0 {
+			spec.Impairments = append(spec.Impairments, chaos.Spec{
+				Comp:       cl.NIC(1, 0),
+				Start:      5 * time.Second,
+				FlapPeriod: 8 * time.Second,
+				FlapDuty:   intensity,
+			})
+		}
+	}
+	return spec
+}
+
+// sweep runs the full (protocol × intensity) grid on the parallel
+// engine and reduces each run to a table cell.
+func (c *campaign) sweep() ([]cell, error) {
+	var specs []runtime.ClusterSpec
+	var cells []cell
+	for _, p := range c.protocols {
+		for _, lv := range c.levels {
+			specs = append(specs, c.spec(p, lv))
+			cells = append(cells, cell{protocol: p, intensity: lv})
+		}
+	}
+	results, err := runtime.RunMany(context.Background(), specs, c.workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		for _, f := range res.Flows {
+			cells[i].sent += f.Sent
+			cells[i].delivered += f.Delivered
+		}
+		cells[i].flaps = res.Trace.Count(trace.KindLinkDown)
+		cells[i].damped = res.Trace.Count(trace.KindRouteDamped)
+		cells[i].repairs = len(res.Repairs)
+		var total time.Duration
+		for _, r := range res.Repairs {
+			total += r.Latency()
+		}
+		if len(res.Repairs) > 0 {
+			cells[i].meanRepair = total / time.Duration(len(res.Repairs))
+		}
+	}
+	return cells, nil
+}
+
+// availability is the cell's delivered fraction.
+func (cl *cell) availability() float64 {
+	if cl.sent == 0 {
+		return 0
+	}
+	return float64(cl.delivered) / float64(cl.sent)
+}
+
+func (c *campaign) title() string {
+	what := "backplane-0 frame loss"
+	if c.mode == "flap" {
+		what = "rail-0 flap duty cycle"
+	}
+	damp := ""
+	if c.damping {
+		damp = ", damping on"
+	}
+	return fmt.Sprintf("chaos campaign: %s (%d nodes, %v, seed %d%s)",
+		what, c.nodes, c.duration, c.seed, damp)
+}
+
+func (c *campaign) writeTable(w io.Writer, cells []cell) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", c.title()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %10s %8s %7s %7s %8s %13s\n",
+		"protocol", "intensity", "avail%", "flaps", "damped", "repairs", "mean-failover")
+	for i := range cells {
+		cl := &cells[i]
+		failover := "-"
+		if cl.repairs > 0 {
+			failover = cl.meanRepair.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%10s %10.2f %8.2f %7d %7d %8d %13s\n",
+			cl.protocol, cl.intensity, 100*cl.availability(),
+			cl.flaps, cl.damped, cl.repairs, failover)
+	}
+	return nil
+}
+
+func (c *campaign) writePlot(w io.Writer, cells []cell) error {
+	series := make([]asciiplot.Series, 0, len(c.protocols))
+	for _, p := range c.protocols {
+		s := asciiplot.Series{Name: p}
+		for i := range cells {
+			if cells[i].protocol != p {
+				continue
+			}
+			s.X = append(s.X, cells[i].intensity)
+			s.Y = append(s.Y, 100*cells[i].availability())
+		}
+		series = append(series, s)
+	}
+	return asciiplot.Render(w, asciiplot.Config{
+		Title:  c.title(),
+		XLabel: "intensity",
+		YLabel: "availability (%)",
+	}, series...)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestLossCampaignGolden pins the loss-sweep table to the digit: the
+// impairment randomness comes from seeded substreams, so availability,
+// flap counts and repair counts are exactly reproducible.
+func TestLossCampaignGolden(t *testing.T) {
+	const golden = `# chaos campaign: backplane-0 frame loss (4 nodes, 30s, seed 3)
+  protocol  intensity   avail%   flaps  damped  repairs mean-failover
+       drs       0.00    99.17       0       0        0             -
+       drs       0.30    87.29      30       0       12            0s
+    static       0.00    99.17       0       0        0             -
+    static       0.30    66.67       0       0        0             -
+`
+	var out, errb bytes.Buffer
+	args := []string{"-nodes", "4", "-duration", "30s", "-levels", "0,0.3",
+		"-protocols", "drs,static", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("loss campaign drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestFlapCampaignGolden pins the flap sweep with damping enabled —
+// the damped column being non-zero proves the hold-down engaged.
+func TestFlapCampaignGolden(t *testing.T) {
+	const golden = `# chaos campaign: rail-0 flap duty cycle (4 nodes, 1m0s, seed 3, damping on)
+  protocol  intensity   avail%   flaps  damped  repairs mean-failover
+       drs       0.00    99.58       6       0        0             -
+       drs       0.50    78.75      48       6       30         667ms
+`
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "flap", "-nodes", "4", "-duration", "60s",
+		"-levels", "0,0.5", "-protocols", "drs", "-damping", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("flap campaign drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestWorkersIdentical: the sweep is sharded over the parallel engine;
+// the worker count must change wall time only, never a byte of output.
+func TestWorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		args := []string{"-mode", "flap", "-nodes", "4", "-duration", "30s",
+			"-levels", "0,0.25,0.5", "-protocols", "drs,reactive", "-damping",
+			"-workers", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n--- got ---\n%s--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestPlotMode: -plot renders the ASCII chart with per-protocol legend.
+func TestPlotMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-nodes", "4", "-duration", "20s", "-levels", "0,0.2",
+		"-protocols", "drs,static", "-plot"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"availability (%)", "intensity", "drs", "static"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("plot output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBadFlags exercises the error paths.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "meteor"},
+		{"-protocols", "ospf"},
+		{"-levels", "lots"},
+		{"-levels", "1.5"},
+		{"-nodes", "1"},
+		{"-duration", "-3s"},
+		{"-not-a-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("args %v produced no diagnostics", args)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package chaos scripts gray failures against the packet simulator:
+// timed impairment episodes (loss, corruption, delay, jitter),
+// unidirectional component kills, and periodic link flapping with a
+// configurable period and duty cycle.
+//
+// Fail-stop faults (runtime.Fault) model the paper's experiments —
+// a component dies cleanly and every frame through it vanishes. The
+// failures that hurt deployed systems are rarely that polite: a NIC
+// whose transmit side dies while receive keeps working, a backplane
+// that delivers 95% of frames, a link that flaps faster than the
+// routing protocol can converge. This package schedules exactly those
+// against a netsim.Network, deterministically: episodes fire at fixed
+// simulated times, and the per-frame randomness (which frame is lost
+// or corrupted) comes from the network's own seeded impairment stream,
+// so a chaos campaign is bit-identical across runs and worker counts.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/netsim"
+	"drsnet/internal/simtime"
+	"drsnet/internal/topology"
+)
+
+// Spec is one scripted gray-failure episode on one component. Exactly
+// one of the three modes must be active:
+//
+//   - Impair non-zero: the component degrades (loss, corruption,
+//     delay, jitter) between Start and Stop but stays "up".
+//   - Kill: the component goes down between Start and Stop —
+//     optionally only one direction (Direction), which is the
+//     classic gray NIC that transmits but no longer receives.
+//   - FlapPeriod > 0: the component cycles down/up with the given
+//     period; each period it is down for FlapPeriod×FlapDuty and up
+//     for the remainder, starting down at Start.
+type Spec struct {
+	// Comp is the NIC or backplane being tormented (topology numbering
+	// for the run's cluster shape).
+	Comp topology.Component
+	// Start is when the episode begins.
+	Start time.Duration
+	// Stop is when the episode ends and the component is restored
+	// (and any impairment cleared). Zero means the episode lasts to
+	// the simulation horizon.
+	Stop time.Duration
+	// Impair is the degradation applied while the episode is active.
+	Impair netsim.Impairment
+	// Kill takes the component down for the whole episode.
+	Kill bool
+	// Direction selects which half of the component Kill and flapping
+	// affect (DirBoth, DirTx, DirRx). Ignored for pure impairments.
+	Direction netsim.Direction
+	// FlapPeriod, when positive, makes the episode a flap cycle.
+	FlapPeriod time.Duration
+	// FlapDuty is the fraction of each period spent down, in (0,1).
+	// Zero defaults to 0.5.
+	FlapDuty float64
+}
+
+// mode classifies the spec; used by Validate and Schedule.
+func (s *Spec) flapping() bool { return s.FlapPeriod != 0 }
+
+// downFor returns how long the component stays down each flap period.
+func (s *Spec) downFor() time.Duration {
+	duty := s.FlapDuty
+	if duty == 0 {
+		duty = 0.5
+	}
+	return time.Duration(float64(s.FlapPeriod) * duty)
+}
+
+// Validate checks the spec against a cluster shape. The index i is
+// used in error messages so callers can report which entry of a
+// schedule is broken.
+func (s *Spec) Validate(cl topology.Cluster, i int) error {
+	if int(s.Comp) < 0 || int(s.Comp) >= cl.Components() {
+		return fmt.Errorf("chaos: spec[%d]: component %d outside universe of %d (cluster %d×%d)",
+			i, int(s.Comp), cl.Components(), cl.Nodes, cl.Rails)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("chaos: spec[%d] (%s): start %v before time zero", i, cl.Name(s.Comp), s.Start)
+	}
+	if s.Stop < 0 {
+		return fmt.Errorf("chaos: spec[%d] (%s): negative stop %v", i, cl.Name(s.Comp), s.Stop)
+	}
+	if s.Stop != 0 && s.Stop <= s.Start {
+		return fmt.Errorf("chaos: spec[%d] (%s): stop %v not after start %v", i, cl.Name(s.Comp), s.Stop, s.Start)
+	}
+	if s.Direction < netsim.DirBoth || s.Direction > netsim.DirRx {
+		return fmt.Errorf("chaos: spec[%d] (%s): unknown direction %d", i, cl.Name(s.Comp), s.Direction)
+	}
+	if err := s.Impair.Validate(); err != nil {
+		return fmt.Errorf("chaos: spec[%d] (%s): %v", i, cl.Name(s.Comp), err)
+	}
+	if s.FlapPeriod < 0 {
+		return fmt.Errorf("chaos: spec[%d] (%s): flap period must be positive, got %v", i, cl.Name(s.Comp), s.FlapPeriod)
+	}
+	if s.FlapDuty < 0 || s.FlapDuty >= 1 {
+		return fmt.Errorf("chaos: spec[%d] (%s): flap duty %v outside (0,1)", i, cl.Name(s.Comp), s.FlapDuty)
+	}
+	if s.FlapDuty != 0 && s.FlapPeriod == 0 {
+		return fmt.Errorf("chaos: spec[%d] (%s): flap duty set without a flap period", i, cl.Name(s.Comp))
+	}
+	if s.flapping() && s.Kill {
+		return fmt.Errorf("chaos: spec[%d] (%s): kill and flap are mutually exclusive (flapping already cycles the component down)", i, cl.Name(s.Comp))
+	}
+	if !s.Kill && !s.flapping() && s.Impair.IsZero() {
+		return fmt.Errorf("chaos: spec[%d] (%s): episode does nothing (no impairment, kill or flap)", i, cl.Name(s.Comp))
+	}
+	if s.flapping() && s.downFor() <= 0 {
+		return fmt.Errorf("chaos: spec[%d] (%s): flap period %v with duty %v rounds to zero down-time",
+			i, cl.Name(s.Comp), s.FlapPeriod, s.FlapDuty)
+	}
+	return nil
+}
+
+// Validate checks a whole schedule against a cluster shape.
+func Validate(specs []Spec, cl topology.Cluster) error {
+	for i := range specs {
+		if err := specs[i].Validate(cl, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Injector schedules a gray-failure script onto a simulated network.
+// All events are installed up front at fixed simulated times (flap
+// cycles reschedule themselves), so the injector adds no per-frame
+// work and no nondeterminism.
+type Injector struct {
+	sched *simtime.Scheduler
+	net   *netsim.Network
+	specs []Spec
+}
+
+// NewInjector validates the schedule against the network's cluster
+// shape and returns an injector ready to Schedule.
+func NewInjector(net *netsim.Network, specs []Spec) (*Injector, error) {
+	if err := Validate(specs, net.Cluster()); err != nil {
+		return nil, err
+	}
+	return &Injector{sched: net.Scheduler(), net: net, specs: specs}, nil
+}
+
+// Schedule installs every episode, in spec order. Call once, before
+// advancing the simulation past the earliest Start.
+func (inj *Injector) Schedule() {
+	for i := range inj.specs {
+		inj.scheduleOne(&inj.specs[i])
+	}
+}
+
+func (inj *Injector) scheduleOne(s *Spec) {
+	at := func(t time.Duration, fn func()) { inj.sched.At(simtime.Time(t), fn) }
+
+	if !s.Impair.IsZero() {
+		imp := s.Impair
+		comp := s.Comp
+		at(s.Start, func() { _ = inj.net.SetImpairment(comp, imp) })
+		if s.Stop > 0 {
+			at(s.Stop, func() { inj.net.ClearImpairment(comp) })
+		}
+	}
+	if s.Kill {
+		comp, dir := s.Comp, s.Direction
+		at(s.Start, func() { inj.net.FailDir(comp, dir) })
+		if s.Stop > 0 {
+			at(s.Stop, func() { inj.net.RestoreDir(comp, dir) })
+		}
+	}
+	if s.flapping() {
+		inj.scheduleFlap(s)
+	}
+}
+
+// scheduleFlap installs one self-rescheduling flap cycle: down at each
+// period start, up after the duty fraction, restored for good at Stop.
+// A cycle whose down-edge would land at or past Stop never fires, so
+// the component always ends the episode up.
+func (inj *Injector) scheduleFlap(s *Spec) {
+	comp, dir := s.Comp, s.Direction
+	period, down := s.FlapPeriod, s.downFor()
+	stop := s.Stop
+
+	var cycle func()
+	cycle = func() {
+		now := inj.sched.Now().Duration()
+		if stop > 0 && now >= stop {
+			return
+		}
+		inj.net.FailDir(comp, dir)
+		up := now + down
+		if stop > 0 && up > stop {
+			up = stop
+		}
+		inj.sched.At(simtime.Time(up), func() { inj.net.RestoreDir(comp, dir) })
+		inj.sched.At(simtime.Time(now+period), cycle)
+	}
+	inj.sched.At(simtime.Time(s.Start), cycle)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"drsnet/internal/linkmon"
 	"drsnet/internal/trace"
 )
 
@@ -62,6 +63,18 @@ type Config struct {
 	// silent on every rail for this long (0 = never forget; static
 	// members are never forgotten).
 	ForgetAfter time.Duration
+	// FlapDamping holds a recovered (peer, rail) path down, RFC
+	// 2439-style, while its flap penalty stays high: each link-down
+	// transition charges a penalty that decays exponentially, and a
+	// path whose penalty crossed the suppress threshold is not
+	// re-trusted on recovery until the penalty decays below the reuse
+	// threshold. Damped paths are excluded from route selection and
+	// relay offers but keep being probed, so release is prompt once
+	// the path genuinely stabilizes. The zero value disables damping
+	// (the deployed DRS re-trusted links immediately); enable with
+	// linkmon.DefaultDamping() or explicit thresholds. An extension
+	// beyond the paper, motivated by gray-failure chaos campaigns.
+	FlapDamping linkmon.Damping
 	// Trace, if non-nil, receives protocol events.
 	Trace *trace.Log
 }
@@ -101,6 +114,9 @@ func (c *Config) normalize(nodes, self int) error {
 	}
 	if c.ForgetAfter < 0 {
 		return fmt.Errorf("core: negative ForgetAfter")
+	}
+	if err := c.FlapDamping.Normalize(); err != nil {
+		return fmt.Errorf("core: %v", err)
 	}
 	if c.Monitor == nil && !c.DynamicMembership {
 		for n := 0; n < nodes; n++ {

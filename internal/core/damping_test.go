@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"drsnet/internal/linkmon"
+	"drsnet/internal/routing"
+	"drsnet/internal/trace"
+)
+
+// testDamping is an aggressive damping policy sized for fast tests:
+// two down-transitions within a few seconds cross the suppress
+// threshold, and release follows roughly ten quiet seconds later.
+func testDamping() linkmon.Damping {
+	return linkmon.Damping{
+		Penalty:  1,
+		Suppress: 1.5,
+		Reuse:    0.5,
+		HalfLife: 5 * time.Second,
+		Max:      6,
+	}
+}
+
+// flapRail fails and restores component NIC(node,rail) once, running
+// the simulator long enough for the cluster to detect each edge.
+func (c *cluster) flapNIC(cfg Config, node, rail int) {
+	nic := c.net.Cluster().NIC(node, rail)
+	c.net.Fail(nic)
+	c.runFor(time.Duration(cfg.MissThreshold+1) * cfg.ProbeInterval)
+	c.net.Restore(nic)
+	c.runFor(2 * cfg.ProbeInterval)
+}
+
+// routeChanges counts route-installed plus route-lost transitions
+// observed at node for peer — the churn the damping extension exists
+// to suppress.
+func (c *cluster) routeChanges(node, peer int) int {
+	n := 0
+	for _, e := range c.log.Events() {
+		if e.Node != node || e.Peer != peer {
+			continue
+		}
+		if e.Kind == trace.KindRouteInstalled || e.Kind == trace.KindRouteLost {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFlappingLinkEntersDamped drives a repeatedly flapping rail with
+// damping enabled and checks the recovered link is held untrusted:
+// physically up, but excluded from routing until released.
+func TestFlappingLinkEntersDamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlapDamping = testDamping()
+	c := newCluster(t, 2, cfg)
+	defer c.stop()
+	c.runFor(3 * time.Second)
+
+	// Rail 1 is dead for peer 1, so rail 0 is node 0's only path.
+	c.net.Fail(c.net.Cluster().NIC(1, 1))
+	c.runFor(time.Duration(cfg.MissThreshold+2) * cfg.ProbeInterval)
+
+	for i := 0; i < 3; i++ {
+		c.flapNIC(cfg, 1, 0)
+	}
+
+	d := c.daemons[0]
+	if !d.LinkUp(1, 0) {
+		t.Fatal("link (1,0) should be physically up after the last restore")
+	}
+	if got := d.Metrics().Counter(routing.CtrRouteDamped).Value(); got == 0 {
+		t.Fatal("route.damped never incremented despite repeated flaps")
+	}
+	if got := d.Metrics().Counter(routing.CtrLinkFlaps).Value(); got < 3 {
+		t.Fatalf("link.flaps = %d, want >= 3", got)
+	}
+	// The damped path must not carry a route even though it is the only
+	// physical path left.
+	if rt := d.RouteTo(1); rt.Kind == RouteDirect && rt.Rail == 0 {
+		t.Fatalf("route %+v trusts the damped rail", rt)
+	}
+	found := false
+	for _, e := range c.log.Events() {
+		if e.Kind == trace.KindRouteDamped && e.Node == 0 && e.Peer == 1 && e.Rail == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no route-damped trace event emitted")
+	}
+}
+
+// TestDampedLinkReleasedAfterQuietPeriod checks the exponential decay
+// side: once the path stops flapping, the penalty decays below the
+// reuse threshold and the route is re-installed.
+func TestDampedLinkReleasedAfterQuietPeriod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlapDamping = testDamping()
+	c := newCluster(t, 2, cfg)
+	defer c.stop()
+	c.runFor(3 * time.Second)
+
+	c.net.Fail(c.net.Cluster().NIC(1, 1))
+	c.runFor(time.Duration(cfg.MissThreshold+2) * cfg.ProbeInterval)
+	for i := 0; i < 3; i++ {
+		c.flapNIC(cfg, 1, 0)
+	}
+	d := c.daemons[0]
+	if d.Metrics().Counter(routing.CtrRouteDamped).Value() == 0 {
+		t.Fatal("precondition: link never entered the damped state")
+	}
+
+	// Quiet period: long enough for the capped penalty (≤ 6) to decay
+	// below reuse (0.5) at a 5 s half-life: 5·log2(6/0.5) ≈ 18 s.
+	c.runFor(25 * time.Second)
+
+	if rt := d.RouteTo(1); rt.Kind != RouteDirect || rt.Rail != 0 {
+		t.Fatalf("route = %+v after quiet period, want direct rail 0", rt)
+	}
+	if got := d.Metrics().Counter(routing.CtrDampedNs).Value(); got <= 0 {
+		t.Fatalf("route.damped_ns = %d, want > 0", got)
+	}
+	if n := len(c.log.Filter(trace.KindRouteUndamped)); n == 0 {
+		t.Fatal("no route-undamped trace event emitted")
+	}
+
+	// And the released route actually carries traffic.
+	if err := d.SendData(1, []byte("released")); err != nil {
+		t.Fatal(err)
+	}
+	c.runFor(200 * time.Millisecond)
+	if len(c.delivered[1]) != 1 || c.delivered[1][0].data != "released" {
+		t.Fatalf("delivered = %v", c.delivered[1])
+	}
+}
+
+// TestDampingReducesRouteChurn is the headline property: at identical
+// seeds and identical fault schedules, enabling damping yields strictly
+// fewer route transitions than the undamped baseline.
+func TestDampingReducesRouteChurn(t *testing.T) {
+	run := func(damp linkmon.Damping) int {
+		cfg := DefaultConfig()
+		cfg.FlapDamping = damp
+		c := newCluster(t, 2, cfg)
+		defer c.stop()
+		c.runFor(3 * time.Second)
+		c.net.Fail(c.net.Cluster().NIC(1, 1))
+		c.runFor(time.Duration(cfg.MissThreshold+2) * cfg.ProbeInterval)
+		for i := 0; i < 5; i++ {
+			c.flapNIC(cfg, 1, 0)
+		}
+		return c.routeChanges(0, 1)
+	}
+	undamped := run(linkmon.Damping{})
+	damped := run(testDamping())
+	if damped >= undamped {
+		t.Fatalf("route churn with damping = %d, without = %d; want strictly fewer", damped, undamped)
+	}
+	if undamped < 5 {
+		t.Fatalf("undamped baseline saw only %d transitions; flap schedule too gentle to be probative", undamped)
+	}
+}
+
+// TestDampingDisabledIsInert verifies the zero-value config changes
+// nothing: no damped events, no damped counters, prompt re-trust.
+func TestDampingDisabledIsInert(t *testing.T) {
+	cfg := DefaultConfig()
+	c := newCluster(t, 2, cfg)
+	defer c.stop()
+	c.runFor(3 * time.Second)
+	c.net.Fail(c.net.Cluster().NIC(1, 1))
+	c.runFor(time.Duration(cfg.MissThreshold+2) * cfg.ProbeInterval)
+	for i := 0; i < 3; i++ {
+		c.flapNIC(cfg, 1, 0)
+	}
+	d := c.daemons[0]
+	if got := d.Metrics().Counter(routing.CtrRouteDamped).Value(); got != 0 {
+		t.Fatalf("route.damped = %d with damping disabled", got)
+	}
+	if n := len(c.log.Filter(trace.KindRouteDamped)); n != 0 {
+		t.Fatalf("%d route-damped events with damping disabled", n)
+	}
+	// Links still re-trusted immediately: the last restore reinstalls
+	// the direct rail-0 route.
+	if rt := d.RouteTo(1); rt.Kind != RouteDirect || rt.Rail != 0 {
+		t.Fatalf("route = %+v, want direct rail 0", rt)
+	}
+	// link.flaps still counts (it is a plain observability counter).
+	if got := d.Metrics().Counter(routing.CtrLinkFlaps).Value(); got < 3 {
+		t.Fatalf("link.flaps = %d, want >= 3", got)
+	}
+}

@@ -86,12 +86,12 @@ func (d *Daemon) onData(rail, src int, body []byte) {
 			return
 		}
 		now := d.clock.Now()
-		// Prefer a live direct rail; fall back to our own relay route
-		// as long as it does not bounce the frame back where it came
-		// from (the TTL is the backstop against longer cycles on
-		// exotic topologies).
+		// Prefer a live (and un-damped) direct rail; fall back to our
+		// own relay route as long as it does not bounce the frame back
+		// where it came from (the TTL is the backstop against longer
+		// cycles on exotic topologies).
 		outRail, outVia := -1, -1
-		if r, ok := d.links.FirstUp(final); ok {
+		if r, ok := d.links.FirstUsable(final); ok {
 			outRail, outVia = r, final
 		}
 		if outRail < 0 {

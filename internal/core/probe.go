@@ -38,6 +38,9 @@ func (d *Daemon) probeRound() {
 			}
 		}
 	}
+	if d.cfg.FlapDamping.Enabled() {
+		d.releaseDampedLocked(now)
+	}
 	if d.cfg.PreferLowLatency {
 		d.steerByLatencyLocked(now)
 	}
@@ -116,7 +119,7 @@ func (d *Daemon) steerByLatencyLocked(now time.Duration) {
 			}
 			st := d.links.State(peer, rail)
 			srtt, samples := st.SRTT()
-			if st.Up && samples >= minSteerSamples && srtt*2 < curRTT && srtt < bestRTT {
+			if st.Up && !st.Damped() && samples >= minSteerSamples && srtt*2 < curRTT && srtt < bestRTT {
 				best = rail
 				bestRTT = srtt
 			}
@@ -135,7 +138,9 @@ func (d *Daemon) markDownLocked(peer, rail int, now time.Duration) {
 		return
 	}
 	st.Up = false
+	st.RecordFlap(d.cfg.FlapDamping, now)
 	d.mset.Counter(routing.CtrLinkDown).Inc()
+	d.mset.Counter(routing.CtrLinkFlaps).Inc()
 	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindLinkDown,
 		Peer: peer, Rail: rail})
 	// Repair the peer's own route if it used this rail directly.
@@ -153,7 +158,10 @@ func (d *Daemon) markDownLocked(peer, rail int, now time.Duration) {
 	}
 }
 
-// markUpLocked transitions a link to up and upgrades routes.
+// markUpLocked transitions a link to up and upgrades routes — unless
+// route-flap damping holds the recovered path down, in which case the
+// link is physically up but stays untrusted until the probe round's
+// release sweep decays its penalty below the reuse threshold.
 func (d *Daemon) markUpLocked(peer, rail int, now time.Duration) {
 	st := d.links.State(peer, rail)
 	if st.Up {
@@ -163,19 +171,58 @@ func (d *Daemon) markUpLocked(peer, rail int, now time.Duration) {
 	d.mset.Counter(routing.CtrLinkUp).Inc()
 	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindLinkUp,
 		Peer: peer, Rail: rail})
+	if st.Damped() || st.Suppressed(d.cfg.FlapDamping, now) {
+		if !st.Damped() {
+			st.EnterDamped(now)
+			d.mset.Counter(routing.CtrRouteDamped).Inc()
+			d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteDamped,
+				Peer: peer, Rail: rail,
+				Detail: fmt.Sprintf("penalty %.2f", st.Penalty(d.cfg.FlapDamping, now))})
+		}
+		return
+	}
 	// A live direct link always beats a relay, and beats a direct
-	// route on a dead rail.
+	// route on a dead or damped rail.
 	rt := d.routes.Route(peer)
-	needUpgrade := rt.Kind != RouteDirect || !d.links.State(peer, rt.Rail).Up
+	needUpgrade := rt.Kind != RouteDirect || !d.links.Usable(peer, rt.Rail)
 	if needUpgrade {
 		d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
 	}
 }
 
-// repairLocked replaces the route to peer: second direct rail first,
-// then relay discovery.
+// releaseDampedLocked is the probe round's damping sweep: every path
+// whose penalty has decayed below the reuse threshold is re-trusted,
+// and if it is up and the current route is worse, upgraded to.
+// Caller holds d.mu.
+func (d *Daemon) releaseDampedLocked(now time.Duration) {
+	for peer := 0; peer < d.links.Nodes(); peer++ {
+		if !d.links.Monitored(peer) {
+			continue
+		}
+		for rail := 0; rail < d.tr.Rails(); rail++ {
+			st := d.links.State(peer, rail)
+			held, released := st.TryRelease(d.cfg.FlapDamping, now)
+			if !released {
+				continue
+			}
+			d.mset.Counter(routing.CtrDampedNs).Add(int64(held))
+			d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteUndamped,
+				Peer: peer, Rail: rail, Detail: fmt.Sprintf("held %v", held)})
+			if !st.Up {
+				continue
+			}
+			rt := d.routes.Route(peer)
+			if rt.Kind != RouteDirect || !d.links.Usable(peer, rt.Rail) {
+				d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
+			}
+		}
+	}
+}
+
+// repairLocked replaces the route to peer: second usable direct rail
+// first (damped rails are not trusted), then relay discovery.
 func (d *Daemon) repairLocked(peer int, now time.Duration) {
-	if rail, ok := d.links.FirstUp(peer); ok {
+	if rail, ok := d.links.FirstUsable(peer); ok {
 		d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
 		return
 	}
@@ -188,8 +235,15 @@ func (d *Daemon) repairLocked(peer int, now time.Duration) {
 }
 
 // installLocked records a new route, completes any pending discovery,
-// logs the repair, and flushes queued traffic.
+// logs the repair, and flushes queued traffic. A route whose first hop
+// is a damped link is refused: discovery can prove a flapping rail
+// works *right now* (the target answers the retried query the moment
+// it comes back), and without this gate an offer would re-trust the
+// rail microseconds after damping held it down.
 func (d *Daemon) installLocked(peer int, rt Route, now time.Duration) {
+	if d.links.Monitored(rt.Via) && d.links.State(rt.Via, rt.Rail).Damped() {
+		return
+	}
 	if !d.routes.Install(peer, rt, now) {
 		return
 	}

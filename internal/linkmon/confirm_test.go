@@ -1,0 +1,155 @@
+package linkmon
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin Table.Confirm's behaviour under the garbage the
+// chaos corruption injector now generates: replies with mangled
+// sequence numbers, duplicated replies, replies arriving after the
+// link was declared down, and replies on out-of-range rails. The
+// invariant: misses, pending state and the RTT estimate never go
+// inconsistent — a bad reply changes nothing, a good reply resets the
+// miss count and clears exactly its own probe.
+
+func beginOne(t *testing.T, tbl *Table, peer, rail int) uint16 {
+	t.Helper()
+	seq, down := tbl.BeginProbe(peer, rail, 2)
+	if down {
+		t.Fatalf("unexpected down from BeginProbe(%d,%d)", peer, rail)
+	}
+	return seq
+}
+
+// TestConfirmRejectsCorruptedSeq: a reply whose sequence number was
+// mangled in transit must not clear the outstanding probe or the miss
+// count.
+func TestConfirmRejectsCorruptedSeq(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	seq := beginOne(t, tbl, 1, 0)
+	if _, ok := tbl.Confirm(1, 0, seq^0x5aa5); ok {
+		t.Fatal("corrupted seq confirmed")
+	}
+	st := tbl.State(1, 0)
+	if !st.Pending || st.PendingSeq != seq {
+		t.Fatalf("probe state disturbed by corrupted reply: %+v", st)
+	}
+	// The genuine reply still matches afterwards.
+	if _, ok := tbl.Confirm(1, 0, seq); !ok {
+		t.Fatal("genuine reply rejected after corrupted one")
+	}
+	if st.Pending || st.Misses != 0 {
+		t.Fatalf("probe not cleanly confirmed: %+v", st)
+	}
+}
+
+// TestConfirmRejectsDuplicate: the second copy of a reply (frame
+// duplicated or replayed) is ignored.
+func TestConfirmRejectsDuplicate(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	seq := beginOne(t, tbl, 1, 0)
+	if _, ok := tbl.Confirm(1, 0, seq); !ok {
+		t.Fatal("first reply rejected")
+	}
+	if _, ok := tbl.Confirm(1, 0, seq); ok {
+		t.Fatal("duplicate reply confirmed")
+	}
+}
+
+// TestConfirmRejectsStaleAfterReprobe: a reply to probe N arriving
+// after probe N+1 was armed is stale and must not clear probe N+1
+// (it would hide a genuine miss).
+func TestConfirmRejectsStaleAfterReprobe(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	oldSeq := beginOne(t, tbl, 1, 0)
+	// Second round: the unanswered probe counts one miss.
+	newSeq, down := tbl.BeginProbe(1, 0, 2)
+	if down {
+		t.Fatal("down after a single miss with threshold 2")
+	}
+	st := tbl.State(1, 0)
+	if st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", st.Misses)
+	}
+	if _, ok := tbl.Confirm(1, 0, oldSeq); ok {
+		t.Fatal("stale reply confirmed")
+	}
+	if st.Misses != 1 || !st.Pending || st.PendingSeq != newSeq {
+		t.Fatalf("stale reply disturbed state: %+v", st)
+	}
+}
+
+// TestConfirmAfterLinkDeclaredDown: a reply that arrives after the
+// miss threshold declared the link down still matches its outstanding
+// probe (that is recovery evidence), resets the misses, and leaves
+// the up/down decision to the caller.
+func TestConfirmAfterLinkDeclaredDown(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	beginOne(t, tbl, 1, 0)
+	var seq uint16
+	var down bool
+	for i := 0; i < 2; i++ {
+		seq, down = tbl.BeginProbe(1, 0, 2)
+	}
+	if !down {
+		t.Fatal("threshold 2 not crossed after two silent rounds")
+	}
+	st := tbl.State(1, 0)
+	st.Up = false // caller declares the link down
+	got, ok := tbl.Confirm(1, 0, seq)
+	if !ok || got != st {
+		t.Fatal("late reply on a down link rejected")
+	}
+	if st.Misses != 0 || st.Pending {
+		t.Fatalf("late reply did not reset probe state: %+v", st)
+	}
+	if st.Up {
+		t.Fatal("Confirm flipped Up by itself — that decision belongs to the caller")
+	}
+}
+
+// TestConfirmOutOfRange: replies claiming impossible peers or rails
+// (corrupted headers) are rejected without panicking.
+func TestConfirmOutOfRange(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	for _, c := range []struct{ peer, rail int }{
+		{1, -1}, {1, 2}, {-1, 0}, {7, 0}, {2, 0}, // peer 2 unmonitored
+	} {
+		if _, ok := tbl.Confirm(c.peer, c.rail, 1); ok {
+			t.Errorf("Confirm(%d,%d) accepted", c.peer, c.rail)
+		}
+	}
+}
+
+// TestConfirmKeepsRTTMonotonicState: bad replies never add RTT
+// samples; good ones do, and a negative sample (clock garbage from a
+// corrupted timestamp) is discarded by ObserveRTT.
+func TestConfirmKeepsRTTMonotonicState(t *testing.T) {
+	tbl := NewTable(3, 2)
+	tbl.Add(1)
+	seq := beginOne(t, tbl, 1, 0)
+	if _, ok := tbl.Confirm(1, 0, seq^1); ok {
+		t.Fatal("bad reply accepted")
+	}
+	if _, ok := tbl.State(1, 0).RTT(); ok {
+		t.Fatal("bad reply produced an RTT sample")
+	}
+	st, ok := tbl.Confirm(1, 0, seq)
+	if !ok {
+		t.Fatal("good reply rejected")
+	}
+	st.ObserveRTT(-time.Millisecond) // corrupted timestamp
+	if _, ok := st.RTT(); ok {
+		t.Fatal("negative RTT sample accepted")
+	}
+	st.ObserveRTT(2 * time.Millisecond)
+	if rtt, ok := st.RTT(); !ok || rtt.SRTT != 2*time.Millisecond || rtt.Samples != 1 {
+		t.Fatalf("RTT after one good sample: %+v, ok=%v", rtt, ok)
+	}
+}

@@ -25,6 +25,15 @@ type State struct {
 	srtt    time.Duration
 	rttvar  time.Duration
 	samples int64
+
+	// Route-flap damping bookkeeping (see damping.go). Inert unless
+	// the owner records flaps with an enabled Damping config.
+	penalty     float64
+	penaltyAt   time.Duration
+	damped      bool
+	dampedAt    time.Duration
+	dampedTotal time.Duration
+	flaps       int64
 }
 
 // ObserveRTT folds one probe round-trip sample into the smoothed
@@ -130,6 +139,42 @@ func (t *Table) FirstUp(peer int) (rail int, ok bool) {
 	}
 	for rail := range t.links[peer] {
 		if t.links[peer][rail].Up {
+			return rail, true
+		}
+	}
+	return 0, false
+}
+
+// Usable reports whether the (peer, rail) path is up AND not held
+// down by flap damping — the paths route selection may trust. With
+// damping disabled it is identical to the Up flag.
+func (t *Table) Usable(peer, rail int) bool {
+	st := t.State(peer, rail)
+	return st != nil && st.Up && !st.damped
+}
+
+// AnyUsable reports whether any rail to peer is usable.
+func (t *Table) AnyUsable(peer int) bool {
+	if !t.Monitored(peer) {
+		return false
+	}
+	for rail := range t.links[peer] {
+		st := &t.links[peer][rail]
+		if st.Up && !st.damped {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstUsable returns the lowest-numbered usable rail to peer.
+func (t *Table) FirstUsable(peer int) (rail int, ok bool) {
+	if !t.Monitored(peer) {
+		return 0, false
+	}
+	for rail := range t.links[peer] {
+		st := &t.links[peer][rail]
+		if st.Up && !st.damped {
 			return rail, true
 		}
 	}

@@ -13,6 +13,11 @@
 //   - component failures: any NIC or segment can be failed and
 //     restored at any simulated instant, silently eating frames the
 //     way real broken hardware does;
+//   - gray failures: a NIC can fail in one direction only (TX-dead
+//     but RX-alive, or the reverse), and any component can carry an
+//     Impairment — per-frame loss, extra delay and jitter, payload
+//     corruption — that degrades traffic without killing it. The
+//     internal/chaos package schedules these over time;
 //   - broadcast: a frame addressed to Broadcast is delivered to every
 //     live NIC on the segment, which the DRS relay discovery uses.
 //
@@ -94,6 +99,80 @@ func (p Params) validate() error {
 	return nil
 }
 
+// Direction selects which half of a NIC's duplex path an operation
+// applies to. Back planes have no direction: any Direction acts on the
+// whole segment.
+type Direction int
+
+const (
+	// DirBoth addresses both halves of the path (the classic
+	// fail-stop model).
+	DirBoth Direction = iota
+	// DirTx addresses only the transmit half: the component silently
+	// eats everything it is asked to send but still receives.
+	DirTx
+	// DirRx addresses only the receive half.
+	DirRx
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirBoth:
+		return "both"
+	case DirTx:
+		return "tx"
+	case DirRx:
+		return "rx"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Impairment degrades a component without killing it — the gray
+// failures the fail-stop model cannot express. An impairment on a NIC
+// applies to frames crossing that NIC (transmit side for the sender's
+// NIC, receive side for a receiver's); an impairment on a back plane
+// applies once per frame at transmit time. The zero value is no
+// impairment.
+type Impairment struct {
+	// Loss drops each frame crossing the component independently with
+	// this probability.
+	Loss float64
+	// Corrupt flips one random payload byte with this probability; the
+	// mangled frame is still delivered, so receivers must survive
+	// garbage (their codecs reject it).
+	Corrupt float64
+	// Delay adds fixed extra latency to every frame crossing the
+	// component.
+	Delay time.Duration
+	// Jitter adds uniform random extra latency in [0, Jitter).
+	Jitter time.Duration
+}
+
+// IsZero reports whether the impairment has no effect at all.
+func (imp Impairment) IsZero() bool {
+	return imp.Loss == 0 && imp.Corrupt == 0 && imp.Delay == 0 && imp.Jitter == 0
+}
+
+// Validate rejects impairments outside the model: probabilities must
+// lie in [0,1] and time offsets must be non-negative.
+func (imp Impairment) Validate() error {
+	if imp.Loss < 0 || imp.Loss > 1 {
+		return fmt.Errorf("netsim: impairment loss %v outside [0,1]", imp.Loss)
+	}
+	if imp.Corrupt < 0 || imp.Corrupt > 1 {
+		return fmt.Errorf("netsim: impairment corrupt probability %v outside [0,1]", imp.Corrupt)
+	}
+	if imp.Delay < 0 {
+		return fmt.Errorf("netsim: negative impairment delay %v", imp.Delay)
+	}
+	if imp.Jitter < 0 {
+		return fmt.Errorf("netsim: negative impairment jitter %v", imp.Jitter)
+	}
+	return nil
+}
+
 // Frame is one delivered datagram.
 type Frame struct {
 	Src     int // sending node
@@ -119,6 +198,12 @@ type SegmentStats struct {
 	DroppedSegment int64 // segment was down at transmit or delivery
 	DroppedRxNIC   int64 // receiver's NIC was down
 	DroppedLoss    int64 // random loss (Params.LossRate)
+	// DroppedImpaired counts frames eaten by a gray-failure
+	// impairment's loss process (chaos layer).
+	DroppedImpaired int64
+	// Corrupted counts frames whose payload was mangled in transit by
+	// an impairment; they still occupy the wire and are delivered.
+	Corrupted int64
 }
 
 type segment struct {
@@ -136,9 +221,19 @@ type Network struct {
 	cluster topology.Cluster
 	params  Params
 	segs    []segment
-	nicUp   [][]bool
+	// Per-NIC duplex state: a NIC is operational only when both halves
+	// are; a unidirectional (gray) failure kills one half.
+	nicTx   [][]bool
+	nicRx   [][]bool
 	handler []Handler
 	rnd     *rng.Source
+	// Gray-failure state: active impairments by component, nil until
+	// the first SetImpairment so the healthy fast path stays free.
+	// impRnd is a substream split off the loss source at construction
+	// (splitting does not perturb the parent), so enabling impairments
+	// never changes the Params.LossRate draw sequence.
+	imp    map[topology.Component]Impairment
+	impRnd *rng.Source
 }
 
 // New builds a healthy network for the given cluster shape on the
@@ -158,10 +253,12 @@ func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed
 		cluster: cluster,
 		params:  params,
 		segs:    make([]segment, cluster.Rails),
-		nicUp:   make([][]bool, cluster.Nodes),
+		nicTx:   make([][]bool, cluster.Nodes),
+		nicRx:   make([][]bool, cluster.Nodes),
 		handler: make([]Handler, cluster.Nodes),
 		rnd:     rng.New(seed),
 	}
+	n.impRnd = n.rnd.Split(0xc4a05)
 	for r := range n.segs {
 		n.segs[r].up = true
 		if params.Switched {
@@ -169,10 +266,12 @@ func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed
 			n.segs[r].egressBusy = make([]simtime.Time, cluster.Nodes)
 		}
 	}
-	for i := range n.nicUp {
-		n.nicUp[i] = make([]bool, cluster.Rails)
-		for r := range n.nicUp[i] {
-			n.nicUp[i][r] = true
+	for i := range n.nicTx {
+		n.nicTx[i] = make([]bool, cluster.Rails)
+		n.nicRx[i] = make([]bool, cluster.Rails)
+		for r := range n.nicTx[i] {
+			n.nicTx[i][r] = true
+			n.nicRx[i][r] = true
 		}
 	}
 	return n, nil
@@ -208,12 +307,17 @@ func (n *Network) Send(src, rail, dst int, payload []byte) error {
 	}
 	seg := &n.segs[rail]
 	seg.stats.FramesSent++
-	if !n.nicUp[src][rail] {
+	if !n.nicTx[src][rail] {
 		seg.stats.DroppedTxNIC++
 		return nil
 	}
 	if !seg.up {
 		seg.stats.DroppedSegment++
+		return nil
+	}
+	drop, extra, corrupt := n.impairTx(src, rail)
+	if drop {
+		seg.stats.DroppedImpaired++
 		return nil
 	}
 
@@ -225,10 +329,14 @@ func (n *Network) Send(src, rail, dst int, payload []byte) error {
 
 	// Copy the payload: the sender may reuse its buffer.
 	data := append([]byte(nil), payload...)
+	if corrupt {
+		n.mangle(data)
+		seg.stats.Corrupted++
+	}
 	fr := Frame{Src: src, Dst: dst, Rail: rail, Payload: data}
 
 	if n.params.Switched {
-		n.sendSwitched(seg, fr, txTime, float64(wire*8))
+		n.sendSwitched(seg, fr, txTime, float64(wire*8), extra)
 		return nil
 	}
 
@@ -240,15 +348,55 @@ func (n *Network) Send(src, rail, dst int, payload []byte) error {
 	end := start.Add(txTime)
 	seg.busyUntil = end
 	seg.stats.BitsSent += float64(wire * 8)
-	n.sched.At(end.Add(n.params.Latency), func() { n.deliver(fr) })
+	n.sched.At(end.Add(n.params.Latency+extra), func() { n.deliver(fr) })
 	return nil
+}
+
+// impairTx applies the transmit-side impairments for a frame leaving
+// src on rail: the sender's NIC impairment and the segment's, in that
+// order. It returns whether the frame is eaten, the extra delay it
+// accrues, and whether its payload is corrupted. With no impairments
+// installed it draws no randomness at all, keeping unimpaired runs
+// byte-identical.
+func (n *Network) impairTx(src, rail int) (drop bool, extra time.Duration, corrupt bool) {
+	if n.imp == nil {
+		return false, 0, false
+	}
+	comps := [2]topology.Component{n.cluster.NIC(src, rail), n.cluster.Backplane(rail)}
+	for _, c := range comps {
+		imp, ok := n.imp[c]
+		if !ok {
+			continue
+		}
+		if imp.Loss > 0 && n.impRnd.Float64() < imp.Loss {
+			return true, 0, false
+		}
+		extra += imp.Delay
+		if imp.Jitter > 0 {
+			extra += time.Duration(n.impRnd.Uint64n(uint64(imp.Jitter)))
+		}
+		if imp.Corrupt > 0 && n.impRnd.Float64() < imp.Corrupt {
+			corrupt = true
+		}
+	}
+	return false, extra, corrupt
+}
+
+// mangle flips one byte of data in place (no-op for empty payloads) —
+// the corruption model: a burst error the FCS failed to catch.
+func (n *Network) mangle(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	i := n.impRnd.Intn(len(data))
+	data[i] ^= byte(1 + n.impRnd.Intn(255))
 }
 
 // sendSwitched models a store-and-forward switch: the frame serializes
 // on the sender's ingress port, crosses the fabric, then serializes
 // again on each receiver's egress port — so disjoint flows proceed in
 // parallel and only same-port traffic contends.
-func (n *Network) sendSwitched(seg *segment, fr Frame, txTime time.Duration, bits float64) {
+func (n *Network) sendSwitched(seg *segment, fr Frame, txTime time.Duration, bits float64, extra time.Duration) {
 	ingStart := n.sched.Now()
 	if seg.ingressBusy[fr.Src] > ingStart {
 		ingStart = seg.ingressBusy[fr.Src]
@@ -259,7 +407,7 @@ func (n *Network) sendSwitched(seg *segment, fr Frame, txTime time.Duration, bit
 
 	half := n.params.Latency / 2
 	deliverVia := func(node int) {
-		arrival := ingDone.Add(half)
+		arrival := ingDone.Add(half + extra)
 		egStart := arrival
 		if seg.egressBusy[node] > egStart {
 			egStart = seg.egressBusy[node]
@@ -304,7 +452,37 @@ func (n *Network) deliver(fr Frame) {
 }
 
 func (n *Network) deliverTo(seg *segment, fr Frame, node int) {
-	if !n.nicUp[node][fr.Rail] {
+	// Receive-side impairment of the receiver's NIC: drawn here, at
+	// arrival on the segment, so broadcast receivers are impaired
+	// independently.
+	corrupt := false
+	if n.imp != nil {
+		if imp, ok := n.imp[n.cluster.NIC(node, fr.Rail)]; ok {
+			if imp.Loss > 0 && n.impRnd.Float64() < imp.Loss {
+				seg.stats.DroppedImpaired++
+				return
+			}
+			if imp.Corrupt > 0 && n.impRnd.Float64() < imp.Corrupt {
+				corrupt = true
+			}
+			extra := imp.Delay
+			if imp.Jitter > 0 {
+				extra += time.Duration(n.impRnd.Uint64n(uint64(imp.Jitter)))
+			}
+			if extra > 0 {
+				n.sched.After(extra, func() { n.completeDelivery(seg, fr, node, corrupt) })
+				return
+			}
+		}
+	}
+	n.completeDelivery(seg, fr, node, corrupt)
+}
+
+// completeDelivery is the final hop into the receiver: the NIC state
+// and random-loss checks happen here, at actual delivery time, so a
+// NIC that died while an impairment delayed the frame still eats it.
+func (n *Network) completeDelivery(seg *segment, fr Frame, node int, corrupt bool) {
+	if !n.nicRx[node][fr.Rail] {
 		seg.stats.DroppedRxNIC++
 		return
 	}
@@ -317,10 +495,15 @@ func (n *Network) deliverTo(seg *segment, fr Frame, node int) {
 		return
 	}
 	seg.stats.FramesDelivered++
-	// Each receiver of a broadcast gets its own copy.
+	// Each receiver of a broadcast gets its own copy; corruption also
+	// forces a private copy so the wire image stays intact for others.
 	payload := fr.Payload
-	if fr.Dst == Broadcast {
+	if fr.Dst == Broadcast || corrupt {
 		payload = append([]byte(nil), fr.Payload...)
+	}
+	if corrupt {
+		n.mangle(payload)
+		seg.stats.Corrupted++
 	}
 	h(Frame{Src: fr.Src, Dst: node, Rail: fr.Rail, Payload: payload})
 }
@@ -328,32 +511,102 @@ func (n *Network) deliverTo(seg *segment, fr Frame, node int) {
 // Fail takes a component (NIC or back plane) down. Failing an already
 // failed component is a no-op. Frames in flight on a failed segment
 // are lost; frames in flight to a failed NIC are lost at delivery.
-func (n *Network) Fail(c topology.Component) {
+func (n *Network) Fail(c topology.Component) { n.FailDir(c, DirBoth) }
+
+// Restore brings a failed component back (both directions of a NIC).
+func (n *Network) Restore(c topology.Component) { n.RestoreDir(c, DirBoth) }
+
+// FailDir takes one direction of a NIC down — the gray failure a
+// fail-stop model cannot express: a TX-dead NIC silently eats
+// everything its node sends on that rail while replies still arrive,
+// and vice versa. For back planes the direction is ignored (a shared
+// segment has no duplex halves).
+func (n *Network) FailDir(c topology.Component, dir Direction) {
 	kind, node, rail := n.cluster.Describe(c)
 	if kind == topology.KindBackplane {
 		n.segs[rail].up = false
-	} else {
-		n.nicUp[node][rail] = false
+		return
+	}
+	if dir == DirBoth || dir == DirTx {
+		n.nicTx[node][rail] = false
+	}
+	if dir == DirBoth || dir == DirRx {
+		n.nicRx[node][rail] = false
 	}
 }
 
-// Restore brings a failed component back.
-func (n *Network) Restore(c topology.Component) {
+// RestoreDir brings one direction of a NIC back.
+func (n *Network) RestoreDir(c topology.Component, dir Direction) {
 	kind, node, rail := n.cluster.Describe(c)
 	if kind == topology.KindBackplane {
 		n.segs[rail].up = true
-	} else {
-		n.nicUp[node][rail] = true
+		return
+	}
+	if dir == DirBoth || dir == DirTx {
+		n.nicTx[node][rail] = true
+	}
+	if dir == DirBoth || dir == DirRx {
+		n.nicRx[node][rail] = true
 	}
 }
 
-// ComponentUp reports whether a component is operational.
+// ComponentUp reports whether a component is fully operational (both
+// directions, for a NIC).
 func (n *Network) ComponentUp(c topology.Component) bool {
 	kind, node, rail := n.cluster.Describe(c)
 	if kind == topology.KindBackplane {
 		return n.segs[rail].up
 	}
-	return n.nicUp[node][rail]
+	return n.nicTx[node][rail] && n.nicRx[node][rail]
+}
+
+// DirUp reports whether the given direction of a component works
+// (for back planes any direction means the whole segment).
+func (n *Network) DirUp(c topology.Component, dir Direction) bool {
+	kind, node, rail := n.cluster.Describe(c)
+	if kind == topology.KindBackplane {
+		return n.segs[rail].up
+	}
+	switch dir {
+	case DirTx:
+		return n.nicTx[node][rail]
+	case DirRx:
+		return n.nicRx[node][rail]
+	default:
+		return n.nicTx[node][rail] && n.nicRx[node][rail]
+	}
+}
+
+// SetImpairment installs (or replaces) the impairment on component c.
+// A zero impairment is equivalent to ClearImpairment.
+func (n *Network) SetImpairment(c topology.Component, imp Impairment) error {
+	if err := imp.Validate(); err != nil {
+		return err
+	}
+	n.cluster.Describe(c) // range check (panics exactly like Fail)
+	if imp.IsZero() {
+		n.ClearImpairment(c)
+		return nil
+	}
+	if n.imp == nil {
+		n.imp = make(map[topology.Component]Impairment)
+	}
+	n.imp[c] = imp
+	return nil
+}
+
+// ClearImpairment removes any impairment on c.
+func (n *Network) ClearImpairment(c topology.Component) {
+	delete(n.imp, c)
+	if len(n.imp) == 0 {
+		n.imp = nil
+	}
+}
+
+// ImpairmentOn returns the active impairment on c, if any.
+func (n *Network) ImpairmentOn(c topology.Component) (Impairment, bool) {
+	imp, ok := n.imp[c]
+	return imp, ok
 }
 
 // FailedComponents returns the currently failed components in

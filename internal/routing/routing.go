@@ -103,4 +103,12 @@ const (
 	// CtrQueueOverflow counts datagrams evicted (oldest first) from a
 	// full discovery queue.
 	CtrQueueOverflow = "queue.overflow"
+	// CtrLinkFlaps counts link down transitions per daemon — the
+	// chattiness signal the flap-damping extension reacts to.
+	CtrLinkFlaps = "link.flaps"
+	// CtrRouteDamped counts recovered links held down (not re-trusted)
+	// by route-flap damping; CtrDampedNs accumulates the total
+	// nanoseconds links spent in the held-down state.
+	CtrRouteDamped = "route.damped"
+	CtrDampedNs    = "route.damped_ns"
 )

@@ -24,6 +24,7 @@ func buildDRS(ctx BuildContext) (routing.Router, error) {
 	cfg.MissThreshold = ctx.Spec.Tunables.MissThreshold
 	cfg.StaggerProbes = ctx.Spec.Tunables.StaggerProbes
 	cfg.PreferLowLatency = ctx.Spec.Tunables.PreferLowLatency
+	cfg.FlapDamping = ctx.Spec.Tunables.FlapDamping
 	cfg.Trace = ctx.Spec.Trace
 	return core.New(ctx.Transport, ctx.Clock, cfg)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"drsnet/internal/chaos"
 	"drsnet/internal/core"
 	"drsnet/internal/metrics"
 	"drsnet/internal/netsim"
@@ -33,7 +34,8 @@ type pair struct{ from, to int }
 //
 // The canonical event-scheduling order — the determinism contract —
 // is Start (routers in node order), ScheduleFlows (spec order),
-// ScheduleFaults (spec order), then RunUntil.
+// ScheduleFaults (spec order), ScheduleImpairments (spec order), then
+// RunUntil.
 type Cluster struct {
 	spec    ClusterSpec
 	sched   *simtime.Scheduler
@@ -44,10 +46,11 @@ type Cluster struct {
 	sent       []int
 	deliveries map[pair][]time.Duration
 
-	started         bool
-	stopped         bool
-	flowsScheduled  bool
-	faultsScheduled bool
+	started          bool
+	stopped          bool
+	flowsScheduled   bool
+	faultsScheduled  bool
+	impairsScheduled bool
 }
 
 // Build assembles a cluster from the spec: deterministic scheduler,
@@ -208,6 +211,24 @@ func (c *Cluster) ScheduleFaults() {
 	}
 }
 
+// ScheduleImpairments installs the spec's gray-failure script, in
+// spec order (the spec was validated at Build time).
+func (c *Cluster) ScheduleImpairments() error {
+	if c.impairsScheduled {
+		return nil
+	}
+	c.impairsScheduled = true
+	if len(c.spec.Impairments) == 0 {
+		return nil
+	}
+	inj, err := chaos.NewInjector(c.net, c.spec.Impairments)
+	if err != nil {
+		return err
+	}
+	inj.Schedule()
+	return nil
+}
+
 // RunUntil advances the simulation to absolute time t.
 func (c *Cluster) RunUntil(t time.Duration) {
 	c.sched.RunUntil(simtime.Time(t))
@@ -336,6 +357,9 @@ func Run(spec ClusterSpec) (*Result, error) {
 	}
 	c.ScheduleFlows()
 	c.ScheduleFaults()
+	if err := c.ScheduleImpairments(); err != nil {
+		return nil, err
+	}
 	c.RunUntil(spec.Duration)
 	c.StopRouters()
 	return c.Finish(), nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"drsnet/internal/chaos"
+	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
@@ -30,6 +32,11 @@ type Tunables struct {
 	RouteTimeout time.Duration
 	// StaticRail pins static routing to one rail (default 0).
 	StaticRail int
+	// FlapDamping enables RFC 2439-style route-flap damping in the DRS
+	// (ignored by the baselines). The zero value disables damping; see
+	// linkmon.Damping for the threshold semantics and
+	// linkmon.DefaultDamping for sane defaults.
+	FlapDamping linkmon.Damping
 }
 
 // StartImmediately, as a Flow.Start value, fires the flow's first
@@ -90,6 +97,11 @@ type ClusterSpec struct {
 	Flows []Flow
 	// Faults is the component failure/repair script.
 	Faults []Fault
+	// Impairments is the gray-failure script: timed impairment
+	// episodes, unidirectional kills and link flapping (see
+	// internal/chaos). Empty means no impairments — the fail-stop
+	// world of the paper's experiments.
+	Impairments []chaos.Spec
 	// Trace, if non-nil, receives every protocol event of the run;
 	// nil means a private log, exposed on the Result.
 	Trace *trace.Log
@@ -160,6 +172,9 @@ func (s *ClusterSpec) normalize() error {
 		if int(f.Comp) < 0 || int(f.Comp) >= universe {
 			return fmt.Errorf("runtime: faults[%d] component %d outside universe %d", i, int(f.Comp), universe)
 		}
+	}
+	if err := chaos.Validate(s.Impairments, cl); err != nil {
+		return fmt.Errorf("runtime: %v", err)
 	}
 	return nil
 }

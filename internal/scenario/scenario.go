@@ -12,6 +12,9 @@ import (
 	"io"
 	"time"
 
+	"drsnet/internal/chaos"
+	"drsnet/internal/linkmon"
+	"drsnet/internal/netsim"
 	"drsnet/internal/runtime"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
@@ -68,6 +71,35 @@ type EventSpec struct {
 	Restore bool `json:"restore,omitempty"`
 }
 
+// ImpairmentSpec is one gray-failure episode: between start and stop
+// the named component is degraded (loss/corrupt/delay/jitter), killed
+// (optionally in one direction only), or flapped periodically.
+type ImpairmentSpec struct {
+	Start Duration `json:"start"`
+	// Stop ends the episode; zero means it lasts to the horizon.
+	Stop Duration `json:"stop,omitempty"`
+	// Kind is "nic" or "backplane".
+	Kind string `json:"kind"`
+	// Node is required for NICs, ignored for back planes.
+	Node int `json:"node,omitempty"`
+	Rail int `json:"rail"`
+	// Loss and Corrupt are per-frame probabilities in [0,1].
+	Loss    float64 `json:"loss,omitempty"`
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Delay adds fixed latency; Jitter adds uniform random latency.
+	Delay  Duration `json:"delay,omitempty"`
+	Jitter Duration `json:"jitter,omitempty"`
+	// Kill takes the component down for the whole episode.
+	Kill bool `json:"kill,omitempty"`
+	// Direction is "both" (default), "tx" or "rx" — which half of the
+	// component Kill and flapping affect.
+	Direction string `json:"direction,omitempty"`
+	// FlapPeriod > 0 cycles the component down/up with this period;
+	// FlapDuty is the fraction of each period spent down (default 0.5).
+	FlapPeriod Duration `json:"flapPeriod,omitempty"`
+	FlapDuty   float64  `json:"flapDuty,omitempty"`
+}
+
 // Scenario is a complete declarative simulation.
 type Scenario struct {
 	// Name labels the report.
@@ -92,6 +124,14 @@ type Scenario struct {
 	StaggerProbes bool     `json:"staggerProbes,omitempty"`
 	// PreferLowLatency enables latency-aware rail steering (DRS only).
 	PreferLowLatency bool `json:"preferLowLatency,omitempty"`
+	// FlapDamping enables RFC 2439-style route-flap damping (DRS
+	// only) with linkmon.DefaultDamping thresholds; the Damp* fields
+	// override individual thresholds (zero keeps the default).
+	FlapDamping    bool     `json:"flapDamping,omitempty"`
+	DampSuppress   float64  `json:"dampSuppress,omitempty"`
+	DampReuse      float64  `json:"dampReuse,omitempty"`
+	DampHalfLife   Duration `json:"dampHalfLife,omitempty"`
+	DampMaxPenalty float64  `json:"dampMaxPenalty,omitempty"`
 	// Reactive tunables.
 	AdvertiseInterval Duration `json:"advertiseInterval,omitempty"`
 	RouteTimeout      Duration `json:"routeTimeout,omitempty"`
@@ -99,6 +139,8 @@ type Scenario struct {
 	Traffic []TrafficSpec `json:"traffic"`
 	// Events is the failure/repair script.
 	Events []EventSpec `json:"events,omitempty"`
+	// Impairments is the gray-failure script.
+	Impairments []ImpairmentSpec `json:"impairments,omitempty"`
 }
 
 // Load parses a scenario document.
@@ -184,7 +226,119 @@ func (s *Scenario) Validate() error {
 		}
 		seen[e] = i
 	}
+	for i, im := range s.Impairments {
+		if err := s.validateImpairment(i, im); err != nil {
+			return err
+		}
+	}
+	if _, err := s.damping(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateImpairment checks one gray-failure episode, with error
+// messages that name the offending field and entry.
+func (s *Scenario) validateImpairment(i int, im ImpairmentSpec) error {
+	switch im.Kind {
+	case "nic":
+		if im.Node < 0 || im.Node >= s.Nodes {
+			return fmt.Errorf("scenario: impairments[%d] node %d invalid (cluster has %d nodes)", i, im.Node, s.Nodes)
+		}
+	case "backplane":
+		// Node is ignored for back planes.
+	default:
+		return fmt.Errorf("scenario: impairments[%d] kind %q (want nic or backplane)", i, im.Kind)
+	}
+	if im.Rail < 0 || im.Rail >= 2 {
+		return fmt.Errorf("scenario: impairments[%d] rail %d invalid (dual-rail cluster)", i, im.Rail)
+	}
+	if im.Start < 0 || im.Start > s.Duration {
+		return fmt.Errorf("scenario: impairments[%d] start %v outside [0,%v]",
+			i, time.Duration(im.Start), time.Duration(s.Duration))
+	}
+	if im.Stop < 0 {
+		return fmt.Errorf("scenario: impairments[%d] negative stop %v", i, time.Duration(im.Stop))
+	}
+	if im.Stop != 0 && im.Stop <= im.Start {
+		return fmt.Errorf("scenario: impairments[%d] stop %v not after start %v",
+			i, time.Duration(im.Stop), time.Duration(im.Start))
+	}
+	if im.Loss < 0 || im.Loss > 1 {
+		return fmt.Errorf("scenario: impairments[%d] loss probability %v outside [0,1]", i, im.Loss)
+	}
+	if im.Corrupt < 0 || im.Corrupt > 1 {
+		return fmt.Errorf("scenario: impairments[%d] corrupt probability %v outside [0,1]", i, im.Corrupt)
+	}
+	if im.Delay < 0 {
+		return fmt.Errorf("scenario: impairments[%d] negative delay %v", i, time.Duration(im.Delay))
+	}
+	if im.Jitter < 0 {
+		return fmt.Errorf("scenario: impairments[%d] negative jitter %v", i, time.Duration(im.Jitter))
+	}
+	if _, err := parseDirection(im.Direction); err != nil {
+		return fmt.Errorf("scenario: impairments[%d] %v", i, err)
+	}
+	if im.FlapPeriod < 0 || (im.FlapDuty != 0 && im.FlapPeriod <= 0) {
+		return fmt.Errorf("scenario: impairments[%d] flap period must be > 0, got %v",
+			i, time.Duration(im.FlapPeriod))
+	}
+	if im.FlapDuty < 0 || im.FlapDuty >= 1 {
+		return fmt.Errorf("scenario: impairments[%d] flap duty %v outside (0,1)", i, im.FlapDuty)
+	}
+	if im.Kill && im.FlapPeriod > 0 {
+		return fmt.Errorf("scenario: impairments[%d] kill and flapPeriod are mutually exclusive", i)
+	}
+	if !im.Kill && im.FlapPeriod == 0 &&
+		im.Loss == 0 && im.Corrupt == 0 && im.Delay == 0 && im.Jitter == 0 {
+		return fmt.Errorf("scenario: impairments[%d] does nothing (no loss, corrupt, delay, jitter, kill or flap)", i)
+	}
+	return nil
+}
+
+// parseDirection maps the JSON direction strings onto the simulator's
+// Direction values.
+func parseDirection(s string) (netsim.Direction, error) {
+	switch s {
+	case "", "both":
+		return netsim.DirBoth, nil
+	case "tx":
+		return netsim.DirTx, nil
+	case "rx":
+		return netsim.DirRx, nil
+	}
+	return 0, fmt.Errorf("direction %q (want both, tx or rx)", s)
+}
+
+// damping builds the DRS flap-damping config from the document's
+// knobs: disabled unless flapDamping is true, defaults from
+// linkmon.DefaultDamping, individual thresholds overridable.
+func (s *Scenario) damping() (linkmon.Damping, error) {
+	if !s.FlapDamping {
+		if s.DampSuppress != 0 || s.DampReuse != 0 || s.DampHalfLife != 0 || s.DampMaxPenalty != 0 {
+			return linkmon.Damping{}, fmt.Errorf("scenario: damp* thresholds set but flapDamping is false")
+		}
+		return linkmon.Damping{}, nil
+	}
+	d := linkmon.DefaultDamping()
+	if s.DampSuppress != 0 {
+		d.Suppress = s.DampSuppress
+		d.Reuse = 0 // renormalize unless overridden below
+		d.Max = 0
+	}
+	if s.DampReuse != 0 {
+		d.Reuse = s.DampReuse
+	}
+	if s.DampHalfLife != 0 {
+		d.HalfLife = time.Duration(s.DampHalfLife)
+	}
+	if s.DampMaxPenalty != 0 {
+		d.Max = s.DampMaxPenalty
+	}
+	if err := d.Normalize(); err != nil {
+		return linkmon.Damping{}, fmt.Errorf("scenario: %v", err)
+	}
+	return d, nil
 }
 
 // FlowReport is the outcome of one traffic flow.
@@ -212,6 +366,10 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 	if err := s.Validate(); err != nil {
 		return runtime.ClusterSpec{}, err
 	}
+	damp, err := s.damping()
+	if err != nil {
+		return runtime.ClusterSpec{}, err
+	}
 	spec := runtime.ClusterSpec{
 		Nodes:    s.Nodes,
 		Protocol: s.Protocol,
@@ -224,6 +382,7 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 			MissThreshold:     s.MissThreshold,
 			StaggerProbes:     s.StaggerProbes,
 			PreferLowLatency:  s.PreferLowLatency,
+			FlapDamping:       damp,
 			AdvertiseInterval: time.Duration(s.AdvertiseInterval),
 			RouteTimeout:      time.Duration(s.RouteTimeout),
 		},
@@ -248,6 +407,33 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 			At:      time.Duration(e.At),
 			Comp:    comp,
 			Restore: e.Restore,
+		})
+	}
+	for _, im := range s.Impairments {
+		var comp topology.Component
+		if im.Kind == "nic" {
+			comp = cl.NIC(im.Node, im.Rail)
+		} else {
+			comp = cl.Backplane(im.Rail)
+		}
+		dir, err := parseDirection(im.Direction)
+		if err != nil {
+			return runtime.ClusterSpec{}, fmt.Errorf("scenario: %v", err)
+		}
+		spec.Impairments = append(spec.Impairments, chaos.Spec{
+			Comp:  comp,
+			Start: time.Duration(im.Start),
+			Stop:  time.Duration(im.Stop),
+			Impair: netsim.Impairment{
+				Loss:    im.Loss,
+				Corrupt: im.Corrupt,
+				Delay:   time.Duration(im.Delay),
+				Jitter:  time.Duration(im.Jitter),
+			},
+			Kill:       im.Kill,
+			Direction:  dir,
+			FlapPeriod: time.Duration(im.FlapPeriod),
+			FlapDuty:   im.FlapDuty,
 		})
 	}
 	return spec, nil

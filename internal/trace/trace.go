@@ -26,6 +26,10 @@ const (
 	KindDataForwarded
 	KindDataDropped
 	KindDataDelivered
+	// KindRouteDamped marks a recovered link held down by route-flap
+	// damping (not re-trusted); KindRouteUndamped marks its release.
+	KindRouteDamped
+	KindRouteUndamped
 )
 
 var kindNames = map[Kind]string{
@@ -40,6 +44,8 @@ var kindNames = map[Kind]string{
 	KindDataForwarded:  "data-forwarded",
 	KindDataDropped:    "data-dropped",
 	KindDataDelivered:  "data-delivered",
+	KindRouteDamped:    "route-damped",
+	KindRouteUndamped:  "route-undamped",
 }
 
 // String implements fmt.Stringer.

@@ -49,7 +49,7 @@ func TestDroppedAccumulatesAcrossHalvings(t *testing.T) {
 // non-fallback name — the trace dump depends on it.
 func TestKindNamesDistinct(t *testing.T) {
 	seen := map[string]Kind{}
-	for k := KindProbeSent; k <= KindDataDelivered; k++ {
+	for k := KindProbeSent; k <= KindRouteUndamped; k++ {
 		name := k.String()
 		if name == fmt.Sprintf("Kind(%d)", int(k)) {
 			t.Errorf("kind %d has no name", int(k))
