@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke cover fuzz fuzzsmoke chaos-smoke clean
+.PHONY: all build test race bench benchsmoke cover fuzz fuzzsmoke chaos-smoke crash-smoke clean
 
 all: build test
 
@@ -53,6 +53,16 @@ chaos-smoke:
 	$(GO) test ./internal/chaos/ ./cmd/drschaos/
 	$(GO) run ./cmd/drschaos -nodes 4 -duration 20s -levels 0,0.2 -protocols drs,static
 	$(GO) run ./cmd/drsim -config examples/scenarios/flapping-rail.json
+
+# Crash–restart lifecycle gate: the crash scheduler, lifecycle and
+# campaign tests (warm-vs-cold goldens, worker-count determinism) plus
+# one live crash campaign and the rolling-crash scenario. Deterministic
+# end to end, so any diff is a real regression.
+crash-smoke:
+	$(GO) test ./internal/chaos/ ./internal/linkmon/ ./cmd/drschaos/
+	$(GO) test ./internal/core/ ./internal/runtime/ -run 'Lifecycle|Crash|Warm|Rejoin|Incarnation|RTO'
+	$(GO) run ./cmd/drschaos -mode crash -nodes 4 -duration 30s -protocols drs,reactive -rto
+	$(GO) run ./cmd/drsim -config examples/scenarios/rolling-crash.json
 
 clean:
 	$(GO) clean ./...

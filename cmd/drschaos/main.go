@@ -5,14 +5,20 @@
 // and reports how each protocol's delivery availability degrades,
 // how many link flaps it observed, and how fast it repaired routes.
 //
+// A third mode torments the daemons themselves: -mode crash sweeps a
+// mean-time-to-repair ladder (seconds a crashed daemon stays dead) and
+// runs every cell twice — cold restart and warm restart (crash-time
+// checkpoint restored) — reporting delivery availability and the mean
+// recovery latency from restart to the node's first repaired route.
+//
 // The sweep runs on the parallel engine: every (protocol, intensity)
 // cell is an independent deterministic simulation, so the output is
 // bit-identical for any -workers count.
 //
 // Usage:
 //
-//	drschaos [-mode loss|flap] [-protocols list] [-levels list]
-//	         [-nodes n] [-duration d] [-seed s] [-damping]
+//	drschaos [-mode loss|flap|crash] [-protocols list] [-levels list]
+//	         [-nodes n] [-duration d] [-seed s] [-damping] [-rto]
 //	         [-workers n] [-plot]
 package main
 
@@ -48,29 +54,37 @@ type campaign struct {
 	duration  time.Duration
 	seed      uint64
 	damping   bool
+	rto       bool
 	workers   int
 }
 
-// cell is the outcome of one (protocol, intensity) run.
+// cell is the outcome of one (protocol, intensity) run. In crash mode
+// the intensity is the MTTR in seconds, warm distinguishes the
+// cold/warm pair, and crashes/recovery carry the lifecycle columns.
 type cell struct {
 	protocol        string
 	intensity       float64
+	warm            bool
 	sent, delivered int
 	flaps, damped   int
 	meanRepair      time.Duration // 0 when the protocol records no repairs
 	repairs         int
+	crashes         int
+	meanRecovery    time.Duration
+	recovered       int // restarts that repaired at least one route
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("drschaos", flag.ContinueOnError)
 	flags.SetOutput(stderr)
-	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss) or flap (NIC duty-cycle flapping)")
+	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss), flap (NIC duty-cycle flapping) or crash (daemon crash-restart MTTR sweep)")
 	protocols := flags.String("protocols", "drs,reactive,linkstate,static", "protocols to torment, comma separated")
-	levels := flags.String("levels", "", "intensity ladder, comma separated (loss probabilities or flap duty cycles; default per mode)")
+	levels := flags.String("levels", "", "intensity ladder, comma separated (loss probabilities, flap duty cycles or crash MTTRs in seconds; default per mode)")
 	nodes := flags.Int("nodes", 6, "cluster size")
 	duration := flags.Duration("duration", 60*time.Second, "simulated horizon per run")
 	seed := flags.Uint64("seed", 1, "simulation seed")
 	damping := flags.Bool("damping", false, "enable DRS route-flap damping (linkmon defaults)")
+	rto := flags.Bool("rto", false, "enable DRS adaptive probe deadlines (linkmon defaults)")
 	workers := flags.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	plot := flags.Bool("plot", false, "render availability as an ASCII chart instead of a table")
 	if err := flags.Parse(args); err != nil {
@@ -83,12 +97,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		duration: *duration,
 		seed:     *seed,
 		damping:  *damping,
+		rto:      *rto,
 		workers:  *workers,
 	}
 	switch c.mode {
-	case "loss", "flap":
+	case "loss", "flap", "crash":
 	default:
-		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss or flap)\n", c.mode)
+		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss, flap or crash)\n", c.mode)
 		return 1
 	}
 	for _, tok := range strings.Split(*protocols, ",") {
@@ -101,10 +116,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	ladder := *levels
 	if ladder == "" {
-		if c.mode == "loss" {
+		switch c.mode {
+		case "loss":
 			ladder = "0,0.05,0.1,0.2,0.4"
-		} else {
+		case "flap":
 			ladder = "0,0.2,0.4,0.6"
+		case "crash":
+			ladder = "0,2,8"
 		}
 	}
 	for _, tok := range strings.Split(ladder, ",") {
@@ -113,14 +131,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "drschaos: bad intensity %q: %v\n", tok, err)
 			return 1
 		}
-		if v < 0 || v >= 1 {
+		if c.mode == "crash" {
+			// Crash levels are MTTRs in seconds; 0 means the node never
+			// restarts.
+			if v < 0 {
+				fmt.Fprintf(stderr, "drschaos: negative MTTR %v\n", v)
+				return 1
+			}
+		} else if v < 0 || v >= 1 {
 			fmt.Fprintf(stderr, "drschaos: intensity %v outside [0,1)\n", v)
 			return 1
 		}
 		c.levels = append(c.levels, v)
 	}
-	if c.nodes < 2 {
-		fmt.Fprintf(stderr, "drschaos: need at least 2 nodes, have %d\n", c.nodes)
+	minNodes := 2
+	if c.mode == "crash" {
+		minNodes = 3 // the scenario faults node 2's NIC and crashes node 1
+	}
+	if c.nodes < minNodes {
+		fmt.Fprintf(stderr, "drschaos: mode %s needs at least %d nodes, have %d\n", c.mode, minNodes, c.nodes)
 		return 1
 	}
 	if c.duration <= 0 {
@@ -145,8 +174,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// spec builds the deterministic simulation for one campaign cell.
-func (c *campaign) spec(protocol string, intensity float64) runtime.ClusterSpec {
+// spec builds the deterministic simulation for one campaign cell. The
+// warm flag only matters in crash mode, where it selects warm-start
+// recovery for the scripted restarts.
+func (c *campaign) spec(protocol string, intensity float64, warm bool) runtime.ClusterSpec {
 	cl := topology.Dual(c.nodes)
 	spec := runtime.ClusterSpec{
 		Nodes:    c.nodes,
@@ -156,6 +187,9 @@ func (c *campaign) spec(protocol string, intensity float64) runtime.ClusterSpec 
 	}
 	if c.damping {
 		spec.Tunables.FlapDamping = linkmon.DefaultDamping()
+	}
+	if c.rto {
+		spec.Tunables.AdaptiveRTO = linkmon.DefaultRTO()
 	}
 	// Ring traffic: every node talks to its successor, so every rail
 	// segment carries load and any impairment is felt somewhere.
@@ -187,19 +221,43 @@ func (c *campaign) spec(protocol string, intensity float64) runtime.ClusterSpec 
 				FlapDuty:   intensity,
 			})
 		}
+	case "crash":
+		// Node 2 loses its rail-0 NIC at 1 s, so by the first crash the
+		// survivors hold non-default routes — exactly what a warm
+		// checkpoint preserves and a cold restart must relearn. Node 1
+		// then crashes at 10 s and 35 s; the intensity is the MTTR in
+		// seconds (0 = the node never comes back, one crash only).
+		spec.Faults = append(spec.Faults, runtime.Fault{At: time.Second, Comp: cl.NIC(2, 0)})
+		mttr := time.Duration(intensity * float64(time.Second))
+		crashAts := []time.Duration{10 * time.Second, 35 * time.Second}
+		if mttr == 0 {
+			crashAts = crashAts[:1]
+		}
+		for _, at := range crashAts {
+			cs := chaos.CrashSpec{Node: 1, At: at, Warm: warm && mttr > 0}
+			if mttr > 0 {
+				cs.RestartAt = at + mttr
+			}
+			spec.Crashes = append(spec.Crashes, cs)
+		}
 	}
 	return spec
 }
 
 // sweep runs the full (protocol × intensity) grid on the parallel
-// engine and reduces each run to a table cell.
+// engine and reduces each run to a table cell. Crash mode doubles the
+// grid: every restartable MTTR level runs cold and warm.
 func (c *campaign) sweep() ([]cell, error) {
 	var specs []runtime.ClusterSpec
 	var cells []cell
 	for _, p := range c.protocols {
 		for _, lv := range c.levels {
-			specs = append(specs, c.spec(p, lv))
+			specs = append(specs, c.spec(p, lv, false))
 			cells = append(cells, cell{protocol: p, intensity: lv})
+			if c.mode == "crash" && lv > 0 {
+				specs = append(specs, c.spec(p, lv, true))
+				cells = append(cells, cell{protocol: p, intensity: lv, warm: true})
+			}
 		}
 	}
 	results, err := runtime.RunMany(context.Background(), specs, c.workers)
@@ -221,8 +279,42 @@ func (c *campaign) sweep() ([]cell, error) {
 		if len(res.Repairs) > 0 {
 			cells[i].meanRepair = total / time.Duration(len(res.Repairs))
 		}
+		if c.mode == "crash" {
+			cells[i].crashes = res.Trace.Count(trace.KindNodeCrashed)
+			cells[i].meanRecovery, cells[i].recovered = crashRecovery(res.Trace, 1)
+		}
 	}
 	return cells, nil
+}
+
+// crashRecovery scans a run's trace for the crashed node's recovery
+// latency: for each restart, the delay until the node's next repaired
+// route (warm restores count — their route-installed events carry the
+// restart's timestamp). Restarts that never repair a route before the
+// next crash (or the horizon) are excluded from the mean.
+func crashRecovery(log *trace.Log, node int) (mean time.Duration, recovered int) {
+	events := log.Events()
+	var total time.Duration
+	for i, ev := range events {
+		if ev.Kind != trace.KindNodeRestarted || ev.Node != node {
+			continue
+		}
+	scan:
+		for _, later := range events[i+1:] {
+			switch {
+			case later.Node == node && later.Kind == trace.KindRouteInstalled:
+				total += later.At - ev.At
+				recovered++
+				break scan
+			case later.Node == node && later.Kind == trace.KindNodeCrashed:
+				break scan // died again before repairing anything
+			}
+		}
+	}
+	if recovered > 0 {
+		mean = total / time.Duration(recovered)
+	}
+	return mean, recovered
 }
 
 // availability is the cell's delivered fraction.
@@ -234,21 +326,33 @@ func (cl *cell) availability() float64 {
 }
 
 func (c *campaign) title() string {
-	what := "backplane-0 frame loss"
-	if c.mode == "flap" {
+	var what string
+	switch c.mode {
+	case "loss":
+		what = "backplane-0 frame loss"
+	case "flap":
 		what = "rail-0 flap duty cycle"
+	case "crash":
+		what = "node-1 crash MTTR"
 	}
 	damp := ""
 	if c.damping {
 		damp = ", damping on"
 	}
-	return fmt.Sprintf("chaos campaign: %s (%d nodes, %v, seed %d%s)",
-		what, c.nodes, c.duration, c.seed, damp)
+	rto := ""
+	if c.rto {
+		rto = ", adaptive rto"
+	}
+	return fmt.Sprintf("chaos campaign: %s (%d nodes, %v, seed %d%s%s)",
+		what, c.nodes, c.duration, c.seed, damp, rto)
 }
 
 func (c *campaign) writeTable(w io.Writer, cells []cell) error {
 	if _, err := fmt.Fprintf(w, "# %s\n", c.title()); err != nil {
 		return err
+	}
+	if c.mode == "crash" {
+		return c.writeCrashTable(w, cells)
 	}
 	fmt.Fprintf(w, "%10s %10s %8s %7s %7s %8s %13s\n",
 		"protocol", "intensity", "avail%", "flaps", "damped", "repairs", "mean-failover")
@@ -265,22 +369,67 @@ func (c *campaign) writeTable(w io.Writer, cells []cell) error {
 	return nil
 }
 
-func (c *campaign) writePlot(w io.Writer, cells []cell) error {
-	series := make([]asciiplot.Series, 0, len(c.protocols))
-	for _, p := range c.protocols {
-		s := asciiplot.Series{Name: p}
-		for i := range cells {
-			if cells[i].protocol != p {
-				continue
-			}
-			s.X = append(s.X, cells[i].intensity)
-			s.Y = append(s.Y, 100*cells[i].availability())
+// writeCrashTable renders crash mode's cold/warm row pairs: mttr-s is
+// the level (seconds the node stays dead), recovery is the mean delay
+// from a restart to the crashed node's next repaired route ("-" when
+// no restart repaired anything — baselines without repair accounting,
+// or a node that never came back).
+func (c *campaign) writeCrashTable(w io.Writer, cells []cell) error {
+	fmt.Fprintf(w, "%10s %8s %6s %8s %8s %8s %10s\n",
+		"protocol", "mttr-s", "start", "avail%", "crashes", "repairs", "recovery")
+	for i := range cells {
+		cl := &cells[i]
+		start := "cold"
+		if cl.warm {
+			start = "warm"
 		}
-		series = append(series, s)
+		recovery := "-"
+		if cl.recovered > 0 {
+			recovery = cl.meanRecovery.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%10s %8.2f %6s %8.2f %8d %8d %10s\n",
+			cl.protocol, cl.intensity, start, 100*cl.availability(),
+			cl.crashes, cl.repairs, recovery)
+	}
+	return nil
+}
+
+func (c *campaign) writePlot(w io.Writer, cells []cell) error {
+	var series []asciiplot.Series
+	variants := []bool{false}
+	if c.mode == "crash" {
+		variants = []bool{false, true}
+	}
+	for _, p := range c.protocols {
+		for _, warm := range variants {
+			name := p
+			if c.mode == "crash" {
+				if warm {
+					name += "(warm)"
+				} else {
+					name += "(cold)"
+				}
+			}
+			s := asciiplot.Series{Name: name}
+			for i := range cells {
+				if cells[i].protocol != p || cells[i].warm != warm {
+					continue
+				}
+				s.X = append(s.X, cells[i].intensity)
+				s.Y = append(s.Y, 100*cells[i].availability())
+			}
+			if len(s.X) > 0 {
+				series = append(series, s)
+			}
+		}
+	}
+	xlabel := "intensity"
+	if c.mode == "crash" {
+		xlabel = "mttr (s)"
 	}
 	return asciiplot.Render(w, asciiplot.Config{
 		Title:  c.title(),
-		XLabel: "intensity",
+		XLabel: xlabel,
 		YLabel: "availability (%)",
 	}, series...)
 }

@@ -47,6 +47,60 @@ func TestFlapCampaignGolden(t *testing.T) {
 	}
 }
 
+// TestCrashCampaignGolden pins the crash–restart sweep: each nonzero
+// MTTR level yields a cold and a warm row, and the warm start's
+// restored checkpoint must show as strictly higher availability and
+// a shorter post-restart recovery for the DRS. The reactive baseline
+// has no checkpoint to restore, so its warm rows equal its cold ones.
+func TestCrashCampaignGolden(t *testing.T) {
+	const golden = `# chaos campaign: node-1 crash MTTR (4 nodes, 30s, seed 3)
+  protocol   mttr-s  start   avail%  crashes  repairs   recovery
+       drs     0.00   cold    62.50        1        9          -
+       drs     2.00   cold    90.83        1       12         2s
+       drs     2.00   warm    92.50        1       11         0s
+       drs     8.00   cold    83.96        1       12         2s
+       drs     8.00   warm    85.62        1       11         0s
+  reactive     0.00   cold    56.25        1        0          -
+  reactive     2.00   cold    86.04        1        0         0s
+  reactive     2.00   warm    86.04        1        0         0s
+  reactive     8.00   cold    76.04        1        0         0s
+  reactive     8.00   warm    76.04        1        0         0s
+`
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "crash", "-nodes", "4", "-duration", "30s",
+		"-protocols", "drs,reactive", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("crash campaign drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestCrashCampaignAdaptiveRTOGolden: with -rto the adaptive probe
+// deadline detects the dead node's silence within the backed-off RTT
+// envelope instead of at the next round, cutting the cold recovery
+// from 2 s to 1 s while the warm restore stays instant.
+func TestCrashCampaignAdaptiveRTOGolden(t *testing.T) {
+	const golden = `# chaos campaign: node-1 crash MTTR (4 nodes, 30s, seed 3, adaptive rto)
+  protocol   mttr-s  start   avail%  crashes  repairs   recovery
+       drs     0.00   cold    65.42        1        9          -
+       drs     2.00   cold    96.04        1       12         1s
+       drs     2.00   warm    96.88        1       11         0s
+       drs     8.00   cold    87.71        1       12         1s
+       drs     8.00   warm    88.54        1       11         0s
+`
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "crash", "-nodes", "4", "-duration", "30s",
+		"-protocols", "drs", "-rto", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("rto crash campaign drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
 // TestWorkersIdentical: the sweep is sharded over the parallel engine;
 // the worker count must change wall time only, never a byte of output.
 func TestWorkersIdentical(t *testing.T) {
@@ -54,6 +108,27 @@ func TestWorkersIdentical(t *testing.T) {
 		var out, errb bytes.Buffer
 		args := []string{"-mode", "flap", "-nodes", "4", "-duration", "30s",
 			"-levels", "0,0.25,0.5", "-protocols", "drs,reactive", "-damping",
+			"-workers", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n--- got ---\n%s--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestCrashWorkersIdentical: the crash sweep interleaves cold and warm
+// cells per level; sharding must not reorder or perturb a byte.
+func TestCrashWorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		args := []string{"-mode", "crash", "-nodes", "4", "-duration", "30s",
+			"-levels", "0,2,8", "-protocols", "drs,reactive", "-rto",
 			"-workers", workers}
 		if code := run(args, &out, &errb); code != 0 {
 			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())

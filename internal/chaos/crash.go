@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"drsnet/internal/simtime"
+)
+
+// CrashSpec is one scripted daemon fail-stop episode: the node's
+// routing process dies at At — NICs stay electrically up, every frame
+// the node sends or would receive blackholes — and, when RestartAt is
+// nonzero, is restarted there, cold or warm. Warm restarts reuse a
+// checkpoint taken at the instant of the crash (route table,
+// membership view, RTT estimates); cold restarts re-learn everything.
+type CrashSpec struct {
+	// Node is the daemon that crashes.
+	Node int
+	// At is when the process fail-stops.
+	At time.Duration
+	// RestartAt, when nonzero, is when the next incarnation boots.
+	// It must be strictly after At. Zero means the node never returns.
+	RestartAt time.Duration
+	// Warm requests a checkpoint at crash time and a restore at
+	// restart (requires RestartAt).
+	Warm bool
+}
+
+// Lifecycle is what a crash schedule drives. The cluster runtime
+// implements it: Crash stops and fail-stops the daemon (taking a
+// checkpoint when warm), Restart builds and starts the node's next
+// incarnation.
+type Lifecycle interface {
+	Crash(node int, warm bool)
+	Restart(node int)
+}
+
+// Validate checks one crash episode against a cluster of nodes. The
+// index i names the entry in error messages.
+func (s *CrashSpec) Validate(nodes, i int) error {
+	if s.Node < 0 || s.Node >= nodes {
+		return fmt.Errorf("chaos: crash[%d]: unknown node %d (cluster of %d)", i, s.Node, nodes)
+	}
+	if s.At < 0 {
+		return fmt.Errorf("chaos: crash[%d] (node %d): crash at %v before time zero", i, s.Node, s.At)
+	}
+	if s.RestartAt != 0 && s.RestartAt <= s.At {
+		return fmt.Errorf("chaos: crash[%d] (node %d): restart at %v not after crash at %v",
+			i, s.Node, s.RestartAt, s.At)
+	}
+	if s.Warm && s.RestartAt == 0 {
+		return fmt.Errorf("chaos: crash[%d] (node %d): warm restart requested but the node never restarts",
+			i, s.Node)
+	}
+	return nil
+}
+
+// ValidateCrashes checks a whole crash schedule: each episode on its
+// own, then per-node overlap — a node cannot crash again before its
+// previous episode restarted it (a crash scheduled at the exact
+// restart instant is allowed; episodes run in spec order).
+func ValidateCrashes(specs []CrashSpec, nodes int) error {
+	for i := range specs {
+		if err := specs[i].Validate(nodes, i); err != nil {
+			return err
+		}
+	}
+	perNode := make(map[int][]int)
+	for i := range specs {
+		perNode[specs[i].Node] = append(perNode[specs[i].Node], i)
+	}
+	for node, idx := range perNode {
+		sort.Slice(idx, func(a, b int) bool { return specs[idx[a]].At < specs[idx[b]].At })
+		for k := 0; k+1 < len(idx); k++ {
+			prev, next := &specs[idx[k]], &specs[idx[k+1]]
+			if prev.RestartAt == 0 {
+				return fmt.Errorf("chaos: crash[%d] (node %d): node crashes at %v but a previous episode never restarts it",
+					idx[k+1], node, next.At)
+			}
+			if next.At < prev.RestartAt {
+				return fmt.Errorf("chaos: crash[%d] (node %d): crash at %v overlaps the episode restarting at %v",
+					idx[k+1], node, next.At, prev.RestartAt)
+			}
+		}
+	}
+	return nil
+}
+
+// ScheduleCrashes installs a validated crash schedule, in spec order,
+// on the scheduler. Call once, before advancing the simulation past
+// the earliest episode.
+func ScheduleCrashes(sched *simtime.Scheduler, specs []CrashSpec, lc Lifecycle) {
+	for i := range specs {
+		s := specs[i]
+		sched.At(simtime.Time(s.At), func() { lc.Crash(s.Node, s.Warm) })
+		if s.RestartAt > 0 {
+			sched.At(simtime.Time(s.RestartAt), func() { lc.Restart(s.Node) })
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"drsnet/internal/simtime"
+)
+
+func TestValidateCrashes(t *testing.T) {
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	cases := []struct {
+		name    string
+		specs   []CrashSpec
+		wantErr string // substring; empty = valid
+	}{
+		{"empty schedule", nil, ""},
+		{"one-way crash", []CrashSpec{{Node: 1, At: sec(5)}}, ""},
+		{"warm restart", []CrashSpec{{Node: 1, At: sec(5), RestartAt: sec(9), Warm: true}}, ""},
+		{"sequential episodes", []CrashSpec{
+			{Node: 1, At: sec(5), RestartAt: sec(9)},
+			{Node: 1, At: sec(20), RestartAt: sec(25), Warm: true},
+		}, ""},
+		{"crash at exact restart instant", []CrashSpec{
+			{Node: 1, At: sec(5), RestartAt: sec(9)},
+			{Node: 1, At: sec(9), RestartAt: sec(12)},
+		}, ""},
+		{"different nodes overlap freely", []CrashSpec{
+			{Node: 1, At: sec(5), RestartAt: sec(30)},
+			{Node: 2, At: sec(10), RestartAt: sec(15)},
+		}, ""},
+		{"unknown node", []CrashSpec{{Node: 9, At: sec(5)}}, "unknown node 9"},
+		{"negative node", []CrashSpec{{Node: -1, At: sec(5)}}, "unknown node -1"},
+		{"negative time", []CrashSpec{{Node: 1, At: -sec(1)}}, "before time zero"},
+		{"restart before crash", []CrashSpec{
+			{Node: 1, At: sec(5), RestartAt: sec(3)},
+		}, "not after crash"},
+		{"restart equals crash", []CrashSpec{
+			{Node: 1, At: sec(5), RestartAt: sec(5)},
+		}, "not after crash"},
+		{"warm without restart", []CrashSpec{
+			{Node: 1, At: sec(5), Warm: true},
+		}, "never restarts"},
+		{"second crash while dead", []CrashSpec{
+			{Node: 1, At: sec(5), RestartAt: sec(20)},
+			{Node: 1, At: sec(10), RestartAt: sec(15)},
+		}, "overlaps"},
+		{"crash after a final death", []CrashSpec{
+			{Node: 1, At: sec(5)},
+			{Node: 1, At: sec(10), RestartAt: sec(15)},
+		}, "never restarts it"},
+		{"overlap detected out of spec order", []CrashSpec{
+			{Node: 1, At: sec(10), RestartAt: sec(15)},
+			{Node: 1, At: sec(5), RestartAt: sec(12)},
+		}, "overlaps"},
+	}
+	for _, tc := range cases {
+		err := ValidateCrashes(tc.specs, 4)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// lifecycleRecorder captures the Crash/Restart calls a schedule makes.
+type lifecycleRecorder struct {
+	sched *simtime.Scheduler
+	calls []string
+}
+
+func (r *lifecycleRecorder) Crash(node int, warm bool) {
+	kind := "cold"
+	if warm {
+		kind = "warm"
+	}
+	r.calls = append(r.calls, call("crash", kind, node, r.sched))
+}
+
+func (r *lifecycleRecorder) Restart(node int) {
+	r.calls = append(r.calls, call("restart", "", node, r.sched))
+}
+
+func call(what, kind string, node int, sched *simtime.Scheduler) string {
+	s := what
+	if kind != "" {
+		s += "-" + kind
+	}
+	return s + "@" + sched.Now().Duration().String() + "#" + string(rune('0'+node))
+}
+
+// TestScheduleCrashes: each episode fires its crash (with the right
+// warmth) and its restart at the scripted instants, in order.
+func TestScheduleCrashes(t *testing.T) {
+	sched := simtime.NewScheduler()
+	rec := &lifecycleRecorder{sched: sched}
+	specs := []CrashSpec{
+		{Node: 1, At: 2 * time.Second, RestartAt: 5 * time.Second, Warm: true},
+		{Node: 2, At: 3 * time.Second}, // never returns
+	}
+	if err := ValidateCrashes(specs, 4); err != nil {
+		t.Fatal(err)
+	}
+	ScheduleCrashes(sched, specs, rec)
+	sched.RunUntil(simtime.Time(10 * time.Second))
+	want := []string{
+		"crash-warm@2s#1",
+		"crash-cold@3s#2",
+		"restart@5s#1",
+	}
+	if len(rec.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", rec.calls, want)
+	}
+	for i := range want {
+		if rec.calls[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q", i, rec.calls[i], want[i])
+		}
+	}
+}

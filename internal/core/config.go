@@ -75,6 +75,25 @@ type Config struct {
 	// linkmon.DefaultDamping() or explicit thresholds. An extension
 	// beyond the paper, motivated by gray-failure chaos campaigns.
 	FlapDamping linkmon.Damping
+	// Incarnation numbers this daemon's life within the crash–restart
+	// lifecycle: zero (the default) disables lifecycle tracking and
+	// keeps the legacy wire frames, so seeded goldens are unchanged.
+	// When ≥ 1 the daemon opens with a rejoin broadcast carrying the
+	// incarnation, stamps its hellos and route offers with it, and
+	// rejects control frames from peers' previous lives.
+	Incarnation uint32
+	// Restore warm-starts the daemon from a checkpoint taken by its
+	// previous life: routes, membership view and RTT estimates are
+	// seeded instead of re-learned. Requires an Incarnation newer than
+	// the checkpoint's. nil starts cold.
+	Restore *Checkpoint
+	// AdaptiveRTO replaces the fixed once-per-round probe deadline
+	// with a Jacobson/Karels adaptive timeout: each probe arms a timer
+	// at srtt + 4·rttvar (clamped, exponentially backed off on
+	// consecutive misses) and the miss is counted the moment it
+	// expires instead of at the next round. The zero value keeps the
+	// classic round-based miss accounting.
+	AdaptiveRTO linkmon.RTO
 	// Trace, if non-nil, receives protocol events.
 	Trace *trace.Log
 }
@@ -117,6 +136,12 @@ func (c *Config) normalize(nodes, self int) error {
 	}
 	if err := c.FlapDamping.Normalize(); err != nil {
 		return fmt.Errorf("core: %v", err)
+	}
+	if err := c.AdaptiveRTO.Normalize(); err != nil {
+		return fmt.Errorf("core: %v", err)
+	}
+	if c.Restore != nil && c.Incarnation == 0 {
+		return fmt.Errorf("core: warm restore requires a nonzero incarnation")
 	}
 	if c.Monitor == nil && !c.DynamicMembership {
 		for n := 0; n < nodes; n++ {

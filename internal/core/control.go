@@ -31,6 +31,33 @@ func (d *Daemon) onControl(rail, src int, body []byte) {
 		d.onHello(rail, src)
 	case msgGoodbye:
 		d.onGoodbye(src)
+	case msgRejoin:
+		inc, err := unmarshalRejoin(body)
+		if err != nil {
+			return
+		}
+		d.onRejoin(rail, src, inc)
+	case msgHelloInc:
+		inc, err := unmarshalHelloInc(body)
+		if err != nil {
+			return
+		}
+		if !d.admitIncarnation(src, inc) {
+			return
+		}
+		d.onHello(rail, src)
+	case msgOfferInc:
+		o, inc, err := unmarshalOfferInc(body)
+		if err != nil {
+			return
+		}
+		// The stamp is the relay's incarnation: an offer delayed past
+		// the relay's next reboot promises a route its current life
+		// does not hold.
+		if !d.admitIncarnation(int(o.Relay), inc) {
+			return
+		}
+		d.onOffer(rail, o)
 	}
 }
 
@@ -112,7 +139,11 @@ func (d *Daemon) onQuery(rail, src int, q routeQuery) {
 
 	if canOffer {
 		offer := routeOffer{Origin: q.Origin, Target: q.Target, Seq: q.Seq, Relay: uint16(self)}
-		if err := d.tr.Send(rail, origin, routing.Envelope(routing.ProtoControl, marshalOffer(offer))); err == nil {
+		body := marshalOffer(offer)
+		if d.cfg.Incarnation > 0 {
+			body = marshalOfferInc(offer, d.cfg.Incarnation)
+		}
+		if err := d.tr.Send(rail, origin, routing.Envelope(routing.ProtoControl, body)); err == nil {
 			d.mset.Counter(routing.CtrOffersSent).Inc()
 			d.event(trace.Event{At: now, Node: self, Kind: trace.KindOfferSent,
 				Peer: origin, Rail: rail, Detail: fmt.Sprintf("target=%d", target)})

@@ -127,6 +127,11 @@ func New(tr routing.Transport, clock routing.Clock, cfg Config) (*Daemon, error)
 		d.addPeerLocked(p, 0)
 		d.members.MarkStatic(p)
 	}
+	if cfg.Restore != nil {
+		if err := d.restoreLocked(cfg.Restore); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
@@ -149,6 +154,10 @@ func (d *Daemon) removePeerLocked(peer int) {
 	d.links.Remove(peer)
 	d.plane.Discard(peer)
 	d.routes.Drop(peer)
+	// Routes relaying through the departed peer die with it: without
+	// this, data frames keep being forwarded into the dead relay until
+	// its own links finally time out.
+	d.purgeRelaysViaLocked(peer, d.clock.Now())
 }
 
 // Peers returns the currently monitored peers in ascending order.
@@ -174,6 +183,12 @@ func (d *Daemon) Start() error {
 	d.started = true
 	d.mu.Unlock()
 	d.tr.SetReceiver(d.onFrame)
+	if d.cfg.Incarnation > 0 {
+		// Open with the rejoin handshake: peers that knew a previous
+		// life purge routes relaying through it before the first probe
+		// round even runs.
+		membership.Rejoin(d.tr, d.cfg.Incarnation)
+	}
 	d.rounds.Run(d.cfg.ProbeInterval, d.probeRound)
 	return nil
 }

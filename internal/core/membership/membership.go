@@ -17,11 +17,13 @@ import (
 	"drsnet/internal/routing/wire"
 )
 
-// Tracker records which peers are statically configured and when each
-// peer was last heard from.
+// Tracker records which peers are statically configured, when each
+// peer was last heard from, and — when the crash–restart lifecycle is
+// enabled — the highest incarnation number observed per peer.
 type Tracker struct {
 	static    []bool
 	lastHeard []time.Duration
+	inc       []uint32
 }
 
 // New returns a tracker for a cluster of nodes.
@@ -29,6 +31,7 @@ func New(nodes int) *Tracker {
 	return &Tracker{
 		static:    make([]bool, nodes),
 		lastHeard: make([]time.Duration, nodes),
+		inc:       make([]uint32, nodes),
 	}
 }
 
@@ -51,10 +54,42 @@ func (m *Tracker) Stale(peer int, now, ttl time.Duration) bool {
 	return !m.static[peer] && now-m.lastHeard[peer] > ttl
 }
 
+// Incarnation returns the highest incarnation observed from peer
+// (zero until the first incarnation-stamped frame).
+func (m *Tracker) Incarnation(peer int) uint32 { return m.inc[peer] }
+
+// ObserveIncarnation records inc when it is newer than the stored
+// view. It reports whether the view advanced from one known life to
+// another — a reboot observed mid-flight; first sightings (from zero)
+// record silently and return false.
+func (m *Tracker) ObserveIncarnation(peer int, inc uint32) (rebooted bool) {
+	cur := m.inc[peer]
+	if inc > cur {
+		m.inc[peer] = inc
+		return cur != 0
+	}
+	return false
+}
+
+// StaleIncarnation reports whether inc belongs to a previous life of
+// peer — a control frame stamped with it must be dropped.
+func (m *Tracker) StaleIncarnation(peer int, inc uint32) bool {
+	return inc < m.inc[peer]
+}
+
 // Announce broadcasts a hello on every rail so unknown peers learn
 // the sender (and the sender learns them from their hellos).
 func Announce(tr routing.Transport) {
 	hello := routing.Envelope(routing.ProtoControl, wire.MarshalHello())
+	for rail := 0; rail < tr.Rails(); rail++ {
+		_ = tr.Send(rail, routing.Broadcast, hello)
+	}
+}
+
+// AnnounceInc broadcasts an incarnation-stamped hello on every rail
+// (the lifecycle-enabled variant of Announce).
+func AnnounceInc(tr routing.Transport, inc uint32) {
+	hello := routing.Envelope(routing.ProtoControl, wire.MarshalHelloInc(inc))
 	for rail := 0; rail < tr.Rails(); rail++ {
 		_ = tr.Send(rail, routing.Broadcast, hello)
 	}
@@ -65,5 +100,15 @@ func Goodbye(tr routing.Transport) {
 	bye := routing.Envelope(routing.ProtoControl, wire.MarshalGoodbye())
 	for rail := 0; rail < tr.Rails(); rail++ {
 		_ = tr.Send(rail, routing.Broadcast, bye)
+	}
+}
+
+// Rejoin broadcasts a rejoin announcement on every rail: the restart
+// handshake a recovering daemon opens with, telling peers its new
+// incarnation so they purge state from the previous life.
+func Rejoin(tr routing.Transport, inc uint32) {
+	msg := routing.Envelope(routing.ProtoControl, wire.MarshalRejoin(inc))
+	for rail := 0; rail < tr.Rails(); rail++ {
+		_ = tr.Send(rail, routing.Broadcast, msg)
 	}
 }

@@ -47,7 +47,9 @@ func (d *Daemon) probeRound() {
 	type probe struct {
 		peer, rail int
 		seq        uint16
+		deadline   time.Duration // adaptive RTO; 0 = round-based misses
 	}
+	rto := d.cfg.AdaptiveRTO
 	var probes []probe
 	for peer := 0; peer < d.links.Nodes(); peer++ {
 		if !d.links.Monitored(peer) {
@@ -58,7 +60,11 @@ func (d *Daemon) probeRound() {
 			if down {
 				d.markDownLocked(peer, rail, now)
 			}
-			probes = append(probes, probe{peer, rail, seq})
+			p := probe{peer: peer, rail: rail, seq: seq}
+			if rto.Enabled() {
+				p.deadline = d.links.State(peer, rail).Deadline(rto)
+			}
+			probes = append(probes, p)
 		}
 	}
 	self := uint16(d.tr.Node())
@@ -68,8 +74,13 @@ func (d *Daemon) probeRound() {
 
 	if dynamic {
 		// Announce ourselves so unknown peers learn us (and we learn
-		// them from their hellos).
-		membership.Announce(d.tr)
+		// them from their hellos). With the lifecycle enabled the hello
+		// carries our incarnation so peers can spot reboots they missed.
+		if d.cfg.Incarnation > 0 {
+			membership.AnnounceInc(d.tr, d.cfg.Incarnation)
+		} else {
+			membership.Announce(d.tr)
+		}
 	}
 
 	send := func(p probe) {
@@ -82,6 +93,9 @@ func (d *Daemon) probeRound() {
 		if err := d.tr.Send(p.rail, p.peer, payload); err == nil {
 			d.mset.Counter(routing.CtrProbesSent).Inc()
 		}
+		if p.deadline > 0 {
+			d.clock.AfterFunc(p.deadline, func() { d.probeExpired(p.peer, p.rail, p.seq) })
+		}
 	}
 	if stagger {
 		d.rounds.Stagger(d.cfg.ProbeInterval, len(probes), func(i int) { send(probes[i]) })
@@ -90,6 +104,45 @@ func (d *Daemon) probeRound() {
 			send(p)
 		}
 	}
+}
+
+// probeExpired is the adaptive-RTO deadline handler: the probe is
+// overdue against the learned RTT, so the miss is counted now —
+// typically within tens of milliseconds — instead of at the next
+// round, and a replacement probe goes out under an exponentially
+// backed-off deadline. A probe that was already answered (or
+// superseded by a newer round's probe) makes this a no-op.
+func (d *Daemon) probeExpired(peer, rail int, seq uint16) {
+	d.mu.Lock()
+	if d.stopped || !d.links.Monitored(peer) {
+		d.mu.Unlock()
+		return
+	}
+	st := d.links.State(peer, rail)
+	if st == nil || !st.Pending || st.PendingSeq != seq {
+		d.mu.Unlock()
+		return
+	}
+	now := d.clock.Now()
+	st.Pending = false
+	st.Misses++
+	st.RecordRTOMiss()
+	d.mset.Counter(routing.CtrRTOExpired).Inc()
+	if st.Misses >= d.cfg.MissThreshold {
+		d.markDownLocked(peer, rail, now)
+	}
+	nseq, _ := d.links.BeginProbe(peer, rail, d.cfg.MissThreshold)
+	deadline := st.Deadline(d.cfg.AdaptiveRTO)
+	self := uint16(d.tr.Node())
+	d.mu.Unlock()
+
+	ts := make([]byte, 8)
+	binary.BigEndian.PutUint64(ts, uint64(now))
+	echo := icmp.Echo{Request: true, ID: self, Seq: nseq, Data: ts}
+	if err := d.tr.Send(rail, peer, routing.Envelope(routing.ProtoICMP, echo.Marshal())); err == nil {
+		d.mset.Counter(routing.CtrProbesSent).Inc()
+	}
+	d.clock.AfterFunc(deadline, func() { d.probeExpired(peer, rail, nseq) })
 }
 
 // steerByLatencyLocked moves direct routes to a clearly faster rail.

@@ -12,6 +12,9 @@ const (
 	msgRouteOffer = wire.MsgRouteOffer
 	msgHello      = wire.MsgHello
 	msgGoodbye    = wire.MsgGoodbye
+	msgRejoin     = wire.MsgRejoin
+	msgHelloInc   = wire.MsgHelloInc
+	msgOfferInc   = wire.MsgOfferInc
 )
 
 // routeQuery is the broadcast the DRS makes when no direct link to a
@@ -28,4 +31,10 @@ var (
 	unmarshalQuery = wire.UnmarshalQuery
 	marshalOffer   = wire.MarshalOffer
 	unmarshalOffer = wire.UnmarshalOffer
+	// Crash–restart lifecycle codecs (emission of the rejoin and the
+	// stamped hello lives in the membership package).
+	unmarshalRejoin   = wire.UnmarshalRejoin
+	unmarshalHelloInc = wire.UnmarshalHelloInc
+	marshalOfferInc   = wire.MarshalOfferInc
+	unmarshalOfferInc = wire.UnmarshalOfferInc
 )

@@ -26,6 +26,10 @@ type State struct {
 	rttvar  time.Duration
 	samples int64
 
+	// backoff counts consecutive adaptive-RTO misses (see rto.go);
+	// each doubles the next probe deadline up to the configured cap.
+	backoff int
+
 	// Route-flap damping bookkeeping (see damping.go). Inert unless
 	// the owner records flaps with an enabled Damping config.
 	penalty     float64
@@ -209,6 +213,7 @@ func (t *Table) Confirm(peer, rail int, seq uint16) (st *State, ok bool) {
 	}
 	st.Pending = false
 	st.Misses = 0
+	st.backoff = 0
 	return st, true
 }
 

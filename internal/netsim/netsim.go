@@ -201,6 +201,10 @@ type SegmentStats struct {
 	// DroppedImpaired counts frames eaten by a gray-failure
 	// impairment's loss process (chaos layer).
 	DroppedImpaired int64
+	// DroppedNodeDown counts frames blackholed because the node's
+	// daemon process was fail-stopped (crash lifecycle): the NICs are
+	// electrically up but nothing behind them sends or receives.
+	DroppedNodeDown int64
 	// Corrupted counts frames whose payload was mangled in transit by
 	// an impairment; they still occupy the wire and are delivered.
 	Corrupted int64
@@ -225,6 +229,11 @@ type Network struct {
 	// are; a unidirectional (gray) failure kills one half.
 	nicTx   [][]bool
 	nicRx   [][]bool
+	// Per-node process state: false while the node's daemon is
+	// fail-stopped (crash lifecycle). Unlike NIC failures this
+	// blackholes every frame the node sends or would receive without
+	// touching the electrical component state.
+	nodeUp  []bool
 	handler []Handler
 	rnd     *rng.Source
 	// Gray-failure state: active impairments by component, nil until
@@ -255,6 +264,7 @@ func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed
 		segs:    make([]segment, cluster.Rails),
 		nicTx:   make([][]bool, cluster.Nodes),
 		nicRx:   make([][]bool, cluster.Nodes),
+		nodeUp:  make([]bool, cluster.Nodes),
 		handler: make([]Handler, cluster.Nodes),
 		rnd:     rng.New(seed),
 	}
@@ -269,6 +279,7 @@ func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed
 	for i := range n.nicTx {
 		n.nicTx[i] = make([]bool, cluster.Rails)
 		n.nicRx[i] = make([]bool, cluster.Rails)
+		n.nodeUp[i] = true
 		for r := range n.nicTx[i] {
 			n.nicTx[i][r] = true
 			n.nicRx[i][r] = true
@@ -307,6 +318,10 @@ func (n *Network) Send(src, rail, dst int, payload []byte) error {
 	}
 	seg := &n.segs[rail]
 	seg.stats.FramesSent++
+	if !n.nodeUp[src] {
+		seg.stats.DroppedNodeDown++
+		return nil
+	}
 	if !n.nicTx[src][rail] {
 		seg.stats.DroppedTxNIC++
 		return nil
@@ -482,6 +497,10 @@ func (n *Network) deliverTo(seg *segment, fr Frame, node int) {
 // and random-loss checks happen here, at actual delivery time, so a
 // NIC that died while an impairment delayed the frame still eats it.
 func (n *Network) completeDelivery(seg *segment, fr Frame, node int, corrupt bool) {
+	if !n.nodeUp[node] {
+		seg.stats.DroppedNodeDown++
+		return
+	}
 	if !n.nicRx[node][fr.Rail] {
 		seg.stats.DroppedRxNIC++
 		return
@@ -548,6 +567,28 @@ func (n *Network) RestoreDir(c topology.Component, dir Direction) {
 	if dir == DirBoth || dir == DirRx {
 		n.nicRx[node][rail] = true
 	}
+}
+
+// FailNode fail-stops node's daemon process: every frame it sends or
+// would receive blackholes from this instant until RestoreNode. The
+// NICs stay electrically up — ComponentUp still reports healthy — so
+// peers see unanswered probes, not a severed link, exactly like a
+// crashed router whose hardware keeps link lights on.
+func (n *Network) FailNode(node int) {
+	n.checkNode(node)
+	n.nodeUp[node] = false
+}
+
+// RestoreNode brings a fail-stopped node's process back.
+func (n *Network) RestoreNode(node int) {
+	n.checkNode(node)
+	n.nodeUp[node] = true
+}
+
+// NodeUp reports whether node's daemon process is running.
+func (n *Network) NodeUp(node int) bool {
+	n.checkNode(node)
+	return n.nodeUp[node]
 }
 
 // ComponentUp reports whether a component is fully operational (both

@@ -174,6 +174,20 @@ func (t *Table) Drop(dst int) {
 	}
 }
 
+// ViaRelay returns, in ascending destination order, every destination
+// whose installed route relays through via. Callers tear these down
+// when via crashes or departs — a relay route is only as alive as the
+// daemon behind it.
+func (t *Table) ViaRelay(via int) []int {
+	var out []int
+	for dst, rt := range t.routes {
+		if dst != via && rt.Kind == Relay && rt.Via == via {
+			out = append(out, dst)
+		}
+	}
+	return out
+}
+
 // Cancels returns the cancel functions of every in-flight discovery,
 // for a stopping daemon to run outside its lock.
 func (t *Table) Cancels() []func() bool {

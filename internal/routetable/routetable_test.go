@@ -137,3 +137,26 @@ func TestSeenGC(t *testing.T) {
 		t.Fatalf("cache not collected: %d entries", tbl.SeenSize())
 	}
 }
+
+func TestViaRelay(t *testing.T) {
+	tbl := New(6)
+	tbl.SetRoute(1, Route{Kind: Direct, Rail: 0, Via: 1})
+	tbl.SetRoute(2, Route{Kind: Relay, Rail: 1, Via: 4})
+	tbl.SetRoute(3, Route{Kind: Relay, Rail: 0, Via: 4})
+	tbl.SetRoute(5, Route{Kind: Relay, Rail: 0, Via: 2})
+	got := tbl.ViaRelay(4)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("ViaRelay(4) = %v, want [2 3]", got)
+	}
+	if got := tbl.ViaRelay(1); got != nil {
+		// Node 1 is a direct next hop, not a relay.
+		t.Fatalf("ViaRelay(1) = %v, want none", got)
+	}
+	// A relay route TO the relay itself is excluded: tearing it down is
+	// the caller's direct-loss path, not relay purging.
+	tbl.SetRoute(4, Route{Kind: Relay, Rail: 0, Via: 4})
+	got = tbl.ViaRelay(4)
+	if len(got) != 2 {
+		t.Fatalf("ViaRelay(4) with self-route = %v, want [2 3]", got)
+	}
+}

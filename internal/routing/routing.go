@@ -111,4 +111,11 @@ const (
 	// nanoseconds links spent in the held-down state.
 	CtrRouteDamped = "route.damped"
 	CtrDampedNs    = "route.damped_ns"
+	// CtrStaleControl counts control frames dropped for carrying an
+	// older incarnation than the membership view — late frames from a
+	// peer's previous life (crash–restart lifecycle).
+	CtrStaleControl = "control.stale"
+	// CtrRTOExpired counts adaptive probe deadlines that fired before
+	// the reply arrived (each is a miss counted ahead of the round).
+	CtrRTOExpired = "probe.rto_expired"
 )

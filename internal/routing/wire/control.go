@@ -16,6 +16,16 @@ const (
 	// identity comes from the frame, so both are a bare type byte.
 	MsgHello   = 3
 	MsgGoodbye = 4
+	// MsgRejoin announces a restarted daemon's new life: the body
+	// carries a monotonically increasing incarnation number so peers
+	// purge routes that relay through the previous life. MsgHelloInc
+	// and MsgOfferInc are the incarnation-stamped variants of hello
+	// and route offer, emitted only when the crash–restart lifecycle
+	// is enabled (the legacy frames stay the default so seeded runs
+	// are byte-identical without it).
+	MsgRejoin   = 5
+	MsgHelloInc = 6
+	MsgOfferInc = 7
 	// MsgLSHello and MsgLSA belong to the OSPF-lite baseline:
 	// adjacency heartbeat and link-state advertisement.
 	MsgLSHello = 64
@@ -103,6 +113,74 @@ func UnmarshalOffer(b []byte) (Offer, error) {
 		Seq:    binary.BigEndian.Uint32(b[5:9]),
 		Relay:  binary.BigEndian.Uint16(b[9:11]),
 	}, nil
+}
+
+// RejoinLen is the encoded size of a rejoin announcement or an
+// incarnation-stamped hello: one type byte plus the incarnation.
+const RejoinLen = 1 + 4
+
+// MarshalRejoin encodes a rejoin announcement carrying the sender's
+// incarnation number.
+func MarshalRejoin(incarnation uint32) []byte {
+	b := make([]byte, RejoinLen)
+	b[0] = MsgRejoin
+	binary.BigEndian.PutUint32(b[1:5], incarnation)
+	return b
+}
+
+// UnmarshalRejoin decodes a rejoin announcement.
+func UnmarshalRejoin(b []byte) (incarnation uint32, err error) {
+	if len(b) < RejoinLen || b[0] != MsgRejoin {
+		return 0, ErrBadControl
+	}
+	return binary.BigEndian.Uint32(b[1:5]), nil
+}
+
+// MarshalHelloInc encodes an incarnation-stamped membership
+// announcement.
+func MarshalHelloInc(incarnation uint32) []byte {
+	b := make([]byte, RejoinLen)
+	b[0] = MsgHelloInc
+	binary.BigEndian.PutUint32(b[1:5], incarnation)
+	return b
+}
+
+// UnmarshalHelloInc decodes an incarnation-stamped hello.
+func UnmarshalHelloInc(b []byte) (incarnation uint32, err error) {
+	if len(b) < RejoinLen || b[0] != MsgHelloInc {
+		return 0, ErrBadControl
+	}
+	return binary.BigEndian.Uint32(b[1:5]), nil
+}
+
+// OfferIncLen is the encoded size of an incarnation-stamped offer.
+const OfferIncLen = OfferLen + 4
+
+// MarshalOfferInc encodes a route offer stamped with the relay's
+// incarnation, so the querying node can reject an offer that was
+// delayed past the relay's next reboot.
+func MarshalOfferInc(o Offer, incarnation uint32) []byte {
+	b := make([]byte, OfferIncLen)
+	b[0] = MsgOfferInc
+	binary.BigEndian.PutUint16(b[1:3], o.Origin)
+	binary.BigEndian.PutUint16(b[3:5], o.Target)
+	binary.BigEndian.PutUint32(b[5:9], o.Seq)
+	binary.BigEndian.PutUint16(b[9:11], o.Relay)
+	binary.BigEndian.PutUint32(b[11:15], incarnation)
+	return b
+}
+
+// UnmarshalOfferInc decodes an incarnation-stamped route offer.
+func UnmarshalOfferInc(b []byte) (Offer, uint32, error) {
+	if len(b) < OfferIncLen || b[0] != MsgOfferInc {
+		return Offer{}, 0, ErrBadControl
+	}
+	return Offer{
+		Origin: binary.BigEndian.Uint16(b[1:3]),
+		Target: binary.BigEndian.Uint16(b[3:5]),
+		Seq:    binary.BigEndian.Uint32(b[5:9]),
+		Relay:  binary.BigEndian.Uint16(b[9:11]),
+	}, binary.BigEndian.Uint32(b[11:15]), nil
 }
 
 // Adjacency is one (node, rail) link an LSA's origin claims.

@@ -21,6 +21,9 @@ func FuzzFrame(f *testing.F) {
 	f.Add(Envelope(ProtoControl, MarshalHello()))
 	f.Add(Envelope(ProtoControl, MarshalGoodbye()))
 	f.Add(Envelope(ProtoControl, MarshalLSA(LSA{Origin: 5, Seq: 9, Neighbors: []Adjacency{{1, 0}, {2, 1}}})))
+	f.Add(Envelope(ProtoControl, MarshalRejoin(2)))
+	f.Add(Envelope(ProtoControl, MarshalHelloInc(3)))
+	f.Add(Envelope(ProtoControl, MarshalOfferInc(Offer{Origin: 1, Target: 2, Seq: 3, Relay: 7}, 4)))
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		proto, body, err := SplitEnvelope(frame)
@@ -77,6 +80,33 @@ func FuzzFrame(f *testing.F) {
 			case MsgHello, MsgGoodbye, MsgLSHello:
 				// Membership and adjacency heartbeats are bare type
 				// bytes: nothing further to decode.
+			case MsgRejoin:
+				inc, err := UnmarshalRejoin(body)
+				if err != nil {
+					return
+				}
+				out := MarshalRejoin(inc)
+				if !bytes.Equal(out, body[:len(out)]) {
+					t.Fatalf("rejoin round trip: %x -> %x", body, out)
+				}
+			case MsgHelloInc:
+				inc, err := UnmarshalHelloInc(body)
+				if err != nil {
+					return
+				}
+				out := MarshalHelloInc(inc)
+				if !bytes.Equal(out, body[:len(out)]) {
+					t.Fatalf("hello-inc round trip: %x -> %x", body, out)
+				}
+			case MsgOfferInc:
+				o, inc, err := UnmarshalOfferInc(body)
+				if err != nil {
+					return
+				}
+				out := MarshalOfferInc(o, inc)
+				if !bytes.Equal(out, body[:len(out)]) {
+					t.Fatalf("offer-inc round trip: %x -> %x", body, out)
+				}
 			case MsgLSA:
 				e, err := UnmarshalLSA(body)
 				if err != nil {

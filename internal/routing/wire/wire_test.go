@@ -170,11 +170,71 @@ func TestLSATruncated(t *testing.T) {
 	}
 }
 
+func TestRejoinRoundTrip(t *testing.T) {
+	err := quick.Check(func(inc uint32) bool {
+		got, err := UnmarshalRejoin(MarshalRejoin(inc))
+		return err == nil && got == inc
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelloIncRoundTrip(t *testing.T) {
+	err := quick.Check(func(inc uint32) bool {
+		got, err := UnmarshalHelloInc(MarshalHelloInc(inc))
+		return err == nil && got == inc
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfferIncRoundTrip(t *testing.T) {
+	err := quick.Check(func(origin, target uint16, seq uint32, relay uint16, inc uint32) bool {
+		o := Offer{Origin: origin, Target: target, Seq: seq, Relay: relay}
+		got, gotInc, err := UnmarshalOfferInc(MarshalOfferInc(o, inc))
+		return err == nil && got == o && gotInc == inc
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncarnationCodecsTruncatedAndMistyped(t *testing.T) {
+	rejoin := MarshalRejoin(7)
+	hello := MarshalHelloInc(7)
+	offer := MarshalOfferInc(Offer{Origin: 1, Target: 2, Seq: 3, Relay: 5}, 7)
+	for cut := 1; cut <= len(rejoin); cut++ {
+		if _, err := UnmarshalRejoin(rejoin[:len(rejoin)-cut]); err != ErrBadControl {
+			t.Fatalf("rejoin truncated by %d: %v", cut, err)
+		}
+		if _, err := UnmarshalHelloInc(hello[:len(hello)-cut]); err != ErrBadControl {
+			t.Fatalf("hello-inc truncated by %d: %v", cut, err)
+		}
+	}
+	for cut := 1; cut <= len(offer); cut++ {
+		if _, _, err := UnmarshalOfferInc(offer[:len(offer)-cut]); err != ErrBadControl {
+			t.Fatalf("offer-inc truncated by %d: %v", cut, err)
+		}
+	}
+	// Each decoder rejects the others' type bytes.
+	if _, err := UnmarshalRejoin(hello); err != ErrBadControl {
+		t.Fatalf("rejoin decoder accepted hello-inc: %v", err)
+	}
+	if _, err := UnmarshalHelloInc(rejoin); err != ErrBadControl {
+		t.Fatalf("hello-inc decoder accepted rejoin: %v", err)
+	}
+	if _, _, err := UnmarshalOfferInc(append(rejoin, make([]byte, OfferIncLen)...)); err != ErrBadControl {
+		t.Fatalf("offer-inc decoder accepted rejoin: %v", err)
+	}
+}
+
 // TestDisjointControlRanges pins the DRS / link-state type split: a
 // mixed cluster must fail loudly, which requires the ranges to never
 // collide.
 func TestDisjointControlRanges(t *testing.T) {
-	drs := []byte{MsgRouteQuery, MsgRouteOffer, MsgHello, MsgGoodbye}
+	drs := []byte{MsgRouteQuery, MsgRouteOffer, MsgHello, MsgGoodbye, MsgRejoin, MsgHelloInc, MsgOfferInc}
 	ls := []byte{MsgLSHello, MsgLSA}
 	for _, d := range drs {
 		if d >= 64 {

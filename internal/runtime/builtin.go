@@ -25,6 +25,9 @@ func buildDRS(ctx BuildContext) (routing.Router, error) {
 	cfg.StaggerProbes = ctx.Spec.Tunables.StaggerProbes
 	cfg.PreferLowLatency = ctx.Spec.Tunables.PreferLowLatency
 	cfg.FlapDamping = ctx.Spec.Tunables.FlapDamping
+	cfg.AdaptiveRTO = ctx.Spec.Tunables.AdaptiveRTO
+	cfg.Incarnation = ctx.Incarnation
+	cfg.Restore = ctx.Restore
 	cfg.Trace = ctx.Spec.Trace
 	return core.New(ctx.Transport, ctx.Clock, cfg)
 }

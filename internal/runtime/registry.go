@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"drsnet/internal/core"
 	"drsnet/internal/routing"
 )
 
@@ -46,6 +47,13 @@ type BuildContext struct {
 	Clock routing.Clock
 	// Spec is the cluster specification being built (tunables, trace).
 	Spec *ClusterSpec
+	// Incarnation numbers this router's life (≥ 1) when the spec's
+	// crash–restart lifecycle is enabled; zero otherwise. Each restart
+	// of a node increments it.
+	Incarnation uint32
+	// Restore is the previous life's checkpoint for a warm restart
+	// (DRS daemons only); nil for cold starts and first boots.
+	Restore *core.Checkpoint
 }
 
 // Builder constructs one node's router for a registered protocol.

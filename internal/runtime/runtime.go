@@ -34,23 +34,35 @@ type pair struct{ from, to int }
 //
 // The canonical event-scheduling order — the determinism contract —
 // is Start (routers in node order), ScheduleFlows (spec order),
-// ScheduleFaults (spec order), ScheduleImpairments (spec order), then
-// RunUntil.
+// ScheduleFaults (spec order), ScheduleImpairments (spec order),
+// ScheduleCrashes (spec order), then RunUntil.
 type Cluster struct {
 	spec    ClusterSpec
 	sched   *simtime.Scheduler
 	net     *netsim.Network
+	builder Builder
 	routers []routing.Router
 	log     *trace.Log
 
 	sent       []int
 	deliveries map[pair][]time.Duration
 
+	// Crash–restart lifecycle state (allocated only when the spec's
+	// Tunables.Lifecycle is on): the incarnation number each node's
+	// next build gets, the checkpoint pending a warm restart, and the
+	// repair records of each node's dead incarnations (a restart
+	// replaces the router, so Finish would otherwise lose them).
+	incarnation  []uint32
+	checkpoints  []*core.Checkpoint
+	pastRepairs  [][]Repair
+	lifecycleErr error
+
 	started          bool
 	stopped          bool
 	flowsScheduled   bool
 	faultsScheduled  bool
 	impairsScheduled bool
+	crashesScheduled bool
 }
 
 // Build assembles a cluster from the spec: deterministic scheduler,
@@ -81,34 +93,58 @@ func Build(spec ClusterSpec) (*Cluster, error) {
 		spec:       spec,
 		sched:      sched,
 		net:        net,
+		builder:    builder,
 		log:        log,
 		sent:       make([]int, len(spec.Flows)),
 		deliveries: make(map[pair][]time.Duration),
 	}
 	c.spec.Trace = log
-	clock := routing.SimClock{Sched: sched}
-	for node := 0; node < spec.Nodes; node++ {
-		node := node
-		r, err := builder(BuildContext{
-			Node:      node,
-			Transport: routing.NewSimNode(net, node),
-			Clock:     clock,
-			Spec:      &c.spec,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: building %s router for node %d: %v", spec.Protocol, node, err)
+	if c.spec.Tunables.Lifecycle {
+		c.incarnation = make([]uint32, spec.Nodes)
+		for i := range c.incarnation {
+			c.incarnation[i] = 1
 		}
-		r.SetDeliverFunc(func(src int, data []byte) {
-			at := sched.Now().Duration()
-			k := pair{from: src, to: node}
-			c.deliveries[k] = append(c.deliveries[k], at)
-			if c.spec.OnDeliver != nil {
-				c.spec.OnDeliver(at, src, node, data)
-			}
-		})
+		c.checkpoints = make([]*core.Checkpoint, spec.Nodes)
+		c.pastRepairs = make([][]Repair, spec.Nodes)
+	}
+	for node := 0; node < spec.Nodes; node++ {
+		r, err := c.buildRouter(node)
+		if err != nil {
+			return nil, err
+		}
 		c.routers = append(c.routers, r)
 	}
 	return c, nil
+}
+
+// buildRouter constructs node's router from the spec's builder and
+// wires its delivery callback. Under the crash–restart lifecycle the
+// context carries the node's incarnation number and any checkpoint
+// pending a warm restart.
+func (c *Cluster) buildRouter(node int) (routing.Router, error) {
+	ctx := BuildContext{
+		Node:      node,
+		Transport: routing.NewSimNode(c.net, node),
+		Clock:     routing.SimClock{Sched: c.sched},
+		Spec:      &c.spec,
+	}
+	if c.spec.Tunables.Lifecycle {
+		ctx.Incarnation = c.incarnation[node]
+		ctx.Restore = c.checkpoints[node]
+	}
+	r, err := c.builder(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: building %s router for node %d: %v", c.spec.Protocol, node, err)
+	}
+	r.SetDeliverFunc(func(src int, data []byte) {
+		at := c.sched.Now().Duration()
+		k := pair{from: src, to: node}
+		c.deliveries[k] = append(c.deliveries[k], at)
+		if c.spec.OnDeliver != nil {
+			c.spec.OnDeliver(at, src, node, data)
+		}
+	})
+	return r, nil
 }
 
 // Spec returns the normalized spec the cluster was built from.
@@ -229,6 +265,89 @@ func (c *Cluster) ScheduleImpairments() error {
 	return nil
 }
 
+// ScheduleCrashes installs the spec's daemon crash–restart script, in
+// spec order (validated at Build time). The cluster itself implements
+// chaos.Lifecycle.
+func (c *Cluster) ScheduleCrashes() {
+	if c.crashesScheduled {
+		return
+	}
+	c.crashesScheduled = true
+	if len(c.spec.Crashes) == 0 {
+		return
+	}
+	chaos.ScheduleCrashes(c.sched, c.spec.Crashes, c)
+}
+
+// Crash fail-stops node's routing process: the daemon is stopped and
+// the network blackholes every frame the node sends or would receive,
+// while its NICs stay electrically up. When warm, a checkpoint is
+// taken first for the next incarnation to restore. Crash implements
+// chaos.Lifecycle.
+func (c *Cluster) Crash(node int, warm bool) {
+	if node < 0 || node >= len(c.routers) || c.stopped || !c.spec.Tunables.Lifecycle {
+		return
+	}
+	if d, ok := c.Daemon(node); ok {
+		if warm {
+			c.checkpoints[node] = d.Checkpoint()
+		}
+		// The restart replaces the router; bank the dead incarnation's
+		// repair records so Finish still reports them.
+		c.pastRepairs[node] = append(c.pastRepairs[node], daemonRepairs(node, d)...)
+	}
+	c.routers[node].Stop()
+	c.net.FailNode(node)
+	detail := "cold"
+	if warm {
+		detail = "warm checkpoint taken"
+	}
+	c.log.Append(trace.Event{
+		At: c.Now(), Node: node, Kind: trace.KindNodeCrashed,
+		Peer: -1, Rail: -1, Detail: detail,
+	})
+}
+
+// Restart boots node's next incarnation: the network resumes carrying
+// its frames, the incarnation number advances, and a fresh router is
+// built — restoring the crash-time checkpoint when the episode was
+// warm — and started. Restart implements chaos.Lifecycle; build or
+// start failures surface as Run's error.
+func (c *Cluster) Restart(node int) {
+	if node < 0 || node >= len(c.routers) || c.stopped || !c.spec.Tunables.Lifecycle {
+		return
+	}
+	c.net.RestoreNode(node)
+	c.incarnation[node]++
+	warm := c.checkpoints[node] != nil
+	detail := "cold start"
+	if warm {
+		detail = "warm start"
+	}
+	// Logged before the build so a warm restore's route-installed
+	// events land after the restart marker in trace order.
+	c.log.Append(trace.Event{
+		At: c.Now(), Node: node, Kind: trace.KindNodeRestarted,
+		Peer: -1, Rail: -1, Detail: detail,
+	})
+	r, err := c.buildRouter(node)
+	c.checkpoints[node] = nil
+	if err != nil {
+		if c.lifecycleErr == nil {
+			c.lifecycleErr = fmt.Errorf("runtime: restarting node %d: %v", node, err)
+		}
+		return
+	}
+	c.routers[node] = r
+	if err := r.Start(); err != nil && c.lifecycleErr == nil {
+		c.lifecycleErr = fmt.Errorf("runtime: restarting node %d: %v", node, err)
+	}
+}
+
+// LifecycleErr reports the first crash–restart failure of the run, if
+// any (Run surfaces it; Build-and-drive callers check it themselves).
+func (c *Cluster) LifecycleErr() error { return c.lifecycleErr }
+
 // RunUntil advances the simulation to absolute time t.
 func (c *Cluster) RunUntil(t time.Duration) {
 	c.sched.RunUntil(simtime.Time(t))
@@ -290,6 +409,25 @@ type Result struct {
 	Trace *trace.Log
 }
 
+// daemonRepairs converts a daemon's repair records into the runtime's
+// Repair form.
+func daemonRepairs(node int, d *core.Daemon) []Repair {
+	reps := d.Repairs()
+	out := make([]Repair, 0, len(reps))
+	for _, rep := range reps {
+		out = append(out, Repair{
+			Node:       node,
+			Peer:       rep.Peer,
+			LostAt:     rep.LostAt,
+			RepairedAt: rep.RepairedAt,
+			Kind:       rep.Route.Kind.String(),
+			Rail:       rep.Route.Rail,
+			Via:        rep.Route.Via,
+		})
+	}
+	return out
+}
+
 // DeliveriesFor returns the delivery timestamps recorded for the
 // (from, to) pair.
 func (c *Cluster) DeliveriesFor(from, to int) []time.Duration {
@@ -313,21 +451,14 @@ func (c *Cluster) Finish() *Result {
 		totalDelivered += len(del)
 	}
 	for node := range c.routers {
+		if c.pastRepairs != nil {
+			res.Repairs = append(res.Repairs, c.pastRepairs[node]...)
+		}
 		d, ok := c.Daemon(node)
 		if !ok {
 			continue
 		}
-		for _, rep := range d.Repairs() {
-			res.Repairs = append(res.Repairs, Repair{
-				Node:       node,
-				Peer:       rep.Peer,
-				LostAt:     rep.LostAt,
-				RepairedAt: rep.RepairedAt,
-				Kind:       rep.Route.Kind.String(),
-				Rail:       rep.Route.Rail,
-				Via:        rep.Route.Via,
-			})
-		}
+		res.Repairs = append(res.Repairs, daemonRepairs(node, d)...)
 	}
 	for rail := 0; rail < c.spec.Rails; rail++ {
 		res.Utilization = append(res.Utilization, c.net.Utilization(rail))
@@ -360,8 +491,12 @@ func Run(spec ClusterSpec) (*Result, error) {
 	if err := c.ScheduleImpairments(); err != nil {
 		return nil, err
 	}
+	c.ScheduleCrashes()
 	c.RunUntil(spec.Duration)
 	c.StopRouters()
+	if err := c.LifecycleErr(); err != nil {
+		return nil, err
+	}
 	return c.Finish(), nil
 }
 

@@ -37,6 +37,18 @@ type Tunables struct {
 	// linkmon.Damping for the threshold semantics and
 	// linkmon.DefaultDamping for sane defaults.
 	FlapDamping linkmon.Damping
+	// AdaptiveRTO enables Jacobson/Karels adaptive probe deadlines in
+	// the DRS: per-probe timers at srtt + 4·rttvar with exponential
+	// backoff, instead of once-per-round miss accounting. The zero
+	// value keeps the classic fixed deadline (and the seeded goldens
+	// byte-identical); see linkmon.DefaultRTO for stock settings.
+	AdaptiveRTO linkmon.RTO
+	// Lifecycle enables the crash–restart lifecycle: DRS daemons get
+	// monotonically increasing incarnation numbers, open with a rejoin
+	// broadcast, stamp their hellos and offers, and reject control
+	// frames from peers' previous lives. Set automatically when the
+	// spec carries Crashes; settable on its own for protocol studies.
+	Lifecycle bool
 }
 
 // StartImmediately, as a Flow.Start value, fires the flow's first
@@ -102,6 +114,11 @@ type ClusterSpec struct {
 	// internal/chaos). Empty means no impairments — the fail-stop
 	// world of the paper's experiments.
 	Impairments []chaos.Spec
+	// Crashes is the daemon crash–restart script (see chaos.CrashSpec):
+	// the node's process fail-stops at a scripted instant — NICs stay
+	// electrically up, frames blackhole — and optionally restarts cold
+	// or warm. A non-empty script implies Tunables.Lifecycle.
+	Crashes []chaos.CrashSpec
 	// Trace, if non-nil, receives every protocol event of the run;
 	// nil means a private log, exposed on the Result.
 	Trace *trace.Log
@@ -175,6 +192,15 @@ func (s *ClusterSpec) normalize() error {
 	}
 	if err := chaos.Validate(s.Impairments, cl); err != nil {
 		return fmt.Errorf("runtime: %v", err)
+	}
+	if err := s.Tunables.AdaptiveRTO.Normalize(); err != nil {
+		return fmt.Errorf("runtime: %v", err)
+	}
+	if err := chaos.ValidateCrashes(s.Crashes, s.Nodes); err != nil {
+		return fmt.Errorf("runtime: %v", err)
+	}
+	if len(s.Crashes) > 0 {
+		s.Tunables.Lifecycle = true
 	}
 	return nil
 }

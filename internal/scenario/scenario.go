@@ -100,6 +100,21 @@ type ImpairmentSpec struct {
 	FlapDuty   float64  `json:"flapDuty,omitempty"`
 }
 
+// CrashSpec is one scripted daemon fail-stop episode: the node's
+// routing process dies at "at" — NICs stay electrically up, frames
+// blackhole — and, when "restart" is set, the next incarnation boots
+// there, cold or warm.
+type CrashSpec struct {
+	Node int      `json:"node"`
+	At   Duration `json:"at"`
+	// Restart, when nonzero, boots the node's next incarnation. It must
+	// be strictly after At; zero means the node never returns.
+	Restart Duration `json:"restart,omitempty"`
+	// Warm restores a crash-time checkpoint (route table, membership
+	// view, RTT estimates) at restart instead of relearning cold.
+	Warm bool `json:"warm,omitempty"`
+}
+
 // Scenario is a complete declarative simulation.
 type Scenario struct {
 	// Name labels the report.
@@ -132,6 +147,12 @@ type Scenario struct {
 	DampReuse      float64  `json:"dampReuse,omitempty"`
 	DampHalfLife   Duration `json:"dampHalfLife,omitempty"`
 	DampMaxPenalty float64  `json:"dampMaxPenalty,omitempty"`
+	// AdaptiveRTO enables Jacobson/Karels adaptive probe deadlines (DRS
+	// only) with linkmon.DefaultRTO settings; RTOMin and RTOMax
+	// override the deadline clamp bounds (zero keeps the default).
+	AdaptiveRTO bool     `json:"adaptiveRTO,omitempty"`
+	RTOMin      Duration `json:"rtoMin,omitempty"`
+	RTOMax      Duration `json:"rtoMax,omitempty"`
 	// Reactive tunables.
 	AdvertiseInterval Duration `json:"advertiseInterval,omitempty"`
 	RouteTimeout      Duration `json:"routeTimeout,omitempty"`
@@ -141,6 +162,8 @@ type Scenario struct {
 	Events []EventSpec `json:"events,omitempty"`
 	// Impairments is the gray-failure script.
 	Impairments []ImpairmentSpec `json:"impairments,omitempty"`
+	// Crashes is the daemon crash–restart script.
+	Crashes []CrashSpec `json:"crashes,omitempty"`
 }
 
 // Load parses a scenario document.
@@ -231,10 +254,83 @@ func (s *Scenario) Validate() error {
 			return err
 		}
 	}
+	if err := s.validateCrashes(); err != nil {
+		return err
+	}
 	if _, err := s.damping(); err != nil {
 		return err
 	}
+	if _, err := s.rto(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateCrashes checks the crash–restart script: each episode's
+// fields against the document, then the per-node overlap rules the
+// chaos layer enforces (a node cannot crash again before a previous
+// episode restarted it).
+func (s *Scenario) validateCrashes() error {
+	for i, c := range s.Crashes {
+		if c.Node < 0 || c.Node >= s.Nodes {
+			return fmt.Errorf("scenario: crashes[%d] node %d invalid (cluster has %d nodes)", i, c.Node, s.Nodes)
+		}
+		if c.At < 0 || c.At > s.Duration {
+			return fmt.Errorf("scenario: crashes[%d] at %v outside [0,%v]",
+				i, time.Duration(c.At), time.Duration(s.Duration))
+		}
+		if c.Restart != 0 && c.Restart <= c.At {
+			return fmt.Errorf("scenario: crashes[%d] restart %v not after crash at %v",
+				i, time.Duration(c.Restart), time.Duration(c.At))
+		}
+		if c.Warm && c.Restart == 0 {
+			return fmt.Errorf("scenario: crashes[%d] warm restart requested but the node never restarts", i)
+		}
+	}
+	if err := chaos.ValidateCrashes(s.crashSpecs(), s.Nodes); err != nil {
+		return fmt.Errorf("scenario: %v", err)
+	}
+	return nil
+}
+
+// crashSpecs maps the document's crash script onto the chaos layer.
+func (s *Scenario) crashSpecs() []chaos.CrashSpec {
+	if len(s.Crashes) == 0 {
+		return nil
+	}
+	specs := make([]chaos.CrashSpec, 0, len(s.Crashes))
+	for _, c := range s.Crashes {
+		specs = append(specs, chaos.CrashSpec{
+			Node:      c.Node,
+			At:        time.Duration(c.At),
+			RestartAt: time.Duration(c.Restart),
+			Warm:      c.Warm,
+		})
+	}
+	return specs
+}
+
+// rto builds the DRS adaptive-RTO config from the document's knobs:
+// disabled unless adaptiveRTO is true, defaults from
+// linkmon.DefaultRTO, clamp bounds overridable.
+func (s *Scenario) rto() (linkmon.RTO, error) {
+	if !s.AdaptiveRTO {
+		if s.RTOMin != 0 || s.RTOMax != 0 {
+			return linkmon.RTO{}, fmt.Errorf("scenario: rto* bounds set but adaptiveRTO is false")
+		}
+		return linkmon.RTO{}, nil
+	}
+	r := linkmon.DefaultRTO()
+	if s.RTOMin != 0 {
+		r.Min = time.Duration(s.RTOMin)
+	}
+	if s.RTOMax != 0 {
+		r.Max = time.Duration(s.RTOMax)
+	}
+	if err := r.Normalize(); err != nil {
+		return linkmon.RTO{}, fmt.Errorf("scenario: %v", err)
+	}
+	return r, nil
 }
 
 // validateImpairment checks one gray-failure episode, with error
@@ -370,6 +466,10 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 	if err != nil {
 		return runtime.ClusterSpec{}, err
 	}
+	rto, err := s.rto()
+	if err != nil {
+		return runtime.ClusterSpec{}, err
+	}
 	spec := runtime.ClusterSpec{
 		Nodes:    s.Nodes,
 		Protocol: s.Protocol,
@@ -383,9 +483,12 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 			StaggerProbes:     s.StaggerProbes,
 			PreferLowLatency:  s.PreferLowLatency,
 			FlapDamping:       damp,
+			AdaptiveRTO:       rto,
 			AdvertiseInterval: time.Duration(s.AdvertiseInterval),
 			RouteTimeout:      time.Duration(s.RouteTimeout),
+			Lifecycle:         len(s.Crashes) > 0,
 		},
+		Crashes: s.crashSpecs(),
 	}
 	for _, t := range s.Traffic {
 		spec.Flows = append(spec.Flows, runtime.Flow{

@@ -30,6 +30,13 @@ const (
 	// damping (not re-trusted); KindRouteUndamped marks its release.
 	KindRouteDamped
 	KindRouteUndamped
+	// KindNodeCrashed and KindNodeRestarted mark daemon fail-stop and
+	// recovery in the crash–restart lifecycle; KindPeerRejoined marks
+	// a daemon observing a peer's newer incarnation (a reboot) and
+	// purging state from the previous life.
+	KindNodeCrashed
+	KindNodeRestarted
+	KindPeerRejoined
 )
 
 var kindNames = map[Kind]string{
@@ -46,6 +53,9 @@ var kindNames = map[Kind]string{
 	KindDataDelivered:  "data-delivered",
 	KindRouteDamped:    "route-damped",
 	KindRouteUndamped:  "route-undamped",
+	KindNodeCrashed:    "node-crashed",
+	KindNodeRestarted:  "node-restarted",
+	KindPeerRejoined:   "peer-rejoined",
 }
 
 // String implements fmt.Stringer.
