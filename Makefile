@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke cover fuzz fuzzsmoke chaos-smoke crash-smoke clean
+.PHONY: all build test race bench benchsmoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke clean
 
 all: build test
 
@@ -63,6 +63,17 @@ crash-smoke:
 	$(GO) test ./internal/core/ ./internal/runtime/ -run 'Lifecycle|Crash|Warm|Rejoin|Incarnation|RTO'
 	$(GO) run ./cmd/drschaos -mode crash -nodes 4 -duration 30s -protocols drs,reactive -rto
 	$(GO) run ./cmd/drsim -config examples/scenarios/rolling-crash.json
+
+# Static fast-failover gate: the failover family and the invariant
+# checker (exhaustive single-failure sweeps, dynamic-flap goldens,
+# negative loop controls), the head-to-head campaign goldens, one live
+# campaign run and the invariant-enforced scenario. Deterministic end
+# to end, so any diff is a real regression.
+failover-smoke:
+	$(GO) test ./internal/failover/ ./internal/invariant/ ./cmd/drschaos/
+	$(GO) test ./internal/runtime/ -run 'Invariant|Failover'
+	$(GO) run ./cmd/drschaos -mode failover -nodes 4 -duration 20s -protocols failover-rotor,failover-arbor,failover-bounce,drs
+	$(GO) run ./cmd/drsim -config examples/scenarios/static-failover.json
 
 clean:
 	$(GO) clean ./...

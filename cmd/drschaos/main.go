@@ -11,15 +11,25 @@
 // checkpoint restored) — reporting delivery availability and the mean
 // recovery latency from restart to the node's first repaired route.
 //
+// A fourth mode is the static fast-failover head-to-head: -mode
+// failover runs every protocol through a fixed regime ladder — clean,
+// loss, flap, crash and the Dai & Foerster dynamic regime (two NICs on
+// different nodes and rails flapping with incommensurate periods, so
+// mixed-rail cuts open and close faster than any control plane
+// converges) — with the forwarding-trace invariant checker enabled in
+// every cell. The table reports availability alongside the checker's
+// loop, revisit and drop counts, so a variant that buys availability
+// by looping is convicted in the same row.
+//
 // The sweep runs on the parallel engine: every (protocol, intensity)
 // cell is an independent deterministic simulation, so the output is
 // bit-identical for any -workers count.
 //
 // Usage:
 //
-//	drschaos [-mode loss|flap|crash] [-protocols list] [-levels list]
-//	         [-nodes n] [-duration d] [-seed s] [-damping] [-rto]
-//	         [-workers n] [-plot]
+//	drschaos [-mode loss|flap|crash|failover] [-protocols list]
+//	         [-levels list] [-nodes n] [-duration d] [-seed s]
+//	         [-damping] [-rto] [-workers n] [-plot]
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"drsnet/internal/asciiplot"
 	"drsnet/internal/chaos"
+	"drsnet/internal/invariant"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/netsim"
 	"drsnet/internal/runtime"
@@ -60,11 +71,14 @@ type campaign struct {
 
 // cell is the outcome of one (protocol, intensity) run. In crash mode
 // the intensity is the MTTR in seconds, warm distinguishes the
-// cold/warm pair, and crashes/recovery carry the lifecycle columns.
+// cold/warm pair, and crashes/recovery carry the lifecycle columns. In
+// failover mode the regime names the cell's fault cocktail and the
+// loops/revisits/drops columns carry the invariant checker's verdict.
 type cell struct {
 	protocol        string
 	intensity       float64
 	warm            bool
+	regime          string
 	sent, delivered int
 	flaps, damped   int
 	meanRepair      time.Duration // 0 when the protocol records no repairs
@@ -72,13 +86,16 @@ type cell struct {
 	crashes         int
 	meanRecovery    time.Duration
 	recovered       int // restarts that repaired at least one route
+	loops           int
+	revisits        int
+	drops           int
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("drschaos", flag.ContinueOnError)
 	flags.SetOutput(stderr)
-	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss), flap (NIC duty-cycle flapping) or crash (daemon crash-restart MTTR sweep)")
-	protocols := flags.String("protocols", "drs,reactive,linkstate,static", "protocols to torment, comma separated")
+	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss), flap (NIC duty-cycle flapping), crash (daemon crash-restart MTTR sweep) or failover (static fast-failover head-to-head across fault regimes)")
+	protocols := flags.String("protocols", "drs,reactive,linkstate,static", "protocols to torment, comma separated (failover mode defaults to the static family plus the convergence protocols)")
 	levels := flags.String("levels", "", "intensity ladder, comma separated (loss probabilities, flap duty cycles or crash MTTRs in seconds; default per mode)")
 	nodes := flags.Int("nodes", 6, "cluster size")
 	duration := flags.Duration("duration", 60*time.Second, "simulated horizon per run")
@@ -101,12 +118,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers:  *workers,
 	}
 	switch c.mode {
-	case "loss", "flap", "crash":
+	case "loss", "flap", "crash", "failover":
 	default:
-		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss, flap or crash)\n", c.mode)
+		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss, flap, crash or failover)\n", c.mode)
 		return 1
 	}
-	for _, tok := range strings.Split(*protocols, ",") {
+	protocolList := *protocols
+	if c.mode == "failover" {
+		// The head-to-head compares the whole static family against the
+		// convergence protocols unless the user picked a lineup.
+		explicit := false
+		flags.Visit(func(f *flag.Flag) {
+			if f.Name == "protocols" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			protocolList = "failover-rotor,failover-arbor,failover-bounce,drs,linkstate,reactive"
+		}
+		if *levels != "" {
+			fmt.Fprintf(stderr, "drschaos: -levels is not used by -mode failover (the regime ladder is fixed)\n")
+			return 1
+		}
+		if *plot {
+			fmt.Fprintf(stderr, "drschaos: -plot needs a numeric intensity axis; -mode failover has none\n")
+			return 1
+		}
+	}
+	for _, tok := range strings.Split(protocolList, ",") {
 		p := strings.TrimSpace(tok)
 		if _, err := runtime.Lookup(p); err != nil {
 			fmt.Fprintf(stderr, "drschaos: %v\n", err)
@@ -123,9 +162,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ladder = "0,0.2,0.4,0.6"
 		case "crash":
 			ladder = "0,2,8"
+		case "failover":
+			ladder = "" // the regime ladder replaces numeric intensities
 		}
 	}
 	for _, tok := range strings.Split(ladder, ",") {
+		if c.mode == "failover" {
+			break
+		}
 		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
 			fmt.Fprintf(stderr, "drschaos: bad intensity %q: %v\n", tok, err)
@@ -145,8 +189,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		c.levels = append(c.levels, v)
 	}
 	minNodes := 2
-	if c.mode == "crash" {
-		minNodes = 3 // the scenario faults node 2's NIC and crashes node 1
+	if c.mode == "crash" || c.mode == "failover" {
+		minNodes = 3 // the scenarios fault node 2's NIC and torment node 1
 	}
 	if c.nodes < minNodes {
 		fmt.Fprintf(stderr, "drschaos: mode %s needs at least %d nodes, have %d\n", c.mode, minNodes, c.nodes)
@@ -244,19 +288,110 @@ func (c *campaign) spec(protocol string, intensity float64, warm bool) runtime.C
 	return spec
 }
 
+// failoverRegimes is the head-to-head ladder: every protocol faces the
+// same five fault cocktails, from nothing at all to failures faster
+// than any control plane converges.
+var failoverRegimes = []string{"clean", "loss", "flap", "crash", "dynamic"}
+
+// specFailover builds one head-to-head cell: the campaign's ring
+// traffic under the named regime, with the forwarding-trace invariant
+// checker installed so the table can report loops, revisits and drops
+// next to availability.
+func (c *campaign) specFailover(protocol, regime string) runtime.ClusterSpec {
+	cl := topology.Dual(c.nodes)
+	spec := runtime.ClusterSpec{
+		Nodes:     c.nodes,
+		Protocol:  protocol,
+		Seed:      c.seed,
+		Duration:  c.duration,
+		Invariant: &invariant.Config{},
+	}
+	if c.damping {
+		spec.Tunables.FlapDamping = linkmon.DefaultDamping()
+	}
+	if c.rto {
+		spec.Tunables.AdaptiveRTO = linkmon.DefaultRTO()
+	}
+	for n := 0; n < c.nodes; n++ {
+		spec.Flows = append(spec.Flows, runtime.Flow{
+			From: n, To: (n + 1) % c.nodes, Interval: 250 * time.Millisecond,
+		})
+	}
+	switch regime {
+	case "clean":
+		// Nothing: the baseline row every other regime degrades from.
+	case "loss":
+		// Rail 0's backplane drops a fifth of its frames for the whole
+		// run — a gray failure no carrier oracle can see.
+		spec.Impairments = append(spec.Impairments, chaos.Spec{
+			Comp:   cl.Backplane(0),
+			Impair: netsim.Impairment{Loss: 0.2},
+		})
+	case "flap":
+		// Node 1 loses its rail-1 NIC for good, then its only remaining
+		// NIC flaps — the drschaos flap campaign's 0.4-duty cell.
+		spec.Faults = append(spec.Faults, runtime.Fault{At: time.Second, Comp: cl.NIC(1, 1)})
+		spec.Impairments = append(spec.Impairments, chaos.Spec{
+			Comp:       cl.NIC(1, 0),
+			Start:      5 * time.Second,
+			FlapPeriod: 8 * time.Second,
+			FlapDuty:   0.4,
+		})
+	case "crash":
+		// Node 1's daemon fail-stops with its link lights on: the
+		// carrier oracle keeps vouching for a dead forwarder, the
+		// static family blackholes, and only a probing control plane
+		// notices. Node 2's rail-0 NIC dies first so the survivors
+		// hold non-trivial routes when the crash lands.
+		spec.Faults = append(spec.Faults, runtime.Fault{At: time.Second, Comp: cl.NIC(2, 0)})
+		spec.Crashes = append(spec.Crashes, chaos.CrashSpec{
+			Node: 1, At: 10 * time.Second, RestartAt: 18 * time.Second,
+		})
+	case "dynamic":
+		// Dai & Foerster's adversary: two NICs on different nodes and
+		// rails flapping with incommensurate periods, so mixed-rail
+		// cuts open and close continuously — faster than DRS probes
+		// converge, slow enough that carrier sensing stays truthful.
+		spec.Impairments = append(spec.Impairments,
+			chaos.Spec{
+				Comp:       cl.NIC(1, 1),
+				Start:      time.Second,
+				FlapPeriod: 900 * time.Millisecond,
+				FlapDuty:   0.5,
+			},
+			chaos.Spec{
+				Comp:       cl.NIC(2, 0),
+				Start:      time.Second,
+				FlapPeriod: 1300 * time.Millisecond,
+				FlapDuty:   0.5,
+			})
+	}
+	return spec
+}
+
 // sweep runs the full (protocol × intensity) grid on the parallel
 // engine and reduces each run to a table cell. Crash mode doubles the
-// grid: every restartable MTTR level runs cold and warm.
+// grid: every restartable MTTR level runs cold and warm. Failover mode
+// replaces the intensity axis with the fixed regime ladder.
 func (c *campaign) sweep() ([]cell, error) {
 	var specs []runtime.ClusterSpec
 	var cells []cell
-	for _, p := range c.protocols {
-		for _, lv := range c.levels {
-			specs = append(specs, c.spec(p, lv, false))
-			cells = append(cells, cell{protocol: p, intensity: lv})
-			if c.mode == "crash" && lv > 0 {
-				specs = append(specs, c.spec(p, lv, true))
-				cells = append(cells, cell{protocol: p, intensity: lv, warm: true})
+	if c.mode == "failover" {
+		for _, p := range c.protocols {
+			for _, rg := range failoverRegimes {
+				specs = append(specs, c.specFailover(p, rg))
+				cells = append(cells, cell{protocol: p, regime: rg})
+			}
+		}
+	} else {
+		for _, p := range c.protocols {
+			for _, lv := range c.levels {
+				specs = append(specs, c.spec(p, lv, false))
+				cells = append(cells, cell{protocol: p, intensity: lv})
+				if c.mode == "crash" && lv > 0 {
+					specs = append(specs, c.spec(p, lv, true))
+					cells = append(cells, cell{protocol: p, intensity: lv, warm: true})
+				}
 			}
 		}
 	}
@@ -282,6 +417,11 @@ func (c *campaign) sweep() ([]cell, error) {
 		if c.mode == "crash" {
 			cells[i].crashes = res.Trace.Count(trace.KindNodeCrashed)
 			cells[i].meanRecovery, cells[i].recovered = crashRecovery(res.Trace, 1)
+		}
+		if rep := res.Invariant; rep != nil {
+			cells[i].loops = rep.Loops
+			cells[i].revisits = rep.Revisits
+			cells[i].drops = rep.Undelivered
 		}
 	}
 	return cells, nil
@@ -334,6 +474,8 @@ func (c *campaign) title() string {
 		what = "rail-0 flap duty cycle"
 	case "crash":
 		what = "node-1 crash MTTR"
+	case "failover":
+		what = "static fast-failover head-to-head"
 	}
 	damp := ""
 	if c.damping {
@@ -354,6 +496,9 @@ func (c *campaign) writeTable(w io.Writer, cells []cell) error {
 	if c.mode == "crash" {
 		return c.writeCrashTable(w, cells)
 	}
+	if c.mode == "failover" {
+		return c.writeFailoverTable(w, cells)
+	}
 	fmt.Fprintf(w, "%10s %10s %8s %7s %7s %8s %13s\n",
 		"protocol", "intensity", "avail%", "flaps", "damped", "repairs", "mean-failover")
 	for i := range cells {
@@ -365,6 +510,23 @@ func (c *campaign) writeTable(w io.Writer, cells []cell) error {
 		fmt.Fprintf(w, "%10s %10.2f %8.2f %7d %7d %8d %13s\n",
 			cl.protocol, cl.intensity, 100*cl.availability(),
 			cl.flaps, cl.damped, cl.repairs, failover)
+	}
+	return nil
+}
+
+// writeFailoverTable renders the head-to-head grid: availability side
+// by side with the invariant checker's verdict, so a protocol cannot
+// look good by looping (the loops column convicts it in the same row)
+// and honest loss is distinguishable from misrouting (drops counts
+// tracked packets that vanished, excused or not).
+func (c *campaign) writeFailoverTable(w io.Writer, cells []cell) error {
+	fmt.Fprintf(w, "%15s %8s %8s %6s %9s %6s %8s\n",
+		"protocol", "regime", "avail%", "loops", "revisits", "drops", "repairs")
+	for i := range cells {
+		cl := &cells[i]
+		fmt.Fprintf(w, "%15s %8s %8.2f %6d %9d %6d %8d\n",
+			cl.protocol, cl.regime, 100*cl.availability(),
+			cl.loops, cl.revisits, cl.drops, cl.repairs)
 	}
 	return nil
 }

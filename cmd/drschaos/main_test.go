@@ -178,3 +178,93 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestFailoverCampaignGolden pins the static fast-failover head-to-head
+// to the digit, default lineup included (no -protocols flag: the mode
+// swaps in the static family plus the convergence protocols). The
+// rows carry the head-to-head story: the relay-capable variants hold
+// the clean-run availability through the dynamic regime that degrades
+// every convergence protocol, the stateless arborescence is convicted
+// of forwarding loops when a node is fully cut off mid-flap, and the
+// bounce variant matches its availability with provable loop-freedom.
+func TestFailoverCampaignGolden(t *testing.T) {
+	const golden = `# chaos campaign: static fast-failover head-to-head (4 nodes, 30s, seed 3)
+       protocol   regime   avail%  loops  revisits  drops  repairs
+ failover-rotor    clean    99.17      0         0      4        0
+ failover-rotor     loss    88.96      0         0     53        0
+ failover-rotor     flap    81.25      0         0      2        0
+ failover-rotor    crash    85.83      0         0     36        0
+ failover-rotor  dynamic    93.12      0         0      3        0
+ failover-arbor    clean    99.17      0         0      4        0
+ failover-arbor     loss    88.96      0         0     53        0
+ failover-arbor     flap    81.25    172         0     46        0
+ failover-arbor    crash    85.83      0         0     36        0
+ failover-arbor  dynamic    99.17      0         0      4        0
+failover-bounce    clean    99.17      0         0      4        0
+failover-bounce     loss    88.96      0         0     53        0
+failover-bounce     flap    81.25      0         0     46        0
+failover-bounce    crash    85.83      0         0     36        0
+failover-bounce  dynamic    99.17      0         0      4        0
+            drs    clean    99.17      0         0      4        0
+            drs     loss    85.83      0         0     68        5
+            drs     flap    87.50      0         0     60       21
+            drs    crash    83.96      0         0     36       12
+            drs  dynamic    85.83      0         0     68       24
+      linkstate    clean    99.17      0         0      4        0
+      linkstate     loss    79.38      0         0     99        0
+      linkstate     flap    78.12     36         0    129        0
+      linkstate    crash    79.17     12         0     60        0
+      linkstate  dynamic    75.00      0         0    120        0
+       reactive    clean    99.17      0         0      4        0
+       reactive     loss    77.29      0         0    109        0
+       reactive     flap    81.25      0         0     90        0
+       reactive    crash    76.04      0         0     82        0
+       reactive  dynamic    75.00      0         0    120        0
+`
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "failover", "-nodes", "4", "-duration", "30s", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("failover head-to-head drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestFailoverWorkersIdentical: the head-to-head grid — invariant
+// verdict columns included — is byte-identical at every worker count.
+func TestFailoverWorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		args := []string{"-mode", "failover", "-nodes", "4", "-duration", "15s",
+			"-protocols", "failover-rotor,failover-bounce,drs", "-workers", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n--- got ---\n%s--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestFailoverModeFlagErrors: the regime ladder replaces the numeric
+// intensity axis, so -levels and -plot must be refused loudly.
+func TestFailoverModeFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "failover", "-levels", "0,0.5"},
+		{"-mode", "failover", "-plot"},
+		{"-mode", "failover", "-nodes", "2"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("args %v produced no diagnostics", args)
+		}
+	}
+}

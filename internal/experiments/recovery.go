@@ -252,14 +252,14 @@ func WriteRecovery(w io.Writer, results []*RecoveryResult) error {
 		results[0].Config.TrafficInterval, results[0].Config.FailAt); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-9s %9s %9s %7s %12s %12s %12s %7s %9s\n",
+	fmt.Fprintf(w, "%-15s %9s %9s %7s %12s %12s %12s %7s %9s\n",
 		"protocol", "sent", "lost", "recov", "outage", "detect", "repair", "masked", "tcp-alive")
 	for _, r := range results {
 		outage := r.Outage.String()
 		if !r.Recovered {
 			outage = ">" + outage
 		}
-		fmt.Fprintf(w, "%-9s %9d %9d %7v %12s %12v %12v %7v %9v\n",
+		fmt.Fprintf(w, "%-15s %9d %9d %7v %12s %12v %12v %7v %9v\n",
 			r.Config.Protocol, r.Sent, r.Lost, r.Recovered, outage,
 			r.DetectionLatency, r.RepairLatency, r.MaskedFromTCP, r.SurvivedByTCP)
 	}

@@ -1,0 +1,223 @@
+package failover_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"drsnet/internal/invariant"
+	"drsnet/internal/runtime"
+	"drsnet/internal/topology"
+)
+
+// allPairsSpec is one exhaustive-sweep cell: every ordered (src, dst)
+// pair sends exactly one datagram at t=10ms into a cluster whose fault
+// script ran at t=0, under the strict delivery invariant. The flow
+// stops after one shot and the horizon leaves ample landing time.
+func allPairsSpec(n int, proto string, faults []runtime.Fault) runtime.ClusterSpec {
+	spec := runtime.ClusterSpec{
+		Nodes:     n,
+		Protocol:  proto,
+		Seed:      1,
+		Duration:  500 * time.Millisecond,
+		Faults:    faults,
+		Invariant: &invariant.Config{RequireDelivery: true},
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			spec.Flows = append(spec.Flows, runtime.Flow{
+				From:     src,
+				To:       dst,
+				Interval: time.Second,
+				Start:    10 * time.Millisecond,
+				Stop:     20 * time.Millisecond,
+			})
+		}
+	}
+	return spec
+}
+
+// TestExhaustiveSingleFailures is the property sweep the tentpole
+// promises: for every single component failure (each NIC, each
+// backplane) on 4-, 8- and 12-host dual-rail clusters, every variant
+// of the static family delivers every (src, dst) pair loop-free. A
+// single failure never disconnects the dual-rail topology, so strict
+// delivery must hold everywhere — no excuses accepted.
+func TestExhaustiveSingleFailures(t *testing.T) {
+	sizes := []int{4, 8, 12}
+	if testing.Short() {
+		sizes = []int{4, 8}
+	}
+	for _, n := range sizes {
+		cl := topology.Dual(n)
+		for _, proto := range []string{
+			runtime.ProtoFailoverRotor, runtime.ProtoFailoverArbor, runtime.ProtoFailoverBounce,
+		} {
+			t.Run(fmt.Sprintf("%s/n=%d", proto, n), func(t *testing.T) {
+				for comp := topology.Component(0); int(comp) < cl.Components(); comp++ {
+					run, err := runtime.Run(allPairsSpec(n, proto, []runtime.Fault{{Comp: comp}}))
+					if err != nil {
+						t.Fatalf("comp %v: Run: %v", comp, err)
+					}
+					rep := run.Invariant
+					if err := rep.Err(); err != nil {
+						t.Fatalf("comp %v: %v", comp, err)
+					}
+					if want := n * (n - 1); rep.Packets != want {
+						t.Fatalf("comp %v: tracked %d packets, want %d (a send refused a route)",
+							comp, rep.Packets, want)
+					}
+					if rep.Delivered != rep.Packets || rep.Undelivered != 0 {
+						t.Fatalf("comp %v: delivered %d of %d (undelivered %d) — single failure must be masked",
+							comp, rep.Delivered, rep.Packets, rep.Undelivered)
+					}
+					if rep.Loops != 0 {
+						t.Fatalf("comp %v: %d loops", comp, rep.Loops)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDoubleFailureProvablyDisconnects: killing both of a host's NICs
+// severs it, and the three variants part ways — the definitive
+// head-to-head of the family's design space. The rotor's direct-only
+// table senses the dead receiver on every rail and refuses at the
+// source (nothing launched, nothing lost in flight). The stateless
+// arborescence cannot tell a dead destination from a dead direct
+// link: it hands the packet to a relay, the relay can only hand it to
+// another relay, and the invariant checker convicts the resulting
+// relay ping-pong — the loop that header rewriting exists to prevent.
+// The bounce variant carries its tree index in the header, so relays
+// resume the scan monotonically, exhaust the family and drop: revisits
+// but provably zero loops, with the loss excused by the reachability
+// oracle.
+func TestDoubleFailureProvablyDisconnects(t *testing.T) {
+	const n, victim = 6, 3
+	cl := topology.Dual(n)
+	faults := []runtime.Fault{
+		{Comp: cl.NIC(victim, 0)},
+		{Comp: cl.NIC(victim, 1)},
+	}
+	run := func(t *testing.T, proto string) *invariant.Report {
+		t.Helper()
+		res, err := runtime.Run(allPairsSpec(n, proto, faults))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.Invariant
+	}
+	// Bystander pairs avoid the victim entirely: all must deliver.
+	bystanders := (n - 1) * (n - 2)
+
+	t.Run(runtime.ProtoFailoverRotor, func(t *testing.T) {
+		rep := run(t, runtime.ProtoFailoverRotor)
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		// Sends toward the victim are refused at the source (the
+		// carrier oracle sees its dead receivers), so only bystander
+		// packets are ever launched.
+		if rep.Packets != bystanders || rep.Delivered != bystanders {
+			t.Fatalf("tracked %d delivered %d, want %d bystanders only", rep.Packets, rep.Delivered, bystanders)
+		}
+	})
+
+	t.Run(runtime.ProtoFailoverArbor, func(t *testing.T) {
+		rep := run(t, runtime.ProtoFailoverArbor)
+		if rep.Loops == 0 || rep.Err() == nil {
+			t.Fatalf("stateless arborescence did not loop under destination death: %+v", rep)
+		}
+		if rep.Delivered != bystanders {
+			t.Fatalf("delivered %d, want %d bystanders despite the looping inbound traffic",
+				rep.Delivered, bystanders)
+		}
+	})
+
+	t.Run(runtime.ProtoFailoverBounce, func(t *testing.T) {
+		rep := run(t, runtime.ProtoFailoverBounce)
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Loops != 0 {
+			t.Fatalf("header-rewriting variant looped: %+v", rep)
+		}
+		// Inbound packets are launched (the first relay edge is live),
+		// bounce until the tree family is exhausted, and their loss is
+		// excused by provable disconnection.
+		if rep.Packets != bystanders+(n-1) || rep.Delivered != bystanders {
+			t.Fatalf("tracked %d delivered %d, want %d launched and %d delivered",
+				rep.Packets, rep.Delivered, bystanders+(n-1), bystanders)
+		}
+		if rep.Undelivered != n-1 || rep.UndeliveredExcused != n-1 {
+			t.Fatalf("undelivered %d excused %d, want all %d inbound excused",
+				rep.Undelivered, rep.UndeliveredExcused, n-1)
+		}
+	})
+}
+
+// TestMixedRailPairRequiresRelay pins the variants' separation: with
+// the sender dark on rail 0 and the receiver dark on rail 1, no direct
+// rail connects them. The rotor (direct hops only) refuses the send;
+// the arborescence and header-rewriting variants relay in two hops.
+func TestMixedRailPairRequiresRelay(t *testing.T) {
+	const n = 6
+	cl := topology.Dual(n)
+	faults := []runtime.Fault{
+		{Comp: cl.NIC(1, 0)},
+		{Comp: cl.NIC(4, 1)},
+	}
+	spec := func(proto string) runtime.ClusterSpec {
+		s := allPairsSpec(n, proto, faults)
+		// Keep only the severed pair plus one bystander control.
+		s.Flows = []runtime.Flow{
+			{From: 1, To: 4, Interval: time.Second, Start: 10 * time.Millisecond, Stop: 20 * time.Millisecond},
+			{From: 4, To: 1, Interval: time.Second, Start: 10 * time.Millisecond, Stop: 20 * time.Millisecond},
+			{From: 0, To: 5, Interval: time.Second, Start: 10 * time.Millisecond, Stop: 20 * time.Millisecond},
+		}
+		return s
+	}
+
+	for _, proto := range []string{runtime.ProtoFailoverArbor, runtime.ProtoFailoverBounce} {
+		t.Run(proto, func(t *testing.T) {
+			run, err := runtime.Run(spec(proto))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			rep := run.Invariant
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Packets != 3 || rep.Delivered != 3 {
+				t.Fatalf("delivered %d of %d, want all three via relay", rep.Delivered, rep.Packets)
+			}
+			if rep.MaxHopsSeen != 2 {
+				t.Fatalf("longest path %d hops, want 2 (one relay)", rep.MaxHopsSeen)
+			}
+		})
+	}
+
+	t.Run(runtime.ProtoFailoverRotor, func(t *testing.T) {
+		run, err := runtime.Run(spec(runtime.ProtoFailoverRotor))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		// The rotor has no relay to offer: the severed pair's sends are
+		// refused outright (no frame launched, hence only the control
+		// packet is tracked) while the bystander still delivers.
+		rep := run.Invariant
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Packets != 1 || rep.Delivered != 1 {
+			t.Fatalf("tracked %d delivered %d, want only the bystander packet", rep.Packets, rep.Delivered)
+		}
+		if run.Flows[0].Delivered != 0 || run.Flows[1].Delivered != 0 {
+			t.Fatalf("rotor delivered across a mixed-rail cut: %+v", run.Flows[:2])
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Package invariant is a per-frame forwarding-trace checker: it
+// watches every application datagram cross the simulated network and
+// asserts the correctness properties the static fast-failover
+// literature states exactly — and every other protocol in this
+// repository should satisfy too:
+//
+//   - Loop-freedom: no packet visits the same node twice in the same
+//     header state. For plain ProtoData traffic the header state is
+//     empty, so any revisit is a loop; for ProtoFailover traffic the
+//     state is the header's Attempt field, so a packet may legally
+//     return to a node after rewriting its header (that is how
+//     header-carried failover state buys resilience) but never in the
+//     same state. Detection is TTL-independent: a loop is flagged on
+//     the first repeat visit, whether or not a TTL would eventually
+//     have killed the packet.
+//   - Delivery or provable disconnection: a packet either reaches its
+//     final destination or its loss is excused by the ground-truth
+//     topology — origin and destination were genuinely disconnected.
+//     Enforced only when Config.RequireDelivery is set (convergence
+//     protocols legitimately lose packets while they relearn routes);
+//     always reported.
+//   - Bounded stretch: no packet consumes more than MaxHops
+//     forwarding hops (shortest paths here are one or two hops).
+//
+// The checker implements netsim.Tap, so any protocol run — DRS,
+// link-state, reactive, static, or the failover family — can execute
+// under invariant enforcement in tests and chaos campaigns simply by
+// installing it on the network. It is purely observational and draws
+// no randomness: enabling it never changes a seeded run's bytes.
+package invariant
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drsnet/internal/netsim"
+	"drsnet/internal/routing/wire"
+)
+
+// DefaultMaxHops is the stretch bound when Config.MaxHops is zero.
+// Direct paths are one hop and relay paths two; eight leaves the
+// header-rewriting variant room to explore without hiding a loop.
+const DefaultMaxHops = 8
+
+// maxViolations bounds the retained Violation records; totals keep
+// counting past it.
+const maxViolations = 64
+
+// Config parameterizes a Checker.
+type Config struct {
+	// RequireDelivery asserts delivery-or-provable-disconnection: an
+	// undelivered packet whose endpoints were connected (at send time
+	// and still at Finalize) is a violation. Leave false for
+	// convergence protocols, which lose packets legitimately during
+	// warm-up and repair.
+	RequireDelivery bool
+	// MaxHops bounds a packet's forwarding hops (0 = DefaultMaxHops).
+	MaxHops int
+	// Reachable reports ground-truth connectivity between two nodes,
+	// normally netsim's Reachable. Nil disables the disconnection
+	// excuse (every undelivered packet counts as reachable).
+	Reachable func(src, dst int) bool
+}
+
+// Kind classifies a violation.
+type Kind int
+
+const (
+	// KindLoop is a node revisit at the same header state.
+	KindLoop Kind = iota
+	// KindStretch is a packet exceeding the MaxHops bound.
+	KindStretch
+	// KindUndelivered is a packet that vanished although its endpoints
+	// were provably connected (RequireDelivery only).
+	KindUndelivered
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindLoop:
+		return "loop"
+	case KindStretch:
+		return "stretch"
+	case KindUndelivered:
+		return "undelivered"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Violation is one invariant breach.
+type Violation struct {
+	Kind   Kind
+	Origin int
+	Final  int
+	Seq    uint32
+	// Node is where the breach was observed (-1 for undelivered).
+	Node int
+	// At is the simulated time of the breach (Finalize time for
+	// undelivered).
+	At     time.Duration
+	Detail string
+}
+
+// String renders the violation compactly.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: packet %d->%d seq=%d at node %d t=%v (%s)",
+		v.Kind, v.Origin, v.Final, v.Seq, v.Node, v.At, v.Detail)
+}
+
+// key identifies one origin-stamped datagram.
+type key struct {
+	proto  byte
+	origin uint16
+	final  uint16
+	seq    uint32
+}
+
+// packet is the live state of one datagram generation. The crash
+// lifecycle rebuilds routers (sequence numbers restart), so an origin
+// re-sending an existing key supersedes the old generation rather
+// than corrupting its trace.
+type packet struct {
+	delivered bool
+	hops      int
+	// reachableAtSend snapshots ground truth when the origin emitted
+	// the packet.
+	reachableAtSend bool
+	stretchFlagged  bool
+	looped          bool
+	// visits[node] holds the header states the packet has been seen in
+	// at node.
+	visits map[int]map[uint8]bool
+}
+
+// Checker asserts the forwarding invariants over one simulation run.
+// Install it with netsim's SetTap, run the simulation, then call
+// Finalize for the verdict.
+type Checker struct {
+	cfg Config
+
+	mu      sync.Mutex
+	packets map[key]*packet
+
+	// Aggregates, including superseded generations.
+	totalPackets int
+	delivered    int
+	undelivered  int // superseded generations only; Finalize adds open ones
+	unreachable  int // superseded undelivered with a disconnection excuse
+	loops        int
+	revisits     int
+	stretch      int
+	maxHops      int
+	violations   []Violation
+}
+
+// New returns a checker for one run.
+func New(cfg Config) *Checker {
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = DefaultMaxHops
+	}
+	return &Checker{cfg: cfg, packets: make(map[key]*packet)}
+}
+
+// parse extracts the tracked identity and header state of a frame, if
+// it carries application data.
+func parse(payload []byte) (k key, origin, final int, state uint8, ok bool) {
+	proto, body, err := wire.SplitEnvelope(payload)
+	if err != nil {
+		return key{}, 0, 0, 0, false
+	}
+	switch proto {
+	case wire.ProtoData:
+		h, _, err := wire.UnmarshalData(body)
+		if err != nil {
+			return key{}, 0, 0, 0, false
+		}
+		// The TTL is deliberately NOT part of the header state: loops
+		// must be caught even where a TTL would mask them.
+		return key{proto: proto, origin: h.Origin, final: h.Final, seq: h.Seq},
+			int(h.Origin), int(h.Final), 0, true
+	case wire.ProtoFailover:
+		h, _, err := wire.UnmarshalFailover(body)
+		if err != nil {
+			return key{}, 0, 0, 0, false
+		}
+		return key{proto: proto, origin: h.Origin, final: h.Final, seq: h.Seq},
+			int(h.Origin), int(h.Final), h.Attempt, true
+	}
+	return key{}, 0, 0, 0, false
+}
+
+// FrameSent implements netsim.Tap: an origin emission registers a new
+// packet generation (relay re-transmissions are not registrations).
+func (c *Checker) FrameSent(at time.Duration, fr netsim.Frame) {
+	k, origin, _, state, ok := parse(fr.Payload)
+	if !ok || fr.Src != origin {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, live := c.packets[k]; live {
+		// Same key re-originated (a restarted daemon's sequence space
+		// reset): close out the old generation.
+		c.closeLocked(old, k, at)
+	}
+	p := &packet{visits: map[int]map[uint8]bool{origin: {state: true}}}
+	if c.cfg.Reachable != nil {
+		p.reachableAtSend = c.cfg.Reachable(origin, int(k.final))
+	} else {
+		p.reachableAtSend = true
+	}
+	c.packets[k] = p
+	c.totalPackets++
+}
+
+// FrameDelivered implements netsim.Tap: every arrival is a visit,
+// checked against the packet's visit history.
+func (c *Checker) FrameDelivered(at time.Duration, fr netsim.Frame) {
+	k, _, final, state, ok := parse(fr.Payload)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, live := c.packets[k]
+	if !live {
+		// Corrupted header or traffic predating the checker: not ours.
+		return
+	}
+	node := fr.Dst
+	p.hops++
+	if p.hops > c.maxHops {
+		c.maxHops = p.hops
+	}
+	states := p.visits[node]
+	switch {
+	case states == nil:
+		p.visits[node] = map[uint8]bool{state: true}
+	case states[state]:
+		c.loops++
+		if !p.looped {
+			p.looped = true
+			c.violate(Violation{
+				Kind: KindLoop, Origin: int(k.origin), Final: int(k.final), Seq: k.seq,
+				Node: node, At: at,
+				Detail: fmt.Sprintf("revisit in header state %d after %d hops", state, p.hops),
+			})
+		}
+	default:
+		// Legal revisit: the header state changed in between — counted
+		// so campaigns can watch header-rewriting explore.
+		c.revisits++
+		states[state] = true
+	}
+	if p.hops > c.cfg.MaxHops && !p.stretchFlagged {
+		p.stretchFlagged = true
+		c.stretch++
+		c.violate(Violation{
+			Kind: KindStretch, Origin: int(k.origin), Final: int(k.final), Seq: k.seq,
+			Node: node, At: at,
+			Detail: fmt.Sprintf("%d hops exceeds bound %d", p.hops, c.cfg.MaxHops),
+		})
+	}
+	if node == final {
+		p.delivered = true
+	}
+}
+
+// closeLocked folds a superseded generation into the aggregates.
+func (c *Checker) closeLocked(p *packet, k key, at time.Duration) {
+	if p.delivered {
+		c.delivered++
+		return
+	}
+	c.undelivered++
+	excused := !p.reachableAtSend
+	if excused {
+		c.unreachable++
+	}
+	if c.cfg.RequireDelivery && !excused {
+		c.violate(Violation{
+			Kind: KindUndelivered, Origin: int(k.origin), Final: int(k.final), Seq: k.seq,
+			Node: -1, At: at, Detail: "lost while endpoints were connected",
+		})
+	}
+}
+
+// violate records a violation, bounded.
+func (c *Checker) violate(v Violation) {
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, v)
+	}
+}
+
+// Report is the checker's verdict over a run.
+type Report struct {
+	// Packets counts tracked datagram generations; Delivered of them
+	// reached their destination.
+	Packets   int
+	Delivered int
+	// Undelivered packets vanished; UndeliveredExcused of those had a
+	// provable disconnection excuse (endpoints unreachable at send or
+	// at the horizon).
+	Undelivered        int
+	UndeliveredExcused int
+	// Loops counts same-state node revisits (always violations);
+	// Revisits counts header-state-changing revisits (legal for the
+	// header-rewriting variant, reported for visibility).
+	Loops    int
+	Revisits int
+	// StretchViolations counts packets exceeding the hop bound;
+	// MaxHopsSeen is the longest path any packet took.
+	StretchViolations int
+	MaxHopsSeen       int
+	// Violations holds the first breaches in detail (bounded).
+	Violations []Violation
+}
+
+// Clean reports whether no violation of any kind was recorded.
+func (r *Report) Clean() bool {
+	return len(r.Violations) == 0 && r.Loops == 0 && r.StretchViolations == 0
+}
+
+// Err returns nil for a clean report, or an error naming the first
+// violations.
+func (r *Report) Err() error {
+	if r.Clean() {
+		return nil
+	}
+	msg := fmt.Sprintf("invariant: %d loop(s), %d stretch, %d undelivered-while-connected",
+		r.Loops, r.StretchViolations, r.undeliveredViolations())
+	n := len(r.Violations)
+	if n > 3 {
+		n = 3
+	}
+	for _, v := range r.Violations[:n] {
+		msg += "\n  " + v.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+func (r *Report) undeliveredViolations() int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Kind == KindUndelivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Finalize closes every open packet generation and returns the
+// verdict. Call it after the simulation horizon; the disconnection
+// excuse for still-undelivered packets consults ground truth at this
+// instant (at), so a packet that was sent into a genuinely severed
+// topology is not a violation.
+func (c *Checker) Finalize(at time.Duration) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &Report{
+		Packets:            c.totalPackets,
+		Delivered:          c.delivered,
+		Undelivered:        c.undelivered,
+		UndeliveredExcused: c.unreachable,
+		Loops:              c.loops,
+		Revisits:           c.revisits,
+		StretchViolations:  c.stretch,
+		MaxHopsSeen:        c.maxHops,
+		Violations:         append([]Violation(nil), c.violations...),
+	}
+	for k, p := range c.packets {
+		if p.delivered {
+			rep.Delivered++
+			continue
+		}
+		rep.Undelivered++
+		excused := !p.reachableAtSend
+		if !excused && c.cfg.Reachable != nil && !c.cfg.Reachable(int(k.origin), int(k.final)) {
+			// Disconnected by the horizon: the topology changed under
+			// the packet, which is the network's fault, not the
+			// protocol's.
+			excused = true
+		}
+		if excused {
+			rep.UndeliveredExcused++
+		} else if c.cfg.RequireDelivery {
+			rep.Violations = appendBounded(rep.Violations, Violation{
+				Kind: KindUndelivered, Origin: int(k.origin), Final: int(k.final), Seq: k.seq,
+				Node: -1, At: at, Detail: "lost while endpoints were connected",
+			})
+		}
+	}
+	return rep
+}
+
+func appendBounded(vs []Violation, v Violation) []Violation {
+	if len(vs) >= maxViolations {
+		return vs
+	}
+	return append(vs, v)
+}

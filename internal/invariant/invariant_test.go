@@ -1,0 +1,242 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"drsnet/internal/netsim"
+	"drsnet/internal/routing/wire"
+)
+
+// dataFrame builds a ProtoData payload as the dataplane would emit it.
+func dataFrame(origin, final int, ttl uint8, seq uint32) []byte {
+	h := wire.DataHeader{Origin: uint16(origin), Final: uint16(final), TTL: ttl, Seq: seq}
+	return wire.Envelope(wire.ProtoData, wire.MarshalData(h, []byte("payload")))
+}
+
+// failFrame builds a ProtoFailover payload at a given attempt.
+func failFrame(origin, final int, seq uint32, attempt uint8) []byte {
+	h := wire.FailoverHeader{Origin: uint16(origin), Final: uint16(final), Seq: seq, Attempt: attempt}
+	return wire.Envelope(wire.ProtoFailover, wire.MarshalFailover(h, []byte("payload")))
+}
+
+func send(c *Checker, src int, payload []byte) {
+	c.FrameSent(0, netsim.Frame{Src: src, Rail: 0, Payload: payload})
+}
+
+func deliver(c *Checker, src, dst int, payload []byte) {
+	c.FrameDelivered(0, netsim.Frame{Src: src, Dst: dst, Rail: 0, Payload: payload})
+}
+
+// TestCleanRelayDelivery: a two-hop relayed delivery satisfies every
+// invariant; the TTL decrementing along the way must not register as a
+// header-state change.
+func TestCleanRelayDelivery(t *testing.T) {
+	c := New(Config{RequireDelivery: true})
+	send(c, 0, dataFrame(0, 2, 6, 1))
+	deliver(c, 0, 1, dataFrame(0, 2, 5, 1)) // relay hop, TTL decremented
+	deliver(c, 1, 2, dataFrame(0, 2, 4, 1)) // final hop
+	rep := c.Finalize(time.Second)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets != 1 || rep.Delivered != 1 || rep.Undelivered != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.MaxHopsSeen != 2 || rep.Revisits != 0 {
+		t.Fatalf("hops/revisits = %d/%d", rep.MaxHopsSeen, rep.Revisits)
+	}
+}
+
+// TestLoopDetected: a ProtoData packet arriving twice at the same node
+// is a loop, even though its TTL differs between visits — detection is
+// TTL-independent by design.
+func TestLoopDetected(t *testing.T) {
+	c := New(Config{})
+	send(c, 0, dataFrame(0, 3, 6, 9))
+	deliver(c, 0, 1, dataFrame(0, 3, 5, 9))
+	deliver(c, 1, 2, dataFrame(0, 3, 4, 9))
+	deliver(c, 2, 1, dataFrame(0, 3, 3, 9)) // back to node 1: loop
+	rep := c.Finalize(time.Second)
+	if rep.Loops != 1 {
+		t.Fatalf("loops = %d, want 1", rep.Loops)
+	}
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0].Kind != KindLoop || rep.Violations[0].Node != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+}
+
+// TestReturnToOriginIsLoop: the origin's own emission counts as the
+// first visit, so a packet bounced straight back to it loops.
+func TestReturnToOriginIsLoop(t *testing.T) {
+	c := New(Config{})
+	send(c, 0, dataFrame(0, 2, 6, 1))
+	deliver(c, 0, 1, dataFrame(0, 2, 5, 1))
+	deliver(c, 1, 0, dataFrame(0, 2, 4, 1)) // back to origin, same (empty) state
+	if rep := c.Finalize(time.Second); rep.Loops != 1 {
+		t.Fatalf("loops = %d, want 1", rep.Loops)
+	}
+}
+
+// TestHeaderRewriteRevisitIsLegal: a failover packet may revisit a
+// node after rewriting Attempt — counted as a revisit, not a loop —
+// but a second arrival in the same state is a loop.
+func TestHeaderRewriteRevisitIsLegal(t *testing.T) {
+	c := New(Config{})
+	send(c, 0, failFrame(0, 3, 7, 0))
+	deliver(c, 0, 1, failFrame(0, 3, 7, 0))
+	deliver(c, 1, 0, failFrame(0, 3, 7, 1)) // bounced back, attempt rewritten: legal
+	deliver(c, 0, 1, failFrame(0, 3, 7, 1)) // node 1 again at new attempt: legal
+	rep := c.Finalize(time.Second)
+	if rep.Loops != 0 || rep.Revisits != 2 {
+		t.Fatalf("loops/revisits = %d/%d, want 0/2", rep.Loops, rep.Revisits)
+	}
+
+	deliver(c, 1, 0, failFrame(0, 3, 7, 1)) // origin again at attempt 1: loop
+	if rep := c.Finalize(time.Second); rep.Loops != 1 {
+		t.Fatalf("loops = %d, want 1", rep.Loops)
+	}
+}
+
+// TestStretchBound: exceeding MaxHops flags once per packet and keeps
+// counting MaxHopsSeen.
+func TestStretchBound(t *testing.T) {
+	c := New(Config{MaxHops: 2})
+	send(c, 0, failFrame(0, 9, 1, 0))
+	for hop, node := range []int{1, 2, 3, 4} {
+		deliver(c, node-1, node, failFrame(0, 9, 1, uint8(hop)))
+	}
+	rep := c.Finalize(time.Second)
+	if rep.StretchViolations != 1 {
+		t.Fatalf("stretch = %d, want 1", rep.StretchViolations)
+	}
+	if rep.MaxHopsSeen != 4 {
+		t.Fatalf("max hops = %d, want 4", rep.MaxHopsSeen)
+	}
+	if rep.Err() == nil {
+		t.Fatal("stretch violation not an error")
+	}
+}
+
+// TestDeliveryRequired: an undelivered packet between connected
+// endpoints violates; the same loss with a disconnection excuse — at
+// send time or by the horizon — does not.
+func TestDeliveryRequired(t *testing.T) {
+	connected := true
+	c := New(Config{
+		RequireDelivery: true,
+		Reachable:       func(src, dst int) bool { return connected },
+	})
+	send(c, 0, dataFrame(0, 1, 6, 1)) // never delivered
+	rep := c.Finalize(time.Second)
+	if rep.Undelivered != 1 || rep.UndeliveredExcused != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "undelivered") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Same loss, but the topology is severed by the horizon: excused.
+	connected = false
+	rep = c.Finalize(time.Second)
+	if rep.UndeliveredExcused != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unreachable already at send time: excused even if later repaired.
+	c2 := New(Config{
+		RequireDelivery: true,
+		Reachable:       func(src, dst int) bool { return false },
+	})
+	send(c2, 0, dataFrame(0, 1, 6, 2))
+	rep = c2.Finalize(time.Second)
+	if rep.UndeliveredExcused != 1 || rep.Err() != nil {
+		t.Fatalf("report = %+v err = %v", rep, rep.Err())
+	}
+}
+
+// TestConvergenceLossTolerated: without RequireDelivery a lost packet
+// is reported but is not a violation.
+func TestConvergenceLossTolerated(t *testing.T) {
+	c := New(Config{})
+	send(c, 0, dataFrame(0, 1, 6, 1))
+	rep := c.Finalize(time.Second)
+	if rep.Undelivered != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequenceReuseStartsNewGeneration: a restarted daemon re-uses its
+// sequence space; the checker must treat the re-originated key as a
+// fresh packet, not a loop, and still account the superseded one.
+func TestSequenceReuseStartsNewGeneration(t *testing.T) {
+	c := New(Config{})
+	send(c, 0, dataFrame(0, 1, 6, 1))
+	deliver(c, 0, 1, dataFrame(0, 1, 5, 1)) // delivered
+
+	send(c, 0, dataFrame(0, 1, 6, 1))       // same key, new generation
+	deliver(c, 0, 1, dataFrame(0, 1, 5, 1)) // would be a loop if generations merged
+	rep := c.Finalize(time.Second)
+	if rep.Loops != 0 {
+		t.Fatalf("loops = %d, want 0 (generation not reset)", rep.Loops)
+	}
+	if rep.Packets != 2 || rep.Delivered != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// A superseded undelivered generation is folded into the totals.
+	c2 := New(Config{})
+	send(c2, 0, dataFrame(0, 1, 6, 5)) // lost
+	send(c2, 0, dataFrame(0, 1, 6, 5)) // re-originated, also lost
+	rep = c2.Finalize(time.Second)
+	if rep.Packets != 2 || rep.Undelivered != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestForeignFramesIgnored: relay re-transmissions, unknown keys, and
+// undecodable payloads must not register packets or crash.
+func TestForeignFramesIgnored(t *testing.T) {
+	c := New(Config{RequireDelivery: true})
+	send(c, 1, dataFrame(0, 2, 6, 1))       // relay send: src != origin
+	deliver(c, 1, 2, dataFrame(0, 2, 5, 1)) // delivery for unregistered key
+	send(c, 0, []byte{})                    // undecodable
+	send(c, 0, []byte{wire.ProtoControl, 1, 2, 3})
+	deliver(c, 0, 1, []byte{wire.ProtoData, 0}) // truncated header
+	rep := c.Finalize(time.Second)
+	if rep.Packets != 0 {
+		t.Fatalf("packets = %d, want 0", rep.Packets)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViolationString smoke-tests the human renderings used in test
+// failure output.
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: KindLoop, Origin: 1, Final: 2, Seq: 3, Node: 4, At: time.Second, Detail: "d"}
+	s := v.String()
+	for _, want := range []string{"loop", "1->2", "node 4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	if KindStretch.String() != "stretch" || KindUndelivered.String() != "undelivered" {
+		t.Fatal("kind strings")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -186,6 +186,23 @@ type Frame struct {
 // timers but must not block.
 type Handler func(fr Frame)
 
+// Tap observes every frame crossing the network, for invariant
+// checkers and protocol analyzers. A tap is purely observational: it
+// must not send frames or mutate the network, and it draws no
+// randomness, so installing one never perturbs a seeded run.
+type Tap interface {
+	// FrameSent fires once per Send call that passes validation, at
+	// simulated time at, before any drop accounting — a frame eaten by
+	// a dead NIC or an impairment is still reported here, because the
+	// packet existed. fr.Dst may be Broadcast.
+	FrameSent(at time.Duration, fr Frame)
+	// FrameDelivered fires at actual delivery into a node's handler
+	// (fr.Dst is the receiving node, never Broadcast), after every
+	// drop check, with the payload as the handler sees it (corrupted
+	// frames report their mangled bytes).
+	FrameDelivered(at time.Duration, fr Frame)
+}
+
 // SegmentStats counts traffic on one segment.
 type SegmentStats struct {
 	FramesSent      int64
@@ -227,8 +244,8 @@ type Network struct {
 	segs    []segment
 	// Per-NIC duplex state: a NIC is operational only when both halves
 	// are; a unidirectional (gray) failure kills one half.
-	nicTx   [][]bool
-	nicRx   [][]bool
+	nicTx [][]bool
+	nicRx [][]bool
 	// Per-node process state: false while the node's daemon is
 	// fail-stopped (crash lifecycle). Unlike NIC failures this
 	// blackholes every frame the node sends or would receive without
@@ -243,6 +260,8 @@ type Network struct {
 	// never changes the Params.LossRate draw sequence.
 	imp    map[topology.Component]Impairment
 	impRnd *rng.Source
+	// tap, when non-nil, observes every frame (see Tap).
+	tap Tap
 }
 
 // New builds a healthy network for the given cluster shape on the
@@ -300,6 +319,11 @@ func (n *Network) SetHandler(node int, h Handler) {
 	n.handler[node] = h
 }
 
+// SetTap installs (or, with nil, removes) the network's frame
+// observer. At most one tap is active; the healthy fast path pays
+// nothing when none is installed.
+func (n *Network) SetTap(t Tap) { n.tap = t }
+
 // Send transmits payload from src to dst on rail. dst may be
 // Broadcast. The call never blocks and never reports delivery
 // failures: like real hardware, a frame sent into a broken NIC or
@@ -318,6 +342,9 @@ func (n *Network) Send(src, rail, dst int, payload []byte) error {
 	}
 	seg := &n.segs[rail]
 	seg.stats.FramesSent++
+	if n.tap != nil {
+		n.tap.FrameSent(n.sched.Now().Duration(), Frame{Src: src, Dst: dst, Rail: rail, Payload: payload})
+	}
 	if !n.nodeUp[src] {
 		seg.stats.DroppedNodeDown++
 		return nil
@@ -524,7 +551,11 @@ func (n *Network) completeDelivery(seg *segment, fr Frame, node int, corrupt boo
 		n.mangle(payload)
 		seg.stats.Corrupted++
 	}
-	h(Frame{Src: fr.Src, Dst: node, Rail: fr.Rail, Payload: payload})
+	out := Frame{Src: fr.Src, Dst: node, Rail: fr.Rail, Payload: payload}
+	if n.tap != nil {
+		n.tap.FrameDelivered(n.sched.Now().Duration(), out)
+	}
+	h(out)
 }
 
 // Fail takes a component (NIC or back plane) down. Failing an already
@@ -648,6 +679,66 @@ func (n *Network) ClearImpairment(c topology.Component) {
 func (n *Network) ImpairmentOn(c topology.Component) (Impairment, bool) {
 	imp, ok := n.imp[c]
 	return imp, ok
+}
+
+// CarrierUp reports whether src's logical link to peer on rail has
+// carrier right now: src's transmit half, the segment and peer's
+// receive half are all electrically alive. This is the physical-layer
+// failure detection static fast-failover switching relies on (loss of
+// signal, link-layer keepalive) — and deliberately NOT a routing
+// control plane: it reflects component state only, so a fail-stopped
+// daemon behind healthy NICs (NodeUp false) still shows carrier,
+// exactly like a crashed router whose link lights stay on.
+func (n *Network) CarrierUp(src, peer, rail int) bool {
+	n.checkNode(src)
+	n.checkNode(peer)
+	if rail < 0 || rail >= n.cluster.Rails {
+		panic(fmt.Sprintf("netsim: rail %d out of range", rail))
+	}
+	return n.nicTx[src][rail] && n.segs[rail].up && n.nicRx[peer][rail]
+}
+
+// Reachable reports ground-truth connectivity from src to dst at this
+// simulated instant: whether any chain of live forwarding hops exists,
+// where a hop u→v needs u's transmit NIC, the segment and v's receive
+// NIC alive on some rail, and every node on the chain (including src
+// and dst) must have its daemon process running. This is the oracle
+// invariant checkers use to tell a legitimate "provably disconnected"
+// packet loss from a routing failure.
+func (n *Network) Reachable(src, dst int) bool {
+	n.checkNode(src)
+	n.checkNode(dst)
+	if !n.nodeUp[src] || !n.nodeUp[dst] {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	// BFS over live nodes; the frontier is tiny (clusters are small and
+	// dense), so the quadratic scan is fine.
+	visited := make([]bool, n.cluster.Nodes)
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n.cluster.Nodes; v++ {
+			if visited[v] || !n.nodeUp[v] {
+				continue
+			}
+			for r := 0; r < n.cluster.Rails; r++ {
+				if n.nicTx[u][r] && n.segs[r].up && n.nicRx[v][r] {
+					if v == dst {
+						return true
+					}
+					visited[v] = true
+					queue = append(queue, v)
+					break
+				}
+			}
+		}
+	}
+	return false
 }
 
 // FailedComponents returns the currently failed components in

@@ -24,6 +24,8 @@ func FuzzFrame(f *testing.F) {
 	f.Add(Envelope(ProtoControl, MarshalRejoin(2)))
 	f.Add(Envelope(ProtoControl, MarshalHelloInc(3)))
 	f.Add(Envelope(ProtoControl, MarshalOfferInc(Offer{Origin: 1, Target: 2, Seq: 3, Relay: 7}, 4)))
+	f.Add(Envelope(ProtoFailover, MarshalFailover(FailoverHeader{Origin: 1, Final: 2, Seq: 3, Attempt: 1, Hops: 2}, []byte("y"))))
+	f.Add(Envelope(ProtoFailover, MarshalFailover(FailoverHeader{Origin: 9, Final: 0, Seq: 0xffffffff, Attempt: 255, Hops: 255}, nil)))
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		proto, body, err := SplitEnvelope(frame)
@@ -41,6 +43,14 @@ func FuzzFrame(f *testing.F) {
 			}
 			if out := MarshalData(h, data); !bytes.Equal(out, body) {
 				t.Fatalf("data round trip: %x -> %x", body, out)
+			}
+		case ProtoFailover:
+			h, data, err := UnmarshalFailover(body)
+			if err != nil {
+				return
+			}
+			if out := MarshalFailover(h, data); !bytes.Equal(out, body) {
+				t.Fatalf("failover round trip: %x -> %x", body, out)
 			}
 		case ProtoAdvert:
 			a, err := UnmarshalAdvert(body)

@@ -23,6 +23,10 @@ const (
 	ProtoData = 3
 	// ProtoAdvert frames carry reactive-routing advertisements.
 	ProtoAdvert = 4
+	// ProtoFailover frames carry application datagrams routed by the
+	// header-rewriting static fast-failover variant: the header itself
+	// is the packet's failover state (FailoverHeader).
+	ProtoFailover = 5
 )
 
 // ErrShortFrame is returned when a frame is too short to decode.
@@ -87,6 +91,61 @@ func UnmarshalData(b []byte) (DataHeader, []byte, error) {
 		Seq:    binary.BigEndian.Uint32(b[5:9]),
 	}
 	return h, b[DataHeaderLen:], nil
+}
+
+// FailoverHeader precedes every datagram of the header-rewriting
+// static fast-failover variant. Unlike DataHeader there is no TTL:
+// loop-freedom comes from Attempt increasing monotonically at every
+// reroute (a packet can never revisit a node in the same header
+// state), and Hops is a plain odometer used only to bound stretch.
+type FailoverHeader struct {
+	// Origin is the node that first sent the datagram.
+	Origin uint16
+	// Final is the ultimate destination node.
+	Final uint16
+	// Seq is an origin-assigned sequence number.
+	Seq uint32
+	// Attempt is the index of the precomputed forwarding alternative
+	// (arborescence) the packet is currently following. Any node that
+	// switches alternatives rewrites it — strictly upward — so the
+	// packet's exploration is a monotone walk over the candidate
+	// sequence and terminates without a TTL.
+	Attempt uint8
+	// Hops counts forwarding hops consumed, for stretch accounting and
+	// as a defence-in-depth bound against corrupted tables.
+	Hops uint8
+}
+
+// FailoverHeaderLen is the encoded size of a FailoverHeader.
+const FailoverHeaderLen = 10
+
+// MarshalFailover encodes the header and payload as a ProtoFailover
+// body.
+func MarshalFailover(h FailoverHeader, data []byte) []byte {
+	out := make([]byte, FailoverHeaderLen+len(data))
+	binary.BigEndian.PutUint16(out[0:2], h.Origin)
+	binary.BigEndian.PutUint16(out[2:4], h.Final)
+	binary.BigEndian.PutUint32(out[4:8], h.Seq)
+	out[8] = h.Attempt
+	out[9] = h.Hops
+	copy(out[FailoverHeaderLen:], data)
+	return out
+}
+
+// UnmarshalFailover decodes a ProtoFailover body. The returned data
+// aliases b.
+func UnmarshalFailover(b []byte) (FailoverHeader, []byte, error) {
+	if len(b) < FailoverHeaderLen {
+		return FailoverHeader{}, nil, ErrShortFrame
+	}
+	h := FailoverHeader{
+		Origin:  binary.BigEndian.Uint16(b[0:2]),
+		Final:   binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Attempt: b[8],
+		Hops:    b[9],
+	}
+	return h, b[FailoverHeaderLen:], nil
 }
 
 // Advert is a reactive-routing advertisement: the sender's identity is

@@ -34,6 +34,23 @@ func TestUnmarshalDataShort(t *testing.T) {
 	}
 }
 
+func TestFailoverHeaderRoundTrip(t *testing.T) {
+	err := quick.Check(func(origin, final uint16, seq uint32, attempt, hops uint8, data []byte) bool {
+		h := FailoverHeader{Origin: origin, Final: final, Seq: seq, Attempt: attempt, Hops: hops}
+		got, gotData, err := UnmarshalFailover(MarshalFailover(h, data))
+		return err == nil && got == h && bytes.Equal(gotData, data)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFailoverShort(t *testing.T) {
+	if _, _, err := UnmarshalFailover(make([]byte, FailoverHeaderLen-1)); err != ErrShortFrame {
+		t.Fatalf("short failover header: %v", err)
+	}
+}
+
 func TestAdvertRoundTrip(t *testing.T) {
 	err := quick.Check(func(raw []uint16) bool {
 		body, err := MarshalAdvert(Advert{Reachable: raw})

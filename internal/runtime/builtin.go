@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"drsnet/internal/core"
+	"drsnet/internal/failover"
 	"drsnet/internal/routing"
 )
 
@@ -14,6 +15,9 @@ func init() {
 	Register(ProtoReactive, buildReactive)
 	Register(ProtoLinkState, buildLinkState)
 	Register(ProtoStatic, buildStatic)
+	Register(ProtoFailoverRotor, buildFailoverRotor)
+	Register(ProtoFailoverArbor, buildFailoverArbor)
+	Register(ProtoFailoverBounce, buildFailoverBounce)
 }
 
 // buildDRS constructs the paper's proactive Dynamic Routing System
@@ -54,4 +58,26 @@ func buildLinkState(ctx BuildContext) (routing.Router, error) {
 // buildStatic constructs the no-fault-tolerance strawman.
 func buildStatic(ctx BuildContext) (routing.Router, error) {
 	return routing.NewStatic(ctx.Transport, ctx.Spec.Tunables.StaticRail)
+}
+
+// failoverConfig maps the spec's tunables onto the static fast-failover
+// family's knobs.
+func failoverConfig(ctx BuildContext) failover.Config {
+	return failover.Config{TTL: ctx.Spec.Tunables.FailoverTTL}
+}
+
+// buildFailoverRotor constructs the circular direct-rail variant.
+func buildFailoverRotor(ctx BuildContext) (routing.Router, error) {
+	return failover.NewRotor(ctx.Transport, ctx.Carrier, failoverConfig(ctx))
+}
+
+// buildFailoverArbor constructs the arborescence (precomputed relay
+// tree) variant.
+func buildFailoverArbor(ctx BuildContext) (routing.Router, error) {
+	return failover.NewArbor(ctx.Transport, ctx.Carrier, failoverConfig(ctx))
+}
+
+// buildFailoverBounce constructs the header-rewriting variant.
+func buildFailoverBounce(ctx BuildContext) (routing.Router, error) {
+	return failover.NewBounce(ctx.Transport, ctx.Carrier, failoverConfig(ctx))
 }

@@ -1,0 +1,220 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"drsnet/internal/failover"
+	"drsnet/internal/invariant"
+	"drsnet/internal/routing"
+	"drsnet/internal/topology"
+)
+
+// invariantSpec is testSpec (one flow, mid-run NIC failure) for an
+// arbitrary protocol, run under the invariant checker. RequireDelivery
+// stays off: convergence protocols legitimately lose packets while
+// they relearn routes — the harness asserts loop-freedom and bounded
+// stretch, which nothing may violate.
+func invariantSpec(proto string) ClusterSpec {
+	s := testSpec()
+	s.Protocol = proto
+	s.Invariant = &invariant.Config{}
+	return s
+}
+
+// TestInvariantCleanAcrossProtocols retrofits the forwarding-trace
+// checker onto the established per-protocol regression scenario: every
+// registered protocol must route its traffic loop-free and within the
+// stretch bound, including across the failure.
+func TestInvariantCleanAcrossProtocols(t *testing.T) {
+	for _, proto := range Protocols() {
+		t.Run(proto, func(t *testing.T) {
+			run, err := Run(invariantSpec(proto))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			rep := run.Invariant
+			if rep == nil {
+				t.Fatal("spec enabled the checker but Result.Invariant is nil")
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if proto == ProtoStatic {
+				// The strawman's traffic dies with the failed NIC; it
+				// still must not loop, but delivery proves nothing.
+				return
+			}
+			if rep.Packets == 0 || rep.Delivered == 0 {
+				t.Fatalf("checker observed packets=%d delivered=%d, want both positive",
+					rep.Packets, rep.Delivered)
+			}
+		})
+	}
+}
+
+// TestInvariantObservationOnly: installing the checker must not
+// perturb the seeded simulation by a single event — same flows, same
+// deliveries, same repair count as the uninstrumented run.
+func TestInvariantObservationOnly(t *testing.T) {
+	plain, err := Run(testSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	spec := testSpec()
+	spec.Invariant = &invariant.Config{}
+	checked, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if plain.Flows[0].Sent != checked.Flows[0].Sent ||
+		plain.Flows[0].Delivered != checked.Flows[0].Delivered {
+		t.Fatalf("checker perturbed the run: %+v vs %+v", plain.Flows[0], checked.Flows[0])
+	}
+	if len(plain.Repairs) != len(checked.Repairs) {
+		t.Fatalf("repair counts differ: %d vs %d", len(plain.Repairs), len(checked.Repairs))
+	}
+	for i := range plain.Flows[0].Deliveries {
+		if plain.Flows[0].Deliveries[i] != checked.Flows[0].Deliveries[i] {
+			t.Fatalf("delivery %d moved: %v vs %v",
+				i, plain.Flows[0].Deliveries[i], checked.Flows[0].Deliveries[i])
+		}
+	}
+}
+
+// TestInvariantCatchesBrokenProtocol is the end-to-end negative
+// control: a protocol whose precomputed tables bounce traffic between
+// two relays must be convicted by the checker — through the full
+// Build/Run path, not a synthetic tap feed. The TTL absorbs the loop
+// on the wire; the checker must flag it anyway.
+func TestInvariantCatchesBrokenProtocol(t *testing.T) {
+	const name = "broken-failover"
+	Register(name, func(ctx BuildContext) (routing.Router, error) {
+		table := failover.BuildRotor(ctx.Node, ctx.Spec.Nodes, ctx.Spec.Rails)
+		// Nodes 0 and 1 each claim the other is the way to node 2.
+		if ctx.Node == 0 {
+			table.Next[2] = []failover.Hop{{Rail: 0, Via: 1}}
+		}
+		if ctx.Node == 1 {
+			table.Next[2] = []failover.Hop{{Rail: 0, Via: 0}}
+		}
+		return failover.New(ctx.Transport, ctx.Carrier, table, failover.Config{TTL: 6})
+	})
+	defer Deregister(name)
+
+	run, err := Run(ClusterSpec{
+		Nodes:     3,
+		Protocol:  name,
+		Seed:      1,
+		Duration:  2 * time.Second,
+		Flows:     []Flow{{From: 0, To: 2, Interval: 500 * time.Millisecond}},
+		Invariant: &invariant.Config{},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := run.Invariant
+	if rep == nil || rep.Loops == 0 {
+		t.Fatalf("checker missed the seeded loop: %+v", rep)
+	}
+	if rep.Err() == nil {
+		t.Fatal("looping run reported clean")
+	}
+}
+
+// TestFailoverDeliversThroughRuntime drives each failover variant
+// through the full spec path with a strict delivery requirement: on a
+// healthy cluster every packet must arrive, one hop, zero loss.
+func TestFailoverDeliversThroughRuntime(t *testing.T) {
+	for _, proto := range []string{ProtoFailoverRotor, ProtoFailoverArbor, ProtoFailoverBounce} {
+		t.Run(proto, func(t *testing.T) {
+			run, err := Run(ClusterSpec{
+				Nodes:    4,
+				Protocol: proto,
+				Seed:     1,
+				Duration: 3 * time.Second,
+				// Stop the flow ahead of the horizon so the last packet
+				// has time to land before Finalize (a send at the exact
+				// horizon would be flagged as lost while merely in
+				// flight).
+				Flows:     []Flow{{From: 0, To: 3, Interval: 250 * time.Millisecond, Stop: 2500 * time.Millisecond}},
+				Invariant: &invariant.Config{RequireDelivery: true},
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if run.Flows[0].Sent == 0 || run.Flows[0].Delivered != run.Flows[0].Sent {
+				t.Fatalf("sent=%d delivered=%d, want lossless", run.Flows[0].Sent, run.Flows[0].Delivered)
+			}
+			if err := run.Invariant.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if run.Invariant.MaxHopsSeen != 1 {
+				t.Fatalf("healthy cluster took %d hops", run.Invariant.MaxHopsSeen)
+			}
+		})
+	}
+}
+
+// TestFailoverSurvivesNICFailureInstantly: the whole point of the
+// static family — a NIC dies mid-run and the very next packet fails
+// over, with no convergence window at all.
+func TestFailoverSurvivesNICFailureInstantly(t *testing.T) {
+	cl := topology.Dual(4)
+	for _, proto := range []string{ProtoFailoverRotor, ProtoFailoverArbor, ProtoFailoverBounce} {
+		t.Run(proto, func(t *testing.T) {
+			run, err := Run(ClusterSpec{
+				Nodes:    4,
+				Protocol: proto,
+				Seed:     1,
+				Duration: 4 * time.Second,
+				Flows:    []Flow{{From: 0, To: 3, Interval: 250 * time.Millisecond, Stop: 3500 * time.Millisecond}},
+				Faults:   []Fault{{At: 2 * time.Second, Comp: cl.NIC(3, 1)}},
+				// Destination 3's primary rail for traffic is 3%2 = 1,
+				// so the fault hits the preferred path.
+				Invariant: &invariant.Config{RequireDelivery: true},
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := run.Invariant.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if run.Flows[0].Delivered != run.Flows[0].Sent {
+				t.Fatalf("sent=%d delivered=%d: static failover lost traffic across a detectable failure",
+					run.Flows[0].Sent, run.Flows[0].Delivered)
+			}
+		})
+	}
+}
+
+// TestRunManyInvariantWorkersInvariant: invariant verdicts are part of
+// the determinism contract — identical at every worker count.
+func TestRunManyInvariantWorkersInvariant(t *testing.T) {
+	specs := func() []ClusterSpec {
+		var out []ClusterSpec
+		for _, proto := range []string{ProtoDRS, ProtoFailoverArbor, ProtoFailoverBounce} {
+			out = append(out, invariantSpec(proto))
+		}
+		return out
+	}
+	base, err := RunMany(context.Background(), specs(), 1)
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := RunMany(context.Background(), specs(), workers)
+		if err != nil {
+			t.Fatalf("RunMany(%d): %v", workers, err)
+		}
+		for i := range base {
+			a, b := base[i].Invariant, got[i].Invariant
+			if a.Packets != b.Packets || a.Delivered != b.Delivered ||
+				a.Loops != b.Loops || a.Revisits != b.Revisits ||
+				a.StretchViolations != b.StretchViolations || a.MaxHopsSeen != b.MaxHopsSeen {
+				t.Fatalf("workers=%d spec %d: %+v vs %+v", workers, i, a, b)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"drsnet/internal/core"
+	"drsnet/internal/failover"
 	"drsnet/internal/routing"
 )
 
@@ -33,6 +34,11 @@ const (
 	ProtoReactive  = "reactive"
 	ProtoLinkState = "linkstate"
 	ProtoStatic    = "static"
+	// The static fast-failover family (package failover): precomputed
+	// forwarding steered by local carrier sensing only.
+	ProtoFailoverRotor  = "failover-rotor"
+	ProtoFailoverArbor  = "failover-arbor"
+	ProtoFailoverBounce = "failover-bounce"
 )
 
 // BuildContext is what a protocol constructor gets to work with: the
@@ -47,6 +53,10 @@ type BuildContext struct {
 	Clock routing.Clock
 	// Spec is the cluster specification being built (tunables, trace).
 	Spec *ClusterSpec
+	// Carrier is the node's physical-layer carrier oracle (loss of
+	// signal on its own ports), the only failure information the
+	// static fast-failover family may use.
+	Carrier failover.Sensor
 	// Incarnation numbers this router's life (≥ 1) when the spec's
 	// crash–restart lifecycle is enabled; zero otherwise. Each restart
 	// of a node increments it.

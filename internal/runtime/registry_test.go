@@ -14,7 +14,11 @@ func stubBuilder(ctx BuildContext) (routing.Router, error) {
 
 func TestProtocolsSortedAndComplete(t *testing.T) {
 	got := Protocols()
-	want := []string{ProtoDRS, ProtoLinkState, ProtoReactive, ProtoStatic}
+	want := []string{
+		ProtoDRS,
+		ProtoFailoverArbor, ProtoFailoverBounce, ProtoFailoverRotor,
+		ProtoLinkState, ProtoReactive, ProtoStatic,
+	}
 	if len(got) != len(want) {
 		t.Fatalf("Protocols() = %v, want %v", got, want)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"drsnet/internal/chaos"
 	"drsnet/internal/core"
+	"drsnet/internal/invariant"
 	"drsnet/internal/metrics"
 	"drsnet/internal/netsim"
 	"drsnet/internal/parallel"
@@ -26,6 +27,18 @@ var defaultPayload = []byte("flow")
 // pair keys delivery accounting by (source, destination).
 type pair struct{ from, to int }
 
+// carrierSensor adapts one node's view of the network to the static
+// fast-failover family's physical-layer carrier oracle.
+type carrierSensor struct {
+	net  *netsim.Network
+	node int
+}
+
+// CarrierUp implements failover.Sensor.
+func (s carrierSensor) CarrierUp(peer, rail int) bool {
+	return s.net.CarrierUp(s.node, peer, rail)
+}
+
 // Cluster is one assembled simulation: scheduler, network, and one
 // router per node built from the spec's registered protocol. Build
 // wires everything but starts nothing, so callers that need custom
@@ -43,6 +56,7 @@ type Cluster struct {
 	builder Builder
 	routers []routing.Router
 	log     *trace.Log
+	checker *invariant.Checker
 
 	sent       []int
 	deliveries map[pair][]time.Duration
@@ -99,6 +113,14 @@ func Build(spec ClusterSpec) (*Cluster, error) {
 		deliveries: make(map[pair][]time.Duration),
 	}
 	c.spec.Trace = log
+	if inv := c.spec.Invariant; inv != nil {
+		cfg := *inv
+		if cfg.Reachable == nil {
+			cfg.Reachable = net.Reachable
+		}
+		c.checker = invariant.New(cfg)
+		net.SetTap(c.checker)
+	}
 	if c.spec.Tunables.Lifecycle {
 		c.incarnation = make([]uint32, spec.Nodes)
 		for i := range c.incarnation {
@@ -127,6 +149,7 @@ func (c *Cluster) buildRouter(node int) (routing.Router, error) {
 		Transport: routing.NewSimNode(c.net, node),
 		Clock:     routing.SimClock{Sched: c.sched},
 		Spec:      &c.spec,
+		Carrier:   carrierSensor{net: c.net, node: node},
 	}
 	if c.spec.Tunables.Lifecycle {
 		ctx.Incarnation = c.incarnation[node]
@@ -407,6 +430,9 @@ type Result struct {
 	Utilization []float64
 	// Trace is the protocol event log of the run.
 	Trace *trace.Log
+	// Invariant is the forwarding-invariant verdict, present when the
+	// spec enabled the checker.
+	Invariant *invariant.Report
 }
 
 // daemonRepairs converts a daemon's repair records into the runtime's
@@ -438,6 +464,9 @@ func (c *Cluster) DeliveriesFor(from, to int) []time.Duration {
 // been advanced (and, normally, after StopRouters).
 func (c *Cluster) Finish() *Result {
 	res := &Result{Spec: c.spec, Trace: c.log}
+	if c.checker != nil {
+		res.Invariant = c.checker.Finalize(c.Now())
+	}
 	totalSent, totalDelivered := 0, 0
 	for i, f := range c.spec.Flows {
 		del := c.deliveries[pair{f.From, f.To}]

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"drsnet/internal/chaos"
+	"drsnet/internal/invariant"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
 	"drsnet/internal/topology"
@@ -43,6 +44,10 @@ type Tunables struct {
 	// value keeps the classic fixed deadline (and the seeded goldens
 	// byte-identical); see linkmon.DefaultRTO for stock settings.
 	AdaptiveRTO linkmon.RTO
+	// FailoverTTL stamps the static fast-failover variants' ProtoData
+	// frames (rotor and arborescence; default 6). Defence in depth
+	// only — the variants' loop-freedom does not rest on it.
+	FailoverTTL int
 	// Lifecycle enables the crash–restart lifecycle: DRS daemons get
 	// monotonically increasing incarnation numbers, open with a rejoin
 	// broadcast, stamp their hellos and offers, and reject control
@@ -119,6 +124,14 @@ type ClusterSpec struct {
 	// electrically up, frames blackhole — and optionally restarts cold
 	// or warm. A non-empty script implies Tunables.Lifecycle.
 	Crashes []chaos.CrashSpec
+	// Invariant, if non-nil, runs the whole simulation under the
+	// forwarding-trace invariant checker (loop-freedom, delivery or
+	// provable disconnection, bounded stretch; see internal/invariant).
+	// The checker observes every frame through the network tap and its
+	// Report lands on the Result; it draws no randomness, so enabling
+	// it never changes a seeded run's outcome. A nil Reachable in the
+	// config is defaulted to the network's ground-truth oracle.
+	Invariant *invariant.Config
 	// Trace, if non-nil, receives every protocol event of the run;
 	// nil means a private log, exposed on the Result.
 	Trace *trace.Log
@@ -166,6 +179,12 @@ func (s *ClusterSpec) normalize() error {
 	}
 	if s.Tunables.StaticRail < 0 || s.Tunables.StaticRail >= s.Rails {
 		return fmt.Errorf("runtime: static rail %d out of range [0,%d)", s.Tunables.StaticRail, s.Rails)
+	}
+	if s.Tunables.FailoverTTL < 0 {
+		return fmt.Errorf("runtime: failover TTL %d must be ≥ 0", s.Tunables.FailoverTTL)
+	}
+	if s.Invariant != nil && s.Invariant.MaxHops < 0 {
+		return fmt.Errorf("runtime: invariant max hops %d must be ≥ 0", s.Invariant.MaxHops)
 	}
 	for i, f := range s.Flows {
 		if f.From < 0 || f.From >= s.Nodes || f.To < 0 || f.To >= s.Nodes || f.From == f.To {

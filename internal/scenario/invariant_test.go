@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// failoverJSON exercises the new schema surface: a static fast-failover
+// protocol, its TTL tunable and the invariant harness, with the flow
+// stopped ahead of the horizon so the last packet lands before the
+// checker finalizes.
+const failoverJSON = `{
+  "name": "arbor under invariant",
+  "nodes": 4,
+  "duration": "5s",
+  "protocol": "failover-arbor",
+  "failoverTTL": 6,
+  "invariant": {"requireDelivery": true, "maxHops": 4},
+  "traffic": [
+    {"from": 0, "to": 3, "interval": "250ms", "stop": "4s"}
+  ],
+  "events": [
+    {"at": "2s", "kind": "nic", "node": 3, "rail": 1}
+  ]
+}`
+
+func TestLoadFailoverFields(t *testing.T) {
+	s, err := Load(strings.NewReader(failoverJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol != "failover-arbor" || s.FailoverTTL != 6 {
+		t.Fatalf("scenario = %+v", s)
+	}
+	if s.Invariant == nil || !s.Invariant.RequireDelivery || s.Invariant.MaxHops != 4 {
+		t.Fatalf("invariant spec = %+v", s.Invariant)
+	}
+	spec, err := s.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Tunables.FailoverTTL != 6 {
+		t.Fatalf("tunables = %+v", spec.Tunables)
+	}
+	if spec.Invariant == nil || !spec.Invariant.RequireDelivery || spec.Invariant.MaxHops != 4 {
+		t.Fatalf("invariant config = %+v", spec.Invariant)
+	}
+}
+
+func TestValidateFailoverFields(t *testing.T) {
+	good := func() *Scenario {
+		return &Scenario{
+			Nodes:    4,
+			Duration: Duration(10 * time.Second),
+			Traffic:  []TrafficSpec{{From: 0, To: 1, Interval: Duration(time.Second)}},
+		}
+	}
+	s := good()
+	s.FailoverTTL = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative failoverTTL accepted")
+	}
+	s = good()
+	s.Invariant = &InvariantSpec{MaxHops: -1}
+	if err := s.Validate(); err == nil {
+		t.Error("negative invariant maxHops accepted")
+	}
+	s = good()
+	s.Invariant = &InvariantSpec{}
+	if err := s.Validate(); err != nil {
+		t.Errorf("empty invariant block rejected: %v", err)
+	}
+	s = good()
+	s.Traffic[0].Stop = Duration(-1)
+	if err := s.Validate(); err == nil {
+		t.Error("negative traffic stop accepted")
+	}
+	s = good()
+	s.Traffic[0].Start = Duration(2 * time.Second)
+	s.Traffic[0].Stop = Duration(time.Second)
+	if err := s.Validate(); err == nil {
+		t.Error("traffic stop before start accepted")
+	}
+}
+
+// TestRunInvariantScenario drives the failover scenario end to end: the
+// mid-run NIC failure must be masked (strict delivery holds) and the
+// report must carry a clean invariant verdict on its final line.
+func TestRunInvariantScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(failoverJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invariant == nil {
+		t.Fatal("scenario enabled the checker but Report.Invariant is nil")
+	}
+	if err := rep.Invariant.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Flows[0]
+	if f.Sent == 0 || f.Delivered != f.Sent {
+		t.Fatalf("sent=%d delivered=%d, want lossless failover", f.Sent, f.Delivered)
+	}
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "invariant: ok") {
+		t.Fatalf("report missing invariant verdict:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("report does not end in newline:\n%q", out)
+	}
+}
+
+// TestReportOmitsInvariantLineByDefault: scenarios that do not enable
+// the checker render byte-identically to before it existed — the
+// drsim goldens depend on this.
+func TestReportOmitsInvariantLineByDefault(t *testing.T) {
+	s, err := Load(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invariant != nil {
+		t.Fatalf("checker ran without being asked: %+v", rep.Invariant)
+	}
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "invariant") {
+		t.Fatalf("report grew an invariant line without the checker:\n%s", sb.String())
+	}
+}

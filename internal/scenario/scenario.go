@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"drsnet/internal/chaos"
+	"drsnet/internal/invariant"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/netsim"
 	"drsnet/internal/runtime"
@@ -57,6 +58,10 @@ type TrafficSpec struct {
 	Interval Duration `json:"interval"`
 	// Start delays the flow's first message (default one interval).
 	Start Duration `json:"start,omitempty"`
+	// Stop, when positive, ends the flow; zero runs to the horizon.
+	// Strict-delivery invariant scenarios should stop flows ahead of
+	// the horizon so the final packet can land before the verdict.
+	Stop Duration `json:"stop,omitempty"`
 }
 
 // EventSpec is one scripted component state change.
@@ -115,6 +120,17 @@ type CrashSpec struct {
 	Warm bool `json:"warm,omitempty"`
 }
 
+// InvariantSpec turns on the forwarding-trace invariant harness
+// (internal/invariant) for the run: loop-freedom and bounded stretch
+// are always asserted; requireDelivery additionally demands delivery
+// or provable disconnection — appropriate for the static fast-failover
+// family, too strict for convergence protocols.
+type InvariantSpec struct {
+	RequireDelivery bool `json:"requireDelivery,omitempty"`
+	// MaxHops bounds any packet's forwarding hops (default 8).
+	MaxHops int `json:"maxHops,omitempty"`
+}
+
 // Scenario is a complete declarative simulation.
 type Scenario struct {
 	// Name labels the report.
@@ -156,6 +172,12 @@ type Scenario struct {
 	// Reactive tunables.
 	AdvertiseInterval Duration `json:"advertiseInterval,omitempty"`
 	RouteTimeout      Duration `json:"routeTimeout,omitempty"`
+	// FailoverTTL stamps the static fast-failover variants' data
+	// frames (failover-rotor, failover-arbor; default 6).
+	FailoverTTL int `json:"failoverTTL,omitempty"`
+	// Invariant, when present, runs the scenario under the forwarding
+	// invariant checker and appends its verdict to the report.
+	Invariant *InvariantSpec `json:"invariant,omitempty"`
 	// Traffic is the application flow matrix.
 	Traffic []TrafficSpec `json:"traffic"`
 	// Events is the failure/repair script.
@@ -209,6 +231,12 @@ func (s *Scenario) Validate() error {
 	if s.LossRate < 0 || s.LossRate >= 1 {
 		return fmt.Errorf("scenario: loss rate %v outside [0,1)", s.LossRate)
 	}
+	if s.FailoverTTL < 0 {
+		return fmt.Errorf("scenario: failover TTL %d must be ≥ 0", s.FailoverTTL)
+	}
+	if s.Invariant != nil && s.Invariant.MaxHops < 0 {
+		return fmt.Errorf("scenario: invariant maxHops %d must be ≥ 0", s.Invariant.MaxHops)
+	}
 	if len(s.Traffic) == 0 {
 		return fmt.Errorf("scenario: no traffic flows")
 	}
@@ -221,6 +249,13 @@ func (s *Scenario) Validate() error {
 		}
 		if t.Start < 0 {
 			return fmt.Errorf("scenario: traffic[%d] start must be non-negative", i)
+		}
+		if t.Stop < 0 {
+			return fmt.Errorf("scenario: traffic[%d] stop must be non-negative", i)
+		}
+		if t.Stop != 0 && t.Stop <= t.Start {
+			return fmt.Errorf("scenario: traffic[%d] stop %v not after start %v",
+				i, time.Duration(t.Stop), time.Duration(t.Start))
 		}
 	}
 	seen := make(map[EventSpec]int, len(s.Events))
@@ -452,6 +487,9 @@ type Report struct {
 	Repairs int
 	// Utilization per rail at the end of the run.
 	Utilization [2]float64
+	// Invariant is the forwarding-invariant verdict (nil unless the
+	// scenario enabled the checker).
+	Invariant *invariant.Report
 	// Trace carries the protocol event log.
 	Trace *trace.Log
 }
@@ -486,9 +524,16 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 			AdaptiveRTO:       rto,
 			AdvertiseInterval: time.Duration(s.AdvertiseInterval),
 			RouteTimeout:      time.Duration(s.RouteTimeout),
+			FailoverTTL:       s.FailoverTTL,
 			Lifecycle:         len(s.Crashes) > 0,
 		},
 		Crashes: s.crashSpecs(),
+	}
+	if s.Invariant != nil {
+		spec.Invariant = &invariant.Config{
+			RequireDelivery: s.Invariant.RequireDelivery,
+			MaxHops:         s.Invariant.MaxHops,
+		}
 	}
 	for _, t := range s.Traffic {
 		spec.Flows = append(spec.Flows, runtime.Flow{
@@ -496,6 +541,7 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 			To:       t.To,
 			Interval: time.Duration(t.Interval),
 			Start:    time.Duration(t.Start),
+			Stop:     time.Duration(t.Stop),
 		})
 	}
 	cl := topology.Dual(s.Nodes)
@@ -553,7 +599,7 @@ func (s *Scenario) Run() (*Report, error) {
 		return nil, err
 	}
 
-	rep := &Report{Name: s.Name, Trace: run.Trace, Repairs: len(run.Repairs)}
+	rep := &Report{Name: s.Name, Trace: run.Trace, Repairs: len(run.Repairs), Invariant: run.Invariant}
 	for _, f := range run.Flows {
 		rep.Flows = append(rep.Flows, FlowReport{
 			From: f.Flow.From, To: f.Flow.To,
@@ -586,5 +632,16 @@ func (r *Report) Write(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "route repairs: %d   utilization rail0 %.4f%%  rail1 %.4f%%\n",
 		r.Repairs, 100*r.Utilization[0], 100*r.Utilization[1])
+	// The invariant line appears only when the scenario enabled the
+	// checker, keeping reports (and their goldens) byte-identical
+	// otherwise.
+	if inv := r.Invariant; inv != nil {
+		verdict := "ok"
+		if !inv.Clean() {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(w, "invariant: %s   packets %d delivered %d loops %d revisits %d stretch %d maxhops %d\n",
+			verdict, inv.Packets, inv.Delivered, inv.Loops, inv.Revisits, inv.StretchViolations, inv.MaxHopsSeen)
+	}
 	return nil
 }
