@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke clean
+.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke clean
 
 all: build test
 
@@ -24,10 +24,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One iteration of every benchmark: catches benchmarks that no longer
-# compile or panic without paying for a real measurement run (CI gate).
+# One iteration of every benchmark (catches benchmarks that no longer
+# compile or panic), then the hot-path drift gate: the four core
+# benchmarks rerun at the fixed-iteration BENCH methodology and fail
+# if the minimum of 5 runs drifts >15% above the ns/op baseline in
+# BENCH_fabric.json (CI gate).
 benchsmoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x ./...
+	$(GO) test -run xxx -bench 'ProbeRound|SendDataDirect|RelayForward|QueryOfferChurn' \
+		-benchtime 1000x -count 5 ./internal/core/ | $(GO) run ./cmd/benchgate -baseline BENCH_fabric.json
+
+# Switched-fabric gate: the fabric graph, forwarding, Monte Carlo and
+# scenario-layer tests, then the shipped fat-tree scenario (ToR outage
+# under the forwarding-invariant checker) through drsim, and one small
+# fabric survivability table. Deterministic end to end, so any diff is
+# a real regression.
+fabric-smoke:
+	$(GO) test ./internal/topology/ ./internal/conn/ ./internal/netsim/ ./internal/montecarlo/
+	$(GO) test ./internal/scenario/ -run 'Topology|FatTree|RoundTrip'
+	$(GO) run ./cmd/drsim -config examples/scenarios/fat-tree.json
+	$(GO) run ./cmd/drsurvive -topology fatTree:k=4 -f 1,2,4 -mc 20000
 
 # Coverage pass: per-package profile plus the aggregate per-function
 # summary (the `total:` line at the end is the headline number).

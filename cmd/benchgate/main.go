@@ -1,0 +1,129 @@
+// Command benchgate guards the hot-path benchmarks against silent
+// regressions. It reads `go test -bench` output on stdin, takes the
+// minimum ns/op per benchmark across repeated runs (the minimum is far
+// more stable than the mean on shared builders), and fails when a
+// gated benchmark drifts more than the configured tolerance above the
+// baseline recorded in the bench JSON's "gate" section.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchtime 1000x -count 5 ./internal/core/ | benchgate -baseline BENCH_fabric.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type gate struct {
+	TolerancePct float64 `json:"tolerance_pct"`
+	Benchmarks   []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+type baselineFile struct {
+	Gate gate `json:"gate"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	baseline := flags.String("baseline", "BENCH_fabric.json", "bench JSON with a gate section")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 1
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fmt.Fprintf(stderr, "benchgate: %s: %v\n", *baseline, err)
+		return 1
+	}
+	if bf.Gate.TolerancePct <= 0 || len(bf.Gate.Benchmarks) == 0 {
+		fmt.Fprintf(stderr, "benchgate: %s has no usable gate section\n", *baseline)
+		return 1
+	}
+
+	best, err := parseBest(stdin, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 1
+	}
+
+	failures := 0
+	for _, b := range bf.Gate.Benchmarks {
+		got, ok := best[b.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "benchgate: FAIL %s: not present in benchmark output\n", b.Name)
+			failures++
+			continue
+		}
+		limit := b.NsPerOp * (1 + bf.Gate.TolerancePct/100)
+		drift := 100 * (got - b.NsPerOp) / b.NsPerOp
+		if got > limit {
+			fmt.Fprintf(stderr, "benchgate: FAIL %s: %.1f ns/op is %+.1f%% vs baseline %.1f (tolerance %.0f%%)\n",
+				b.Name, got, drift, b.NsPerOp, bf.Gate.TolerancePct)
+			failures++
+			continue
+		}
+		fmt.Fprintf(stdout, "benchgate: ok %s: %.1f ns/op (%+.1f%% vs baseline %.1f)\n",
+			b.Name, got, drift, b.NsPerOp)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseBest scans `go test -bench` output, echoing it to out, and
+// returns the minimum ns/op seen per benchmark name (GOMAXPROCS
+// suffixes like -8 are stripped).
+func parseBest(r io.Reader, out io.Writer) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(out, line)
+		fields := strings.Fields(line)
+		// BenchmarkName[-P]  <iters>  <ns> ns/op  ...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if old, ok := best[name]; !ok || ns < old {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return best, nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleBaseline = `{
+  "gate": {
+    "tolerance_pct": 15,
+    "benchmarks": [
+      {"name": "BenchmarkRelayForward", "ns_per_op": 800},
+      {"name": "BenchmarkSendDataDirect", "ns_per_op": 450}
+    ]
+  }
+}`
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	path := writeBaseline(t, sampleBaseline)
+	in := strings.NewReader(`goos: linux
+BenchmarkRelayForward-8    1000    905 ns/op    377 B/op    5 allocs/op
+BenchmarkRelayForward-8    1000    820 ns/op    377 B/op    5 allocs/op
+BenchmarkSendDataDirect    1000    460.5 ns/op  231 B/op    3 allocs/op
+PASS
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, in, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	// The minimum of repeated runs is what gets gated: 820, not 905.
+	if !strings.Contains(out.String(), "ok BenchmarkRelayForward: 820.0") {
+		t.Fatalf("min-of-runs not used:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnDrift(t *testing.T) {
+	path := writeBaseline(t, sampleBaseline)
+	in := strings.NewReader(`BenchmarkRelayForward    1000    1000 ns/op
+BenchmarkSendDataDirect  1000    455 ns/op
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, in, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "FAIL BenchmarkRelayForward") {
+		t.Fatalf("missing failure line:\n%s", errb.String())
+	}
+	// The in-tolerance benchmark still reports ok.
+	if !strings.Contains(out.String(), "ok BenchmarkSendDataDirect") {
+		t.Fatalf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	path := writeBaseline(t, sampleBaseline)
+	in := strings.NewReader("BenchmarkRelayForward 1000 700 ns/op\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, in, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "BenchmarkSendDataDirect: not present") {
+		t.Fatalf("missing-benchmark not reported:\n%s", errb.String())
+	}
+}
+
+func TestGateRejectsBadInputs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", "/nonexistent.json"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("missing baseline: exit %d", code)
+	}
+	path := writeBaseline(t, `{"gate": {"tolerance_pct": 0, "benchmarks": []}}`)
+	if code := run([]string{"-baseline", path}, strings.NewReader("x"), &out, &errb); code != 1 {
+		t.Fatalf("empty gate: exit %d", code)
+	}
+	path = writeBaseline(t, sampleBaseline)
+	if code := run([]string{"-baseline", path}, strings.NewReader("no benchmarks here\n"), &out, &errb); code != 1 {
+		t.Fatalf("no results: exit %d", code)
+	}
+}
+
+// TestRealBaselineHasGate guards the checked-in BENCH_fabric.json: the
+// Makefile pipes into it, so its gate section must stay parseable.
+func TestRealBaselineHasGate(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_fabric.json")
+	in := strings.NewReader(`BenchmarkProbeRound 1000 1 ns/op
+BenchmarkSendDataDirect 1000 1 ns/op
+BenchmarkRelayForward 1000 1 ns/op
+BenchmarkQueryOfferChurn 1000 1 ns/op
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, in, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	drsurvive [-f list] [-nmax n] [-target p] [-thresholds]
 //	          [-workers w] [-mc iterations] [-seed s]
+//	          [-topology desc] [-allpairs]
 package main
 
 import (
@@ -40,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rails := flags.Bool("rails", false, "also print the redundancy ablation (1/2/3 rails, Monte Carlo)")
 	plot := flags.Bool("plot", false, "render Figure 2 as an ASCII chart instead of a table")
 	railsN := flags.Int("railsn", 12, "cluster size for the rails ablation")
+	topo := flags.String("topology", "", `switched fabric descriptor (e.g. "fatTree:k=8", "bcube:n=4,k=1"); Monte Carlo-estimates fabric survivability instead of the dual-rail closed form`)
+	allPairs := flags.Bool("allpairs", false, "with -topology, score full-fabric (all-pairs) connectivity")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		failures = append(failures, v)
+	}
+
+	if *topo != "" {
+		return runFabric(*topo, failures, *mc, *seed, *workers, *allPairs, stdout, stderr)
 	}
 
 	if !*thresholdsOnly {
@@ -120,6 +127,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "%4d %6d %10.5f %10.5f %10.5f\n", f, n, a, est.P, diff)
 			}
 		}
+	}
+	return 0
+}
+
+// runFabric prints the Monte Carlo survivability table for a general
+// switched fabric, where Equation 1 does not apply. The monitored pair
+// is host 0 and the highest-numbered host — the "far corner" of the
+// fabric (cross-pod in a fat-tree, all-levels-distinct in a BCube).
+func runFabric(desc string, failures []int, mc int64, seed uint64, workers int, allPairs bool, stdout, stderr io.Writer) int {
+	fab, err := topology.Parse(desc)
+	if err != nil {
+		fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+		return 1
+	}
+	iters := mc
+	if iters <= 0 {
+		iters = 100000
+	}
+	criterion := fmt.Sprintf("pair (0,%d)", fab.Hosts()-1)
+	if allPairs {
+		criterion = "all pairs"
+	}
+	fmt.Fprintf(stdout, "# %s: %d hosts × %d ports, %d switches, %d trunks (%d components)\n",
+		fab.Kind, fab.Hosts(), fab.Ports(), fab.Switches(), fab.Trunks(), fab.Components())
+	fmt.Fprintf(stdout, "# Monte Carlo %s survivability, %d iterations per point, seed %d\n",
+		criterion, iters, seed)
+	fmt.Fprintf(stdout, "%4s %12s %10s\n", "f", "P[Success]", "±95%")
+	for _, f := range failures {
+		res, err := montecarlo.EstimateFabric(montecarlo.FabricConfig{
+			Fabric:     fab,
+			Failures:   f,
+			Iterations: iters,
+			Seed:       seed,
+			Workers:    workers,
+			PairA:      0,
+			PairB:      fab.Hosts() - 1,
+			AllPairs:   allPairs,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "drsurvive: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%4d %12.5f %10.5f\n", f, res.P, res.CI95)
 	}
 	return 0
 }

@@ -68,3 +68,31 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("unknown flag not rejected with usage exit code")
 	}
 }
+
+// TestFabricMode exercises -topology: the header names the fabric, a
+// row appears per failure count, and the output is worker-independent.
+func TestFabricMode(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		code := run([]string{"-topology", "fatTree:k=4", "-f", "1,2", "-mc", "5000", "-workers", workers}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	s := render("0")
+	if !strings.Contains(s, "# fatTree: 16 hosts") {
+		t.Fatalf("missing fabric header:\n%s", s)
+	}
+	if !strings.Contains(s, "pair (0,15)") {
+		t.Fatalf("missing pair criterion:\n%s", s)
+	}
+	if got := render("1"); got != s {
+		t.Fatalf("workers=1 output differs:\n%s\nvs\n%s", got, s)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-topology", "torus:k=3"}, &out, &errb); code == 0 {
+		t.Fatal("unknown fabric kind accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package availability
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/montecarlo"
+	"drsnet/internal/topology"
+)
+
+// FabricParams describes an effective-availability estimate over a
+// general switched fabric, where the dual-rail closed form does not
+// apply and the structural term is estimated by Monte Carlo instead.
+type FabricParams struct {
+	// Fabric is the system under test.
+	Fabric *topology.Fabric
+	// MTBF and MTTR characterize each component's failure/repair
+	// process.
+	MTBF, MTTR time.Duration
+	// RepairWindow is the DRS's failure-to-reroute latency.
+	RepairWindow time.Duration
+	// Iterations is the Monte Carlo sample count for the structural
+	// term (default 100000).
+	Iterations int64
+	// Seed selects the random stream.
+	Seed uint64
+	// Workers bounds estimator concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// PairA, PairB designate the monitored pair. Both zero selects the
+	// fabric's far corner: hosts 0 and Hosts()-1.
+	PairA, PairB int
+}
+
+// FabricResult is a fabric effective-availability estimate.
+type FabricResult struct {
+	// Q is the steady-state per-component unavailability.
+	Q float64
+	// Structural is the Monte Carlo estimate of pair availability with
+	// instantaneous rerouting, and CI95 its 95% half-width.
+	Structural float64
+	CI95       float64
+	// PathComponents is the number of components on a minimum-hop
+	// active path between the pair (both NICs, every switch and trunk
+	// crossed, and the NICs of any relay hosts).
+	PathComponents int
+	// DetectionPenalty is the first-order availability loss from the
+	// repair window: each active-path component failure blinds the
+	// flow for RepairWindow.
+	DetectionPenalty float64
+	// Effective is Structural − DetectionPenalty, floored at 0.
+	Effective float64
+}
+
+// EffectiveFabric computes the first-order effective pair availability
+// of a DRS deployment on a switched fabric. The structural term is the
+// Q-model Monte Carlo estimate (each component independently down with
+// the steady-state probability); the detection penalty generalizes the
+// dual-rail active-path count of 3 (NIC, back plane, NIC) to the
+// component length of a shortest path through the fabric.
+func EffectiveFabric(p FabricParams) (FabricResult, error) {
+	if p.Fabric == nil {
+		return FabricResult{}, fmt.Errorf("availability: Fabric not set")
+	}
+	if p.MTBF <= 0 || p.MTTR < 0 || p.RepairWindow < 0 {
+		return FabricResult{}, fmt.Errorf("availability: MTBF must be positive; MTTR and repair window non-negative")
+	}
+	if p.RepairWindow > p.MTBF/10 {
+		return FabricResult{}, fmt.Errorf("availability: repair window %v too close to MTBF %v for the first-order model",
+			p.RepairWindow, p.MTBF)
+	}
+	if p.PairA == 0 && p.PairB == 0 {
+		p.PairB = p.Fabric.Hosts() - 1
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 100000
+	}
+	q, err := SteadyStateQ(p.MTBF, p.MTTR)
+	if err != nil {
+		return FabricResult{}, err
+	}
+	est, err := montecarlo.EstimateFabric(montecarlo.FabricConfig{
+		Fabric:     p.Fabric,
+		Q:          q,
+		Iterations: p.Iterations,
+		Seed:       p.Seed,
+		Workers:    p.Workers,
+		PairA:      p.PairA,
+		PairB:      p.PairB,
+	})
+	if err != nil {
+		return FabricResult{}, err
+	}
+	path, err := pathComponents(p.Fabric, p.PairA, p.PairB)
+	if err != nil {
+		return FabricResult{}, err
+	}
+	penalty := float64(path) * p.RepairWindow.Seconds() / p.MTBF.Seconds()
+	eff := est.P - penalty
+	if eff < 0 {
+		eff = 0
+	}
+	return FabricResult{
+		Q:                q,
+		Structural:       est.P,
+		CI95:             est.CI95,
+		PathComponents:   path,
+		DetectionPenalty: penalty,
+		Effective:        eff,
+	}, nil
+}
+
+// pathComponents returns the number of gating components on a
+// minimum-component path from host a to host b, allowing host relay
+// (BCube-style): each NIC or trunk edge costs 1, and entering a switch
+// vertex costs 1 more for the switch itself. A dual-rail fabric yields
+// the classic 3 (NIC, back plane, NIC).
+func pathComponents(f *topology.Fabric, a, b int) (int, error) {
+	hosts, ports, switches := f.Hosts(), f.Ports(), f.Switches()
+	if a < 0 || a >= hosts || b < 0 || b >= hosts || a == b {
+		return 0, fmt.Errorf("availability: bad pair (%d,%d) for %d hosts", a, b, hosts)
+	}
+	// Vertices: hosts then switches. Edge weights are 1; switch
+	// vertices carry an extra entry cost of 1, so run Dijkstra over
+	// weights {1, 2} with a two-bucket queue.
+	verts := hosts + switches
+	const inf = int32(1) << 30
+	dist := make([]int32, verts)
+	for i := range dist {
+		dist[i] = inf
+	}
+	// attached[s] lists hosts on switch s (built once; CLI scale).
+	attached := make([][]int32, switches)
+	for h := 0; h < hosts; h++ {
+		for pt := 0; pt < ports; pt++ {
+			s := f.HostSwitch(h, pt)
+			attached[s] = append(attached[s], int32(h))
+		}
+	}
+	// Two-bucket deque for 1/2 weights: plain slices keyed by distance.
+	buckets := map[int32][]int32{0: {int32(a)}}
+	dist[a] = 0
+	for d := int32(0); d < inf; d++ {
+		frontier := buckets[d]
+		if frontier == nil {
+			if len(buckets) == 0 {
+				break
+			}
+			continue
+		}
+		delete(buckets, d)
+		for _, v := range frontier {
+			if dist[v] != d {
+				continue // stale entry
+			}
+			if int(v) == b {
+				return int(d), nil
+			}
+			relax := func(u, nd int32) {
+				if nd < dist[u] {
+					dist[u] = nd
+					buckets[nd] = append(buckets[nd], u)
+				}
+			}
+			if int(v) < hosts {
+				// Host → its switches: NIC edge (1) + switch (1).
+				for pt := 0; pt < ports; pt++ {
+					relax(int32(hosts+f.HostSwitch(int(v), pt)), d+2)
+				}
+			} else {
+				s := int(v) - hosts
+				// Switch → attached hosts: NIC edge (1).
+				for _, h := range attached[s] {
+					relax(h, d+1)
+				}
+				// Switch → peer switches: trunk (1) + switch (1).
+				f.SwitchNeighbors(s, func(nb, _ int) {
+					relax(int32(hosts+nb), d+2)
+				})
+			}
+		}
+	}
+	return 0, fmt.Errorf("availability: hosts %d and %d are not connected in the healthy fabric", a, b)
+}

@@ -1,0 +1,104 @@
+package availability
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"drsnet/internal/topology"
+)
+
+func TestPathComponents(t *testing.T) {
+	dual, err := topology.FromCluster(topology.Dual(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := pathComponents(dual, 0, 5); err != nil || n != 3 {
+		t.Fatalf("dual-rail path = %d, %v; want 3 (NIC, back plane, NIC)", n, err)
+	}
+
+	ft, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same ToR: NIC, edge switch, NIC.
+	if n, err := pathComponents(ft, 0, 1); err != nil || n != 3 {
+		t.Fatalf("same-ToR path = %d, %v; want 3", n, err)
+	}
+	// Cross-pod: 2 NICs, 5 switches (edge-agg-core-agg-edge), 4 trunks.
+	if n, err := pathComponents(ft, 0, 15); err != nil || n != 11 {
+		t.Fatalf("cross-pod path = %d, %v; want 11", n, err)
+	}
+
+	// BCube(2,1): hosts 0 and 3 share no switch; the minimum path
+	// relays through a host (e.g. 0 →sw→ 1 →sw→ 3): 4 NIC edges and
+	// 2 switches.
+	bc, err := topology.BCube(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := pathComponents(bc, 0, 3); err != nil || n != 6 {
+		t.Fatalf("BCube relay path = %d, %v; want 6", n, err)
+	}
+
+	if _, err := pathComponents(ft, 0, 0); err == nil {
+		t.Fatal("equal pair accepted")
+	}
+}
+
+func TestEffectiveFabricMatchesDualRailModel(t *testing.T) {
+	const n = 10
+	mtbf, mttr := 1000*time.Hour, 4*time.Hour
+	window := 2500 * time.Millisecond
+
+	exact, err := Effective(Params{Nodes: n, MTBF: mtbf, MTTR: mttr, RepairWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fab, err := topology.FromCluster(topology.Dual(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EffectiveFabric(FabricParams{
+		Fabric: fab, MTBF: mtbf, MTTR: mttr, RepairWindow: window,
+		Iterations: 200000, Seed: 5, PairA: 0, PairB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Q != exact.Q {
+		t.Fatalf("q = %v, want %v", got.Q, exact.Q)
+	}
+	if got.PathComponents != 3 {
+		t.Fatalf("path components = %d, want 3", got.PathComponents)
+	}
+	if math.Abs(got.DetectionPenalty-exact.DetectionPenalty) > 1e-12 {
+		t.Fatalf("penalty = %v, want %v", got.DetectionPenalty, exact.DetectionPenalty)
+	}
+	if d := math.Abs(got.Structural - exact.Structural); d > 3*got.CI95+1e-9 {
+		t.Fatalf("structural %.6f vs exact %.6f (CI95 %.6f)", got.Structural, exact.Structural, got.CI95)
+	}
+}
+
+func TestEffectiveFabricErrors(t *testing.T) {
+	fab, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]FabricParams{
+		"nil fabric": {MTBF: time.Hour},
+		"bad mtbf":   {Fabric: fab},
+		"wide window": {
+			Fabric: fab, MTBF: time.Hour, RepairWindow: time.Hour,
+		},
+		"bad pair": {
+			Fabric: fab, MTBF: 1000 * time.Hour, PairA: 3, PairB: 3, Iterations: 10,
+		},
+	}
+	for name, p := range cases {
+		if _, err := EffectiveFabric(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -79,39 +79,55 @@ func (s *Spec) Validate(cl topology.Cluster, i int) error {
 		return fmt.Errorf("chaos: spec[%d]: component %d outside universe of %d (cluster %d×%d)",
 			i, int(s.Comp), cl.Components(), cl.Nodes, cl.Rails)
 	}
+	return s.validateBody(cl.Name(s.Comp), i)
+}
+
+// ValidateFabric checks the spec against a switched fabric, where the
+// component universe also contains switches and trunks.
+func (s *Spec) ValidateFabric(f *topology.Fabric, i int) error {
+	if int(s.Comp) < 0 || int(s.Comp) >= f.Components() {
+		return fmt.Errorf("chaos: spec[%d]: component %d outside universe of %d (%s fabric, %d hosts)",
+			i, int(s.Comp), f.Components(), f.Kind, f.Hosts())
+	}
+	return s.validateBody(f.Name(s.Comp), i)
+}
+
+// validateBody checks everything past the component-range check; name
+// is the component's human-readable name for error messages.
+func (s *Spec) validateBody(name string, i int) error {
 	if s.Start < 0 {
-		return fmt.Errorf("chaos: spec[%d] (%s): start %v before time zero", i, cl.Name(s.Comp), s.Start)
+		return fmt.Errorf("chaos: spec[%d] (%s): start %v before time zero", i, name, s.Start)
 	}
 	if s.Stop < 0 {
-		return fmt.Errorf("chaos: spec[%d] (%s): negative stop %v", i, cl.Name(s.Comp), s.Stop)
+		return fmt.Errorf("chaos: spec[%d] (%s): negative stop %v", i, name, s.Stop)
 	}
 	if s.Stop != 0 && s.Stop <= s.Start {
-		return fmt.Errorf("chaos: spec[%d] (%s): stop %v not after start %v", i, cl.Name(s.Comp), s.Stop, s.Start)
+		return fmt.Errorf("chaos: spec[%d] (%s): stop %v not after start %v", i, name, s.Stop, s.Start)
 	}
 	if s.Direction < netsim.DirBoth || s.Direction > netsim.DirRx {
-		return fmt.Errorf("chaos: spec[%d] (%s): unknown direction %d", i, cl.Name(s.Comp), s.Direction)
+		return fmt.Errorf("chaos: spec[%d] (%s): unknown direction %d", i, name, s.Direction)
 	}
 	if err := s.Impair.Validate(); err != nil {
-		return fmt.Errorf("chaos: spec[%d] (%s): %v", i, cl.Name(s.Comp), err)
+		return fmt.Errorf("chaos: spec[%d] (%s): %v", i, name, err)
 	}
 	if s.FlapPeriod < 0 {
-		return fmt.Errorf("chaos: spec[%d] (%s): flap period must be positive, got %v", i, cl.Name(s.Comp), s.FlapPeriod)
+		return fmt.Errorf("chaos: spec[%d] (%s): flap period must be positive, got %v", i, name, s.FlapPeriod)
 	}
 	if s.FlapDuty < 0 || s.FlapDuty >= 1 {
-		return fmt.Errorf("chaos: spec[%d] (%s): flap duty %v outside (0,1)", i, cl.Name(s.Comp), s.FlapDuty)
+		return fmt.Errorf("chaos: spec[%d] (%s): flap duty %v outside (0,1)", i, name, s.FlapDuty)
 	}
 	if s.FlapDuty != 0 && s.FlapPeriod == 0 {
-		return fmt.Errorf("chaos: spec[%d] (%s): flap duty set without a flap period", i, cl.Name(s.Comp))
+		return fmt.Errorf("chaos: spec[%d] (%s): flap duty set without a flap period", i, name)
 	}
 	if s.flapping() && s.Kill {
-		return fmt.Errorf("chaos: spec[%d] (%s): kill and flap are mutually exclusive (flapping already cycles the component down)", i, cl.Name(s.Comp))
+		return fmt.Errorf("chaos: spec[%d] (%s): kill and flap are mutually exclusive (flapping already cycles the component down)", i, name)
 	}
 	if !s.Kill && !s.flapping() && s.Impair.IsZero() {
-		return fmt.Errorf("chaos: spec[%d] (%s): episode does nothing (no impairment, kill or flap)", i, cl.Name(s.Comp))
+		return fmt.Errorf("chaos: spec[%d] (%s): episode does nothing (no impairment, kill or flap)", i, name)
 	}
 	if s.flapping() && s.downFor() <= 0 {
 		return fmt.Errorf("chaos: spec[%d] (%s): flap period %v with duty %v rounds to zero down-time",
-			i, cl.Name(s.Comp), s.FlapPeriod, s.FlapDuty)
+			i, name, s.FlapPeriod, s.FlapDuty)
 	}
 	return nil
 }
@@ -126,20 +142,36 @@ func Validate(specs []Spec, cl topology.Cluster) error {
 	return nil
 }
 
+// ValidateFabric checks a whole schedule against a switched fabric.
+func ValidateFabric(specs []Spec, f *topology.Fabric) error {
+	for i := range specs {
+		if err := specs[i].ValidateFabric(f, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Injector schedules a gray-failure script onto a simulated network.
 // All events are installed up front at fixed simulated times (flap
 // cycles reschedule themselves), so the injector adds no per-frame
 // work and no nondeterminism.
 type Injector struct {
 	sched *simtime.Scheduler
-	net   *netsim.Network
+	net   netsim.Net
 	specs []Spec
 }
 
-// NewInjector validates the schedule against the network's cluster
-// shape and returns an injector ready to Schedule.
-func NewInjector(net *netsim.Network, specs []Spec) (*Injector, error) {
-	if err := Validate(specs, net.Cluster()); err != nil {
+// NewInjector validates the schedule against the network's component
+// universe and returns an injector ready to Schedule. A dual-rail
+// Network validates against its cluster shape (preserving the classic
+// error messages); any other Net validates against its fabric.
+func NewInjector(net netsim.Net, specs []Spec) (*Injector, error) {
+	if nw, ok := net.(*netsim.Network); ok {
+		if err := Validate(specs, nw.Cluster()); err != nil {
+			return nil, err
+		}
+	} else if err := ValidateFabric(specs, net.Fabric()); err != nil {
 		return nil, err
 	}
 	return &Injector{sched: net.Scheduler(), net: net, specs: specs}, nil

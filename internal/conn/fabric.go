@@ -1,0 +1,227 @@
+package conn
+
+import (
+	"fmt"
+
+	"drsnet/internal/topology"
+)
+
+// FabricEvaluator answers connectivity queries on a general switched
+// fabric, where the dual-rail closed form does not apply. The graph
+// has one vertex per host and per switch; a NIC gates the host↔switch
+// edge it names, a trunk gates its switch↔switch edge, and a failed
+// switch blocks its vertex entirely. Hosts may relay (a path may pass
+// through intermediate host vertices), matching the dual-rail
+// Evaluator's semantics — and what a correctly functioning DRS or
+// BCube-style server-centric fabric provides.
+//
+// FabricEvaluator is the hot path of fabric Monte Carlo runs: queries
+// allocate nothing when given a caller-owned Scratch (one per worker;
+// a Scratch must not be shared between goroutines).
+type FabricEvaluator struct {
+	f     *topology.Fabric
+	verts int // hosts then switches
+
+	// CSR adjacency: for vertex v, edges are adj/edgeComp in
+	// [off[v], off[v+1]) — the neighbouring vertex and the component id
+	// whose failure severs the edge.
+	off      []int32
+	adj      []int32
+	edgeComp []int32
+}
+
+// FabricScratch is the reusable per-worker query state.
+type FabricScratch struct {
+	failed  []bool  // indexed by component id; set and cleared per query
+	visited []int32 // epoch marks per vertex
+	epoch   int32
+	queue   []int32
+}
+
+// NewFabricEvaluator builds an evaluator for the fabric.
+func NewFabricEvaluator(f *topology.Fabric) (*FabricEvaluator, error) {
+	if f == nil {
+		return nil, fmt.Errorf("conn: nil fabric")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	hosts, ports, switches := f.Hosts(), f.Ports(), f.Switches()
+	verts := hosts + switches
+	edges := hosts*ports + f.Trunks()
+
+	deg := make([]int32, verts+1)
+	for h := 0; h < hosts; h++ {
+		for p := 0; p < ports; p++ {
+			deg[h+1]++
+			deg[hosts+f.HostSwitch(h, p)+1]++
+		}
+	}
+	for t := 0; t < f.Trunks(); t++ {
+		tr := f.Trunk(t)
+		deg[hosts+tr.A+1]++
+		deg[hosts+tr.B+1]++
+	}
+	for v := 0; v < verts; v++ {
+		deg[v+1] += deg[v]
+	}
+	e := &FabricEvaluator{
+		f:        f,
+		verts:    verts,
+		off:      deg,
+		adj:      make([]int32, 2*edges),
+		edgeComp: make([]int32, 2*edges),
+	}
+	fill := make([]int32, verts)
+	add := func(u, v int, comp topology.Component) {
+		i := e.off[u] + fill[u]
+		e.adj[i], e.edgeComp[i] = int32(v), int32(comp)
+		fill[u]++
+	}
+	for h := 0; h < hosts; h++ {
+		for p := 0; p < ports; p++ {
+			s := hosts + f.HostSwitch(h, p)
+			c := f.NIC(h, p)
+			add(h, s, c)
+			add(s, h, c)
+		}
+	}
+	for t := 0; t < f.Trunks(); t++ {
+		tr := f.Trunk(t)
+		c := f.TrunkComp(t)
+		add(hosts+tr.A, hosts+tr.B, c)
+		add(hosts+tr.B, hosts+tr.A, c)
+	}
+	return e, nil
+}
+
+// Fabric returns the fabric the evaluator was built for.
+func (e *FabricEvaluator) Fabric() *topology.Fabric { return e.f }
+
+// NewScratch returns fresh per-worker query state.
+func (e *FabricEvaluator) NewScratch() *FabricScratch {
+	return &FabricScratch{
+		failed:  make([]bool, e.f.Components()),
+		visited: make([]int32, e.verts),
+		queue:   make([]int32, 0, e.verts),
+	}
+}
+
+// mark installs the failure scenario into the scratch; the caller must
+// unmark with the same slice before returning.
+func (sc *FabricScratch) mark(failed []topology.Component) {
+	for _, c := range failed {
+		sc.failed[c] = true
+	}
+}
+
+func (sc *FabricScratch) unmark(failed []topology.Component) {
+	for _, c := range failed {
+		sc.failed[c] = false
+	}
+}
+
+// blockedSwitch reports whether vertex v (≥ hosts) is a failed switch.
+func (e *FabricEvaluator) blockedSwitch(sc *FabricScratch, v int32) bool {
+	hosts := e.f.Hosts()
+	if int(v) < hosts {
+		return false
+	}
+	return sc.failed[e.f.Switch(int(v)-hosts)]
+}
+
+// bfs runs a breadth-first search from host a over usable edges. If
+// target ≥ 0 it stops early on reaching it and reports success; with
+// target < 0 it visits the whole component and returns false. Visited
+// marks for the query's epoch are left in sc.visited.
+func (e *FabricEvaluator) bfs(sc *FabricScratch, a, target int) bool {
+	if sc.epoch == 1<<31-1 {
+		// Epoch wrap: reset marks so stale epochs can't alias.
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 0
+	}
+	sc.epoch++
+	sc.visited[a] = sc.epoch
+	sc.queue = append(sc.queue[:0], int32(a))
+	for head := 0; head < len(sc.queue); head++ {
+		u := sc.queue[head]
+		for i := e.off[u]; i < e.off[u+1]; i++ {
+			if sc.failed[e.edgeComp[i]] {
+				continue
+			}
+			v := e.adj[i]
+			if sc.visited[v] == sc.epoch || e.blockedSwitch(sc, v) {
+				continue
+			}
+			if int(v) == target {
+				return true
+			}
+			sc.visited[v] = sc.epoch
+			sc.queue = append(sc.queue, v)
+		}
+	}
+	return false
+}
+
+// PairConnected reports whether hosts a and b can communicate under
+// the failure scenario. sc may be nil (a throwaway scratch is
+// allocated); pass a per-worker scratch on hot paths.
+func (e *FabricEvaluator) PairConnected(sc *FabricScratch, failed []topology.Component, a, b int) bool {
+	e.checkHost(a)
+	e.checkHost(b)
+	if a == b {
+		return true
+	}
+	if sc == nil {
+		sc = e.NewScratch()
+	}
+	sc.mark(failed)
+	ok := e.bfs(sc, a, b)
+	sc.unmark(failed)
+	return ok
+}
+
+// AllConnected reports whether every pair of hosts can communicate —
+// the fabric analogue of the dual-rail evaluator's AllConnected.
+func (e *FabricEvaluator) AllConnected(sc *FabricScratch, failed []topology.Component) bool {
+	if sc == nil {
+		sc = e.NewScratch()
+	}
+	sc.mark(failed)
+	e.bfs(sc, 0, -1)
+	ok := true
+	for h := 0; h < e.f.Hosts(); h++ {
+		if sc.visited[h] != sc.epoch {
+			ok = false
+			break
+		}
+	}
+	sc.unmark(failed)
+	return ok
+}
+
+// HostsReachable returns, for each host, whether it can communicate
+// with host a under the failure scenario.
+func (e *FabricEvaluator) HostsReachable(sc *FabricScratch, failed []topology.Component, a int) []bool {
+	e.checkHost(a)
+	if sc == nil {
+		sc = e.NewScratch()
+	}
+	sc.mark(failed)
+	e.bfs(sc, a, -1)
+	out := make([]bool, e.f.Hosts())
+	for h := range out {
+		out[h] = sc.visited[h] == sc.epoch
+	}
+	out[a] = true
+	sc.unmark(failed)
+	return out
+}
+
+func (e *FabricEvaluator) checkHost(h int) {
+	if h < 0 || h >= e.f.Hosts() {
+		panic(fmt.Sprintf("conn: host %d out of range [0,%d)", h, e.f.Hosts()))
+	}
+}

@@ -1,0 +1,152 @@
+package conn
+
+import (
+	"testing"
+
+	"drsnet/internal/rng"
+	"drsnet/internal/topology"
+)
+
+// On a dual-rail fabric the FabricEvaluator must agree exactly with
+// the closed-form dual-rail Evaluator, for every pair, across random
+// failure scenarios.
+func TestFabricMatchesDualRailEvaluator(t *testing.T) {
+	for _, nodes := range []int{3, 5, 9} {
+		cl := topology.Dual(nodes)
+		dual, err := NewEvaluator(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab, err := topology.FromCluster(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, err := NewFabricEvaluator(fab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := fe.NewScratch()
+		r := rng.New(42)
+		universe := cl.Components()
+		for trial := 0; trial < 300; trial++ {
+			f := trial % 7
+			idxs := make([]int, f)
+			r.SampleK(idxs, universe)
+			failed := make([]topology.Component, 0, f)
+			for _, idx := range idxs {
+				failed = append(failed, topology.Component(idx))
+			}
+			if got, want := fe.AllConnected(sc, failed), dual.AllConnected(failed); got != want {
+				t.Fatalf("n=%d trial=%d failed=%v: fabric AllConnected=%v dual=%v",
+					nodes, trial, failed, got, want)
+			}
+			for a := 0; a < nodes; a++ {
+				for b := a + 1; b < nodes; b++ {
+					got := fe.PairConnected(sc, failed, a, b)
+					want := dual.PairConnected(failed, a, b)
+					if got != want {
+						t.Fatalf("n=%d trial=%d failed=%v pair (%d,%d): fabric=%v dual=%v",
+							nodes, trial, failed, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFabricFatTreeConnectivity(t *testing.T) {
+	f, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFabricEvaluator(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fe.NewScratch()
+	if !fe.AllConnected(sc, nil) {
+		t.Fatal("healthy fat-tree should be fully connected")
+	}
+	// Hosts 0 and 1 share edge switch 0 (ToR); failing it cuts them
+	// off from everyone, including each other (single-homed hosts).
+	tor := f.Switch(0)
+	if fe.PairConnected(sc, []topology.Component{tor}, 0, 2) {
+		t.Fatal("host 0 should be severed by its ToR failure")
+	}
+	if fe.PairConnected(sc, []topology.Component{tor}, 0, 1) {
+		t.Fatal("hosts 0,1 have no path with their shared ToR down")
+	}
+	if !fe.PairConnected(sc, []topology.Component{tor}, 2, 15) {
+		t.Fatal("other pods should be unaffected by one ToR failure")
+	}
+	// Failing one aggregation switch leaves pod reachability intact
+	// (k/2 = 2 agg switches per pod).
+	agg := f.Switch(8) // first agg switch (edge switches are 0..7)
+	if !fe.AllConnected(sc, []topology.Component{agg}) {
+		t.Fatal("one agg switch down must not partition a k=4 fat-tree")
+	}
+	// Failing a host's only NIC isolates exactly that host.
+	nic := f.NIC(5, 0)
+	reach := fe.HostsReachable(sc, []topology.Component{nic}, 0)
+	for h, ok := range reach {
+		want := h != 5
+		if ok != want {
+			t.Fatalf("with host 5's NIC down, reach[%d]=%v want %v", h, ok, want)
+		}
+	}
+}
+
+func TestFabricBCubeHostRelay(t *testing.T) {
+	f, err := topology.BCube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFabricEvaluator(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fe.NewScratch()
+	if !fe.AllConnected(sc, nil) {
+		t.Fatal("healthy BCube should be fully connected")
+	}
+	// Hosts 0 and 5 share no switch (different rows and columns); the
+	// path must relay through an intermediate host. Fail host 0's
+	// level-0 switch and host 5's level-1 switch: still connected via
+	// relays (e.g. 0 → sw(4+0) → host 4 → sw(1) → host 5).
+	failed := []topology.Component{f.Switch(0), f.Switch(4 + 1)}
+	if !fe.PairConnected(sc, failed, 0, 5) {
+		t.Fatal("BCube should relay through hosts around failed switches")
+	}
+	// Failing both of host 0's switches isolates it.
+	failed = []topology.Component{f.Switch(0), f.Switch(4 + 0)}
+	if fe.PairConnected(sc, failed, 0, 5) {
+		t.Fatal("host 0 with both switches down should be isolated")
+	}
+	// Failing both of host 0's NICs isolates it too.
+	failed = []topology.Component{f.NIC(0, 0), f.NIC(0, 1)}
+	if fe.PairConnected(sc, failed, 0, 1) {
+		t.Fatal("host 0 with both NICs down should be isolated")
+	}
+}
+
+// Queries through a reused scratch must not allocate.
+func TestFabricQueriesZeroAlloc(t *testing.T) {
+	f, err := topology.FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFabricEvaluator(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fe.NewScratch()
+	failed := []topology.Component{f.Switch(0), f.TrunkComp(3), f.NIC(9, 0)}
+	// Warm the queue capacity.
+	fe.PairConnected(sc, failed, 1, 100)
+	allocs := testing.AllocsPerRun(100, func() {
+		fe.PairConnected(sc, failed, 1, 100)
+	})
+	if allocs != 0 {
+		t.Fatalf("PairConnected allocates %v per run, want 0", allocs)
+	}
+}

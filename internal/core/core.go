@@ -100,6 +100,11 @@ type Daemon struct {
 	routes  *routetable.Table   // routes, repairs, discovery lifecycle
 	plane   *dataplane.Plane    // data frames + discovery queues
 
+	// frameBuf is scratch for frames sent immediately (never queued):
+	// the simulated wire copies payloads on Send, so the buffer is
+	// free for reuse as soon as Send returns. Guarded by mu.
+	frameBuf []byte
+
 	rounds *linkmon.Rounds // probe-round driver (own locking)
 }
 
@@ -342,5 +347,10 @@ func (d *Daemon) event(e trace.Event) {
 		d.cfg.Trace.Append(e)
 	}
 }
+
+// tracing reports whether a trace sink is installed. Hot paths guard
+// event construction with it so Detail strings are only formatted when
+// someone will read them.
+func (d *Daemon) tracing() bool { return d.cfg.Trace != nil }
 
 var _ routing.Router = (*Daemon)(nil)

@@ -2,11 +2,31 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"drsnet/internal/dataplane"
 	"drsnet/internal/routing"
 	"drsnet/internal/trace"
 )
+
+// detailSeq renders "seq=N" without fmt — byte-identical to the
+// Sprintf it replaces, one allocation instead of fmt's slow path.
+func detailSeq(seq uint32) string {
+	var b [16]byte
+	out := append(b[:0], "seq="...)
+	out = strconv.AppendUint(out, uint64(seq), 10)
+	return string(out)
+}
+
+// detailOriginSeq renders "origin=O seq=N" without fmt.
+func detailOriginSeq(origin uint16, seq uint32) string {
+	var b [32]byte
+	out := append(b[:0], "origin="...)
+	out = strconv.AppendUint(out, uint64(origin), 10)
+	out = append(out, " seq="...)
+	out = strconv.AppendUint(out, uint64(seq), 10)
+	return string(out)
+}
 
 // Data plane: originate, relay and deliver application datagrams over
 // whatever routes phase 2 has installed. The mechanics (sequence
@@ -31,16 +51,20 @@ func (d *Daemon) SendData(dst int, data []byte) error {
 		d.mu.Unlock()
 		return fmt.Errorf("core: destination %d is not monitored", dst)
 	}
-	frame := d.plane.NewFrame(dst, data)
-
 	if d.routes.Route(dst).Kind == RouteNone {
+		// Queued frames are retained until a route installs, so they
+		// get their own allocation.
+		frame := d.plane.NewFrame(dst, data)
 		now := d.clock.Now()
 		d.plane.Enqueue(dst, frame)
 		d.startQueryLocked(dst, now)
 		d.mu.Unlock()
 		return nil
 	}
-	d.forwardLocked(dst, frame)
+	// Sent-immediately frames go through the scratch buffer: the
+	// simulated wire copies the payload before Send returns.
+	d.frameBuf = d.plane.NewFrameInto(d.frameBuf, dst, data)
+	d.forwardLocked(dst, d.frameBuf)
 	d.mu.Unlock()
 	d.mset.Counter(routing.CtrDataSent).Inc()
 	return nil
@@ -70,8 +94,10 @@ func (d *Daemon) onData(rail, src int, body []byte) {
 			return
 		}
 		d.mset.Counter(routing.CtrDataDelivered).Inc()
-		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindDataDelivered,
-			Peer: int(h.Origin), Rail: rail, Detail: fmt.Sprintf("seq=%d", h.Seq)})
+		if d.tracing() {
+			d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindDataDelivered,
+				Peer: int(h.Origin), Rail: rail, Detail: detailSeq(h.Seq)})
+		}
 		deliver(int(h.Origin), data)
 	case dataplane.Drop:
 		d.mset.Counter(routing.CtrDataDropped).Inc()
@@ -99,14 +125,20 @@ func (d *Daemon) onData(rail, src int, body []byte) {
 				outRail, outVia = rt.Rail, rt.Via
 			}
 		}
-		d.mu.Unlock()
 		if outRail < 0 {
+			d.mu.Unlock()
 			d.mset.Counter(routing.CtrDataDropped).Inc()
 			return
 		}
+		// Re-frame into the scratch buffer and send while still holding
+		// mu (forwardLocked sets the precedent; the wire copies).
+		d.frameBuf = dataplane.AppendFrame(d.frameBuf[:0], h, data)
+		_ = d.tr.Send(outRail, outVia, d.frameBuf)
+		d.mu.Unlock()
 		d.mset.Counter(routing.CtrDataForwarded).Inc()
-		d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindDataForwarded,
-			Peer: final, Rail: outRail, Detail: fmt.Sprintf("origin=%d seq=%d", h.Origin, h.Seq)})
-		_ = d.tr.Send(outRail, outVia, dataplane.Frame(h, data))
+		if d.tracing() {
+			d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindDataForwarded,
+				Peer: final, Rail: outRail, Detail: detailOriginSeq(h.Origin, h.Seq)})
+		}
 	}
 }

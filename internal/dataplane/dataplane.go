@@ -81,7 +81,31 @@ func (p *Plane) NewFrame(dst int, data []byte) []byte {
 
 // Frame envelopes a data header and payload into a sendable frame.
 func Frame(h wire.DataHeader, data []byte) []byte {
-	return wire.Envelope(wire.ProtoData, wire.MarshalData(h, data))
+	return AppendFrame(make([]byte, 0, 1+wire.DataHeaderLen+len(data)), h, data)
+}
+
+// AppendFrame appends a complete framed datagram (envelope byte,
+// header, payload) to buf and returns the extended slice. It is the
+// allocation-free form of Frame: callers reusing a scratch buffer must
+// hand the result only to transports that copy (netsim does) and must
+// not retain it past the buffer's next use.
+func AppendFrame(buf []byte, h wire.DataHeader, data []byte) []byte {
+	buf = append(buf, wire.ProtoData)
+	return wire.AppendData(buf, h, data)
+}
+
+// NewFrameInto is the scratch-buffer form of NewFrame: it assigns the
+// next sequence number and appends the framed datagram to buf[:0].
+// The same retention caveats as AppendFrame apply.
+func (p *Plane) NewFrameInto(buf []byte, dst int, data []byte) []byte {
+	p.seq++
+	h := wire.DataHeader{
+		Origin: uint16(p.node),
+		Final:  uint16(dst),
+		TTL:    uint8(p.ttl),
+		Seq:    p.seq,
+	}
+	return AppendFrame(buf[:0], h, data)
 }
 
 // Classify decodes a ProtoData body and decides its fate. For Forward

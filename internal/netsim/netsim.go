@@ -262,6 +262,21 @@ type Network struct {
 	impRnd *rng.Source
 	// tap, when non-nil, observes every frame (see Tap).
 	tap Tap
+	// Delivery-event recycling: hub-mode deliveries are never
+	// cancelled, so their event records cycle through a freelist and
+	// the pre-bound deliverEv method value instead of allocating a
+	// fresh closure and timer per frame.
+	freeEv    *frameEvent
+	deliverEv func(any)
+	// fabric is the Fabric view of the cluster, built once on demand.
+	fabric *topology.Fabric
+}
+
+// frameEvent carries one in-flight hub-mode frame through the
+// scheduler without a per-send closure.
+type frameEvent struct {
+	fr   Frame
+	next *frameEvent
 }
 
 // New builds a healthy network for the given cluster shape on the
@@ -288,6 +303,7 @@ func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed
 		rnd:     rng.New(seed),
 	}
 	n.impRnd = n.rnd.Split(0xc4a05)
+	n.deliverEv = n.deliverEvent
 	for r := range n.segs {
 		n.segs[r].up = true
 		if params.Switched {
@@ -309,6 +325,25 @@ func New(sched *simtime.Scheduler, cluster topology.Cluster, params Params, seed
 
 // Cluster returns the cluster shape.
 func (n *Network) Cluster() topology.Cluster { return n.cluster }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return n.cluster.Nodes }
+
+// Rails returns the number of rails (NIC ports per node).
+func (n *Network) Rails() int { return n.cluster.Rails }
+
+// Fabric returns the fabric view of the cluster — same component
+// numbering, back planes exposed as switches. Built once, on demand.
+func (n *Network) Fabric() *topology.Fabric {
+	if n.fabric == nil {
+		f, err := topology.FromCluster(n.cluster)
+		if err != nil {
+			panic(err) // cluster was validated in New
+		}
+		n.fabric = f
+	}
+	return n.fabric
+}
 
 // Scheduler returns the driving scheduler (for protocol timers).
 func (n *Network) Scheduler() *simtime.Scheduler { return n.sched }
@@ -390,8 +425,28 @@ func (n *Network) Send(src, rail, dst int, payload []byte) error {
 	end := start.Add(txTime)
 	seg.busyUntil = end
 	seg.stats.BitsSent += float64(wire * 8)
-	n.sched.At(end.Add(n.params.Latency+extra), func() { n.deliver(fr) })
+	ev := n.freeEv
+	if ev != nil {
+		n.freeEv = ev.next
+		ev.next = nil
+	} else {
+		ev = new(frameEvent)
+	}
+	ev.fr = fr
+	n.sched.AtCall(end.Add(n.params.Latency+extra), n.deliverEv, ev)
 	return nil
+}
+
+// deliverEvent is the scheduler callback for hub-mode deliveries: it
+// frees the event record (payload reference cleared so the freelist
+// pins nothing) before running the delivery itself.
+func (n *Network) deliverEvent(arg any) {
+	ev := arg.(*frameEvent)
+	fr := ev.fr
+	ev.fr = Frame{}
+	ev.next = n.freeEv
+	n.freeEv = ev
+	n.deliver(fr)
 }
 
 // impairTx applies the transmit-side impairments for a frame leaving

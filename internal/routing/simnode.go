@@ -7,17 +7,18 @@ import (
 	"drsnet/internal/simtime"
 )
 
-// SimNode adapts one node of a netsim.Network to the Transport
-// interface, so protocol daemons run unmodified inside the simulator.
+// SimNode adapts one node of a netsim.Net (dual-rail Network or
+// switched FabricNet) to the Transport interface, so protocol daemons
+// run unmodified inside the simulator.
 type SimNode struct {
-	net  *netsim.Network
+	net  netsim.Net
 	node int
 	recv func(rail, src int, payload []byte)
 }
 
 // NewSimNode attaches a transport to node in net. It installs itself
 // as the node's netsim handler.
-func NewSimNode(net *netsim.Network, node int) *SimNode {
+func NewSimNode(net netsim.Net, node int) *SimNode {
 	s := &SimNode{net: net, node: node}
 	net.SetHandler(node, func(fr netsim.Frame) {
 		if s.recv != nil {
@@ -31,10 +32,10 @@ func NewSimNode(net *netsim.Network, node int) *SimNode {
 func (s *SimNode) Node() int { return s.node }
 
 // Nodes implements Transport.
-func (s *SimNode) Nodes() int { return s.net.Cluster().Nodes }
+func (s *SimNode) Nodes() int { return s.net.Nodes() }
 
 // Rails implements Transport.
-func (s *SimNode) Rails() int { return s.net.Cluster().Rails }
+func (s *SimNode) Rails() int { return s.net.Rails() }
 
 // Send implements Transport.
 func (s *SimNode) Send(rail, dst int, payload []byte) error {

@@ -70,13 +70,20 @@ const DataHeaderLen = 9
 
 // MarshalData encodes the header and payload as a ProtoData body.
 func MarshalData(h DataHeader, data []byte) []byte {
-	out := make([]byte, DataHeaderLen+len(data))
-	binary.BigEndian.PutUint16(out[0:2], h.Origin)
-	binary.BigEndian.PutUint16(out[2:4], h.Final)
-	out[4] = h.TTL
-	binary.BigEndian.PutUint32(out[5:9], h.Seq)
-	copy(out[DataHeaderLen:], data)
-	return out
+	return AppendData(make([]byte, 0, DataHeaderLen+len(data)), h, data)
+}
+
+// AppendData appends the encoded header and payload to buf and returns
+// the extended slice — the allocation-free form of MarshalData for
+// hot paths that reuse a scratch buffer.
+func AppendData(buf []byte, h DataHeader, data []byte) []byte {
+	var hdr [DataHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], h.Origin)
+	binary.BigEndian.PutUint16(hdr[2:4], h.Final)
+	hdr[4] = h.TTL
+	binary.BigEndian.PutUint32(hdr[5:9], h.Seq)
+	buf = append(buf, hdr[:]...)
+	return append(buf, data...)
 }
 
 // UnmarshalData decodes a ProtoData body. The returned data aliases b.

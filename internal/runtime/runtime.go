@@ -30,7 +30,7 @@ type pair struct{ from, to int }
 // carrierSensor adapts one node's view of the network to the static
 // fast-failover family's physical-layer carrier oracle.
 type carrierSensor struct {
-	net  *netsim.Network
+	net  netsim.Net
 	node int
 }
 
@@ -52,7 +52,7 @@ func (s carrierSensor) CarrierUp(peer, rail int) bool {
 type Cluster struct {
 	spec    ClusterSpec
 	sched   *simtime.Scheduler
-	net     *netsim.Network
+	net     netsim.Net
 	builder Builder
 	routers []routing.Router
 	log     *trace.Log
@@ -95,7 +95,12 @@ func Build(spec ClusterSpec) (*Cluster, error) {
 	params := netsim.DefaultParams()
 	params.LossRate = spec.LossRate
 	params.Switched = spec.Switched
-	net, err := netsim.New(sched, spec.topology(), params, spec.Seed)
+	var net netsim.Net
+	if f := spec.Fabric(); f != nil {
+		net, err = netsim.NewFabricNet(sched, f, params, spec.Seed)
+	} else {
+		net, err = netsim.New(sched, spec.topology(), params, spec.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -176,8 +181,16 @@ func (c *Cluster) Spec() ClusterSpec { return c.spec }
 // Scheduler exposes the simulation scheduler.
 func (c *Cluster) Scheduler() *simtime.Scheduler { return c.sched }
 
-// Network exposes the simulated network (fault injection, utilization).
-func (c *Cluster) Network() *netsim.Network { return c.net }
+// Network exposes the dual-rail network (fault injection,
+// utilization). It returns nil when the spec selected a switched
+// fabric topology — use Net, which serves every shape.
+func (c *Cluster) Network() *netsim.Network {
+	n, _ := c.net.(*netsim.Network)
+	return n
+}
+
+// Net exposes the simulated network regardless of topology.
+func (c *Cluster) Net() netsim.Net { return c.net }
 
 // Clock returns the simulation clock routers were built with.
 func (c *Cluster) Clock() routing.Clock { return routing.SimClock{Sched: c.sched} }

@@ -56,6 +56,40 @@ type Tunables struct {
 	Lifecycle bool
 }
 
+// TopologySpec selects the simulated network shape. The zero value
+// (empty Kind) is the classic dual-rail cluster — Nodes hosts on Rails
+// shared segments. "fatTree" and "bcube" run the same protocols over a
+// multi-hop switched fabric instead; their Nodes and Rails are derived
+// from the fabric shape, so a spec naming a fabric kind leaves Nodes
+// and Rails zero (or set to exactly the derived values).
+type TopologySpec struct {
+	// Kind is "" or "dualRail" (the paper's cluster), "fatTree", or
+	// "bcube".
+	Kind string
+	// K is the fat-tree arity (even, ≥ 2). Fat-tree only.
+	K int
+	// N is the BCube switch radix (≥ 2). BCube only.
+	N int
+	// Level is the BCube level k: hosts get Level+1 ports. BCube only.
+	Level int
+}
+
+// dualRail reports whether the spec selects the classic cluster shape.
+func (t TopologySpec) dualRail() bool { return t.Kind == "" || t.Kind == "dualRail" }
+
+// build constructs the switched fabric the spec names (never called
+// for dual-rail kinds).
+func (t TopologySpec) build() (*topology.Fabric, error) {
+	switch t.Kind {
+	case "fatTree":
+		return topology.FatTree(t.K)
+	case "bcube":
+		return topology.BCube(t.N, t.Level)
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q (want dualRail, fatTree or bcube)", t.Kind)
+	}
+}
+
 // StartImmediately, as a Flow.Start value, fires the flow's first
 // message at time zero (a Start of zero means the default one-interval
 // warm-up, matching the scenario loader's semantics).
@@ -97,6 +131,11 @@ type ClusterSpec struct {
 	// Rails is the number of independent networks (default 2, the
 	// paper's dual-rail configuration).
 	Rails int
+	// Topology selects the network shape (default dual-rail). Fabric
+	// kinds ("fatTree", "bcube") derive Nodes and Rails from the shape
+	// and are incompatible with Switched, which is the dual-rail
+	// per-segment switching ablation.
+	Topology TopologySpec
 	// Protocol names a registered routing protocol (default "drs").
 	Protocol string
 	// Switched replaces the shared hubs with switched fabrics.
@@ -141,16 +180,45 @@ type ClusterSpec struct {
 	// OnDeliver, if non-nil, observes every application delivery in
 	// simulation order.
 	OnDeliver func(at time.Duration, src, dst int, data []byte)
+
+	// fabric is the resolved switched fabric, set by normalize when
+	// Topology names one (nil for dual-rail shapes).
+	fabric *topology.Fabric
 }
+
+// Fabric returns the spec's resolved switched fabric, or nil for
+// dual-rail shapes. Valid after normalize (i.e. on built clusters).
+func (s *ClusterSpec) Fabric() *topology.Fabric { return s.fabric }
 
 // normalize applies defaults and validates the spec in place.
 func (s *ClusterSpec) normalize() error {
+	if !s.Topology.dualRail() {
+		if s.Switched {
+			return fmt.Errorf("runtime: Switched is a dual-rail ablation; %q fabrics are switched by construction", s.Topology.Kind)
+		}
+		f, err := s.Topology.build()
+		if err != nil {
+			return fmt.Errorf("runtime: %v", err)
+		}
+		if s.Nodes != 0 && s.Nodes != f.Hosts() {
+			return fmt.Errorf("runtime: nodes %d conflicts with %s topology (%d hosts); leave Nodes zero",
+				s.Nodes, s.Topology.Kind, f.Hosts())
+		}
+		if s.Rails != 0 && s.Rails != f.Ports() {
+			return fmt.Errorf("runtime: rails %d conflicts with %s topology (%d ports); leave Rails zero",
+				s.Rails, s.Topology.Kind, f.Ports())
+		}
+		s.Nodes, s.Rails = f.Hosts(), f.Ports()
+		s.fabric = f
+	}
 	if s.Rails == 0 {
 		s.Rails = 2
 	}
 	cl := topology.Cluster{Nodes: s.Nodes, Rails: s.Rails}
-	if err := cl.Validate(); err != nil {
-		return fmt.Errorf("runtime: %v", err)
+	if s.fabric == nil {
+		if err := cl.Validate(); err != nil {
+			return fmt.Errorf("runtime: %v", err)
+		}
 	}
 	if s.Protocol == "" {
 		s.Protocol = ProtoDRS
@@ -201,6 +269,9 @@ func (s *ClusterSpec) normalize() error {
 		}
 	}
 	universe := cl.Components()
+	if s.fabric != nil {
+		universe = s.fabric.Components()
+	}
 	for i, f := range s.Faults {
 		if f.At < 0 {
 			return fmt.Errorf("runtime: faults[%d] at %v before time zero", i, f.At)
@@ -209,7 +280,11 @@ func (s *ClusterSpec) normalize() error {
 			return fmt.Errorf("runtime: faults[%d] component %d outside universe %d", i, int(f.Comp), universe)
 		}
 	}
-	if err := chaos.Validate(s.Impairments, cl); err != nil {
+	if s.fabric != nil {
+		if err := chaos.ValidateFabric(s.Impairments, s.fabric); err != nil {
+			return fmt.Errorf("runtime: %v", err)
+		}
+	} else if err := chaos.Validate(s.Impairments, cl); err != nil {
 		return fmt.Errorf("runtime: %v", err)
 	}
 	if err := s.Tunables.AdaptiveRTO.Normalize(); err != nil {

@@ -64,14 +64,31 @@ type TrafficSpec struct {
 	Stop Duration `json:"stop,omitempty"`
 }
 
+// TopologySpec selects the network shape. Fabric kinds derive the
+// node count from the shape; a document may leave "nodes" zero or set
+// it to exactly the derived value.
+type TopologySpec struct {
+	// Kind is "dualRail" (the default shape), "fatTree" or "bcube".
+	Kind string `json:"kind"`
+	// K is the fat-tree arity (even, ≥ 2). Fat-tree only.
+	K int `json:"k,omitempty"`
+	// N is the BCube switch radix (≥ 2). BCube only.
+	N int `json:"n,omitempty"`
+	// Level is the BCube level (hosts get level+1 ports). BCube only.
+	Level int `json:"level,omitempty"`
+}
+
 // EventSpec is one scripted component state change.
 type EventSpec struct {
 	At Duration `json:"at"`
-	// Kind is "nic" or "backplane".
+	// Kind is "nic" or "backplane" (dual-rail), or "nic", "switch" or
+	// "trunk" (fabric topologies).
 	Kind string `json:"kind"`
-	// Node is required for NICs, ignored for back planes.
+	// Node is required for NICs, ignored for other kinds.
 	Node int `json:"node,omitempty"`
 	Rail int `json:"rail"`
+	// Index names the switch or trunk for those kinds.
+	Index int `json:"index,omitempty"`
 	// Restore brings the component back instead of failing it.
 	Restore bool `json:"restore,omitempty"`
 }
@@ -83,11 +100,14 @@ type ImpairmentSpec struct {
 	Start Duration `json:"start"`
 	// Stop ends the episode; zero means it lasts to the horizon.
 	Stop Duration `json:"stop,omitempty"`
-	// Kind is "nic" or "backplane".
+	// Kind is "nic" or "backplane" (dual-rail), or "nic", "switch" or
+	// "trunk" (fabric topologies).
 	Kind string `json:"kind"`
-	// Node is required for NICs, ignored for back planes.
+	// Node is required for NICs, ignored for other kinds.
 	Node int `json:"node,omitempty"`
 	Rail int `json:"rail"`
+	// Index names the switch or trunk for those kinds.
+	Index int `json:"index,omitempty"`
 	// Loss and Corrupt are per-frame probabilities in [0,1].
 	Loss    float64 `json:"loss,omitempty"`
 	Corrupt float64 `json:"corrupt,omitempty"`
@@ -135,8 +155,12 @@ type InvariantSpec struct {
 type Scenario struct {
 	// Name labels the report.
 	Name string `json:"name,omitempty"`
-	// Nodes is the cluster size.
+	// Nodes is the cluster size. With a fabric topology it may be left
+	// zero (the shape determines it).
 	Nodes int `json:"nodes"`
+	// Topology selects the network shape; absent means the paper's
+	// dual-rail cluster.
+	Topology *TopologySpec `json:"topology,omitempty"`
 	// Protocol names a routing protocol registered with
 	// internal/runtime ("drs", the default; "reactive"; "linkstate";
 	// "static"; or any protocol a plugin registered).
@@ -186,6 +210,27 @@ type Scenario struct {
 	Impairments []ImpairmentSpec `json:"impairments,omitempty"`
 	// Crashes is the daemon crash–restart script.
 	Crashes []CrashSpec `json:"crashes,omitempty"`
+
+	// fab is the resolved switched fabric, cached by Validate (nil for
+	// dual-rail documents).
+	fab *topology.Fabric
+}
+
+// fabricShape resolves the document's switched fabric, nil for
+// dual-rail documents.
+func (s *Scenario) fabricShape() (*topology.Fabric, error) {
+	t := s.Topology
+	if t == nil || t.Kind == "" || t.Kind == "dualRail" {
+		return nil, nil
+	}
+	switch t.Kind {
+	case "fatTree":
+		return topology.FatTree(t.K)
+	case "bcube":
+		return topology.BCube(t.N, t.Level)
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q (want dualRail, fatTree or bcube)", t.Kind)
+	}
 }
 
 // Load parses a scenario document.
@@ -204,6 +249,24 @@ func Load(r io.Reader) (*Scenario, error) {
 
 // Validate applies defaults and checks consistency.
 func (s *Scenario) Validate() error {
+	fab, err := s.fabricShape()
+	if err != nil {
+		return fmt.Errorf("scenario: %v", err)
+	}
+	s.fab = fab
+	if fab != nil {
+		if s.Switched {
+			return fmt.Errorf("scenario: switched is a dual-rail ablation; %q fabrics are switched by construction", s.Topology.Kind)
+		}
+		switch s.Nodes {
+		case 0:
+			s.Nodes = fab.Hosts()
+		case fab.Hosts():
+		default:
+			return fmt.Errorf("scenario: nodes %d conflicts with %s topology (%d hosts); omit nodes",
+				s.Nodes, s.Topology.Kind, fab.Hosts())
+		}
+	}
 	if s.Nodes < 2 {
 		return fmt.Errorf("scenario: need ≥ 2 nodes, have %d", s.Nodes)
 	}
@@ -258,6 +321,10 @@ func (s *Scenario) Validate() error {
 				i, time.Duration(t.Stop), time.Duration(t.Start))
 		}
 	}
+	rails := 2
+	if fab != nil {
+		rails = fab.Ports()
+	}
 	seen := make(map[EventSpec]int, len(s.Events))
 	for i, e := range s.Events {
 		if e.At < 0 || e.At > s.Duration {
@@ -269,15 +336,41 @@ func (s *Scenario) Validate() error {
 			if e.Node < 0 || e.Node >= s.Nodes {
 				return fmt.Errorf("scenario: events[%d] node %d invalid", i, e.Node)
 			}
+			if e.Rail < 0 || e.Rail >= rails {
+				return fmt.Errorf("scenario: events[%d] rail %d invalid", i, e.Rail)
+			}
+			e.Index = 0
 		case "backplane":
+			if fab != nil {
+				return fmt.Errorf("scenario: events[%d] kind \"backplane\" is dual-rail only; use \"switch\" with an index", i)
+			}
 			// Node is ignored for back planes; normalize the dedup key so
 			// {"backplane", node:0} and {"backplane", node:3} collide.
-			e.Node = 0
+			e.Node, e.Index = 0, 0
+			if e.Rail < 0 || e.Rail >= 2 {
+				return fmt.Errorf("scenario: events[%d] rail %d invalid", i, e.Rail)
+			}
+		case "switch":
+			if fab == nil {
+				return fmt.Errorf("scenario: events[%d] kind \"switch\" needs a fabric topology", i)
+			}
+			if e.Index < 0 || e.Index >= fab.Switches() {
+				return fmt.Errorf("scenario: events[%d] switch index %d outside [0,%d)", i, e.Index, fab.Switches())
+			}
+			e.Node, e.Rail = 0, 0
+		case "trunk":
+			if fab == nil {
+				return fmt.Errorf("scenario: events[%d] kind \"trunk\" needs a fabric topology", i)
+			}
+			if e.Index < 0 || e.Index >= fab.Trunks() {
+				return fmt.Errorf("scenario: events[%d] trunk index %d outside [0,%d)", i, e.Index, fab.Trunks())
+			}
+			e.Node, e.Rail = 0, 0
 		default:
+			if fab != nil {
+				return fmt.Errorf("scenario: events[%d] kind %q (want nic, switch or trunk)", i, e.Kind)
+			}
 			return fmt.Errorf("scenario: events[%d] kind %q (want nic or backplane)", i, e.Kind)
-		}
-		if e.Rail < 0 || e.Rail >= 2 {
-			return fmt.Errorf("scenario: events[%d] rail %d invalid", i, e.Rail)
 		}
 		if j, dup := seen[e]; dup {
 			return fmt.Errorf("scenario: events[%d] duplicates events[%d] (same time, component and action)", i, j)
@@ -376,13 +469,43 @@ func (s *Scenario) validateImpairment(i int, im ImpairmentSpec) error {
 		if im.Node < 0 || im.Node >= s.Nodes {
 			return fmt.Errorf("scenario: impairments[%d] node %d invalid (cluster has %d nodes)", i, im.Node, s.Nodes)
 		}
+		rails := 2
+		if s.fab != nil {
+			rails = s.fab.Ports()
+		}
+		if im.Rail < 0 || im.Rail >= rails {
+			if s.fab == nil {
+				return fmt.Errorf("scenario: impairments[%d] rail %d invalid (dual-rail cluster)", i, im.Rail)
+			}
+			return fmt.Errorf("scenario: impairments[%d] rail %d outside [0,%d)", i, im.Rail, rails)
+		}
 	case "backplane":
 		// Node is ignored for back planes.
+		if s.fab != nil {
+			return fmt.Errorf("scenario: impairments[%d] kind \"backplane\" is dual-rail only; use \"switch\" with an index", i)
+		}
+		if im.Rail < 0 || im.Rail >= 2 {
+			return fmt.Errorf("scenario: impairments[%d] rail %d invalid (dual-rail cluster)", i, im.Rail)
+		}
+	case "switch":
+		if s.fab == nil {
+			return fmt.Errorf("scenario: impairments[%d] kind \"switch\" needs a fabric topology", i)
+		}
+		if im.Index < 0 || im.Index >= s.fab.Switches() {
+			return fmt.Errorf("scenario: impairments[%d] switch index %d outside [0,%d)", i, im.Index, s.fab.Switches())
+		}
+	case "trunk":
+		if s.fab == nil {
+			return fmt.Errorf("scenario: impairments[%d] kind \"trunk\" needs a fabric topology", i)
+		}
+		if im.Index < 0 || im.Index >= s.fab.Trunks() {
+			return fmt.Errorf("scenario: impairments[%d] trunk index %d outside [0,%d)", i, im.Index, s.fab.Trunks())
+		}
 	default:
+		if s.fab != nil {
+			return fmt.Errorf("scenario: impairments[%d] kind %q (want nic, switch or trunk)", i, im.Kind)
+		}
 		return fmt.Errorf("scenario: impairments[%d] kind %q (want nic or backplane)", i, im.Kind)
-	}
-	if im.Rail < 0 || im.Rail >= 2 {
-		return fmt.Errorf("scenario: impairments[%d] rail %d invalid (dual-rail cluster)", i, im.Rail)
 	}
 	if im.Start < 0 || im.Start > s.Duration {
 		return fmt.Errorf("scenario: impairments[%d] start %v outside [0,%v]",
@@ -529,6 +652,11 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 		},
 		Crashes: s.crashSpecs(),
 	}
+	if t := s.Topology; t != nil {
+		// Nodes was derived (or checked) against the shape in Validate;
+		// the runtime re-derives and re-checks it from the same spec.
+		spec.Topology = runtime.TopologySpec{Kind: t.Kind, K: t.K, N: t.N, Level: t.Level}
+	}
 	if s.Invariant != nil {
 		spec.Invariant = &invariant.Config{
 			RequireDelivery: s.Invariant.RequireDelivery,
@@ -545,26 +673,31 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 		})
 	}
 	cl := topology.Dual(s.Nodes)
-	for _, e := range s.Events {
-		var comp topology.Component
-		if e.Kind == "nic" {
-			comp = cl.NIC(e.Node, e.Rail)
-		} else {
-			comp = cl.Backplane(e.Rail)
+	component := func(kind string, node, rail, index int) topology.Component {
+		if s.fab != nil {
+			switch kind {
+			case "nic":
+				return s.fab.NIC(node, rail)
+			case "switch":
+				return s.fab.Switch(index)
+			default: // "trunk" — Validate rejected everything else
+				return s.fab.TrunkComp(index)
+			}
 		}
+		if kind == "nic" {
+			return cl.NIC(node, rail)
+		}
+		return cl.Backplane(rail)
+	}
+	for _, e := range s.Events {
 		spec.Faults = append(spec.Faults, runtime.Fault{
 			At:      time.Duration(e.At),
-			Comp:    comp,
+			Comp:    component(e.Kind, e.Node, e.Rail, e.Index),
 			Restore: e.Restore,
 		})
 	}
 	for _, im := range s.Impairments {
-		var comp topology.Component
-		if im.Kind == "nic" {
-			comp = cl.NIC(im.Node, im.Rail)
-		} else {
-			comp = cl.Backplane(im.Rail)
-		}
+		comp := component(im.Kind, im.Node, im.Rail, im.Index)
 		dir, err := parseDirection(im.Direction)
 		if err != nil {
 			return runtime.ClusterSpec{}, fmt.Errorf("scenario: %v", err)

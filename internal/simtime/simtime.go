@@ -9,7 +9,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -35,8 +34,11 @@ type Timer struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	call      func(any) // handle-free path: call(arg) instead of fn()
+	arg       any
 	cancelled bool
-	index     int // heap index, -1 once popped
+	pooled    bool // recycled after firing; never escapes to callers
+	index     int  // heap index, -1 once popped
 }
 
 // Cancel prevents the event from firing. Cancelling an event that has
@@ -59,10 +61,16 @@ func (t *Timer) When() Time { return t.at }
 // independent simulations).
 type Scheduler struct {
 	now  Time
-	heap timerHeap
+	heap []*Timer // binary min-heap ordered by (at, seq)
 	seq  uint64
 	// executed counts events that have run (for tests and tracing).
 	executed uint64
+
+	// Timer recycling for the handle-free AtCall path. Fired pooled
+	// timers go back on the free list; timers handed out by At never
+	// do, because the caller may still hold the handle.
+	free []*Timer
+	slab []Timer // block-allocated backing store for pooled timers
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -85,20 +93,54 @@ func (s *Scheduler) Pending() int {
 	return n
 }
 
+func (s *Scheduler) checkAt(at Time) {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", at, s.now))
+	}
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: that is always a protocol bug, and silently reordering time
 // would destroy determinism.
 func (s *Scheduler) At(at Time, fn func()) *Timer {
-	if at < s.now {
-		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", at, s.now))
-	}
+	s.checkAt(at)
 	if fn == nil {
 		panic("simtime: nil event function")
 	}
 	t := &Timer{at: at, seq: s.seq, fn: fn}
 	s.seq++
-	heap.Push(&s.heap, t)
+	s.push(t)
 	return t
+}
+
+// AtCall schedules call(arg) to run at absolute time at. Unlike At it
+// returns no handle and allocates nothing in steady state: the timer
+// comes from an internal pool and is recycled once it fires. Use it on
+// hot paths (per-frame delivery events) where the event is never
+// cancelled; `call` should be a long-lived bound value (a method
+// value stored once, not a fresh closure per call).
+func (s *Scheduler) AtCall(at Time, call func(any), arg any) {
+	s.checkAt(at)
+	if call == nil {
+		panic("simtime: nil event function")
+	}
+	var t *Timer
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		t.cancelled = false
+	} else {
+		if len(s.slab) == cap(s.slab) {
+			s.slab = make([]Timer, 0, 128)
+		}
+		s.slab = s.slab[:len(s.slab)+1]
+		t = &s.slab[len(s.slab)-1]
+		t.pooled = true
+	}
+	t.at, t.seq, t.call, t.arg = at, s.seq, call, arg
+	s.seq++
+	s.push(t)
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -110,18 +152,35 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 // timestamp. It reports whether an event ran (false when the queue is
 // empty).
 func (s *Scheduler) Step() bool {
-	for s.heap.Len() > 0 {
-		t := heap.Pop(&s.heap).(*Timer)
-		t.index = -2 // mark fired/expired
+	for len(s.heap) > 0 {
+		t := s.pop()
 		if t.cancelled {
+			s.recycle(t)
 			continue
 		}
 		s.now = t.at
 		s.executed++
-		t.fn()
+		if t.call != nil {
+			call, arg := t.call, t.arg
+			s.recycle(t)
+			call(arg)
+		} else {
+			t.fn()
+		}
 		return true
 	}
 	return false
+}
+
+// recycle returns a pooled timer to the free list. Timers created by
+// At are left for the garbage collector — their handles may still be
+// referenced by the caller.
+func (s *Scheduler) recycle(t *Timer) {
+	if !t.pooled {
+		return
+	}
+	t.call, t.arg, t.fn = nil, nil, nil
+	s.free = append(s.free, t)
 }
 
 // Run executes events until the queue is empty or the event budget is
@@ -161,11 +220,10 @@ func (s *Scheduler) RunUntil(deadline Time) int {
 
 // peek returns the timestamp of the next uncancelled event.
 func (s *Scheduler) peek() (Time, bool) {
-	for s.heap.Len() > 0 {
+	for len(s.heap) > 0 {
 		t := s.heap[0]
 		if t.cancelled {
-			heap.Pop(&s.heap)
-			t.index = -2
+			s.recycle(s.pop())
 			continue
 		}
 		return t.at, true
@@ -173,31 +231,64 @@ func (s *Scheduler) peek() (Time, bool) {
 	return 0, false
 }
 
-// timerHeap orders timers by (time, sequence).
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders timers by (time, sequence) — a total order, so any
+// correct heap yields the identical execution sequence.
+func (t *Timer) less(u *Timer) bool {
+	if t.at != u.at {
+		return t.at < u.at
 	}
-	return h[i].seq < h[j].seq
+	return t.seq < u.seq
 }
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push inserts t into the heap and sifts it up.
+func (s *Scheduler) push(t *Timer) {
+	s.heap = append(s.heap, t)
+	h := s.heap
+	i := len(h) - 1
+	t.index = i
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].less(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		h[i].index = i
+		h[p].index = p
+		i = p
+	}
 }
-func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+// pop removes and returns the minimum timer, marking it fired.
+func (s *Scheduler) pop() *Timer {
+	h := s.heap
+	n := len(h)
+	top := h[0]
+	last := h[n-1]
+	h[n-1] = nil
+	s.heap = h[:n-1]
+	if n > 1 {
+		h = s.heap
+		h[0] = last
+		last.index = 0
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				break
+			}
+			min := l
+			if r := l + 1; r < len(h) && h[r].less(h[l]) {
+				min = r
+			}
+			if !h[min].less(h[i]) {
+				break
+			}
+			h[i], h[min] = h[min], h[i]
+			h[i].index = i
+			h[min].index = min
+			i = min
+		}
+	}
+	top.index = -2 // mark fired/expired
+	return top
 }

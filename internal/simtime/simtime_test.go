@@ -239,3 +239,94 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	}
 	s.Run(0)
 }
+
+func TestAtCallSharesOrderingWithAt(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	record := func(arg any) { order = append(order, arg.(int)) }
+	s.At(Time(time.Second), func() { order = append(order, 0) })
+	s.AtCall(Time(time.Second), record, 1)
+	s.At(Time(time.Second), func() { order = append(order, 2) })
+	s.AtCall(Time(time.Second), record, 3)
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("AtCall/At interleaving unstable: %v", order)
+		}
+	}
+}
+
+func TestAtCallRecyclesTimers(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	count := func(any) { fired++ }
+	// Self-rescheduling chain: steady state must reuse one pooled timer.
+	var step func(any)
+	step = func(arg any) {
+		fired++
+		if fired < 1000 {
+			s.AtCall(s.Now().Add(time.Millisecond), step, nil)
+		}
+	}
+	s.AtCall(Time(0), step, nil)
+	s.Run(0)
+	if fired != 1000 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if len(s.free) != 1 {
+		t.Fatalf("free list has %d timers, want 1 recycled", len(s.free))
+	}
+	// A burst reuses the free list before growing the slab.
+	for i := 0; i < 10; i++ {
+		s.AtCall(s.Now().Add(time.Millisecond), count, nil)
+	}
+	s.Run(0)
+	if fired != 1010 {
+		t.Fatalf("burst fired = %d", fired)
+	}
+	if len(s.free) != 10 {
+		t.Fatalf("free list has %d timers after burst, want 10", len(s.free))
+	}
+}
+
+func TestHeapStressAgainstReferenceOrder(t *testing.T) {
+	// Pseudo-random interleaved schedule; execution must sort stably
+	// by (time, scheduling order).
+	s := NewScheduler()
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var want []ev
+	var got []ev
+	seed := uint64(0x9e3779b97f4a7c15)
+	seq := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		for i := 0; i < 40; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			at := s.Now().Add(time.Duration(seed % 97))
+			e := ev{at: at, seq: seq}
+			seq++
+			want = append(want, e)
+			if seed%3 == 0 {
+				s.AtCall(at, func(arg any) { got = append(got, arg.(ev)) }, e)
+			} else {
+				s.At(at, func() { got = append(got, e) })
+			}
+		}
+	}
+	schedule(0)
+	s.After(time.Duration(200), func() { schedule(1) })
+	s.Run(0)
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	// got must be sorted by (at, seq).
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("events out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}

@@ -1,28 +1,36 @@
-// Package topology models the cluster architecture the DRS protocol is
-// designed for: N servers, each with one network interface card (NIC)
-// per network rail, attached to R independent shared networks ("back
-// planes" in the paper — non-meshed hubs).
+// Package topology models the network shapes the simulations run on.
 //
-// The paper fixes R = 2: every server has two NICs on two separate
-// networks, giving exactly 2N + 2 failure-prone components. The types
-// here keep R general so the reproduction can also explore the
-// natural extension to more rails; constructors for the paper's
-// configuration are provided.
+// Two models live here. Cluster is the paper's architecture: N
+// servers, each with one network interface card (NIC) per network
+// rail, attached to R independent shared networks ("back planes" in
+// the paper — non-meshed hubs; the paper fixes R = 2, giving exactly
+// 2N + 2 failure-prone components). Fabric generalizes that to any
+// switched topology — hosts, switches, and trunk links — with
+// builders for the dual-rail cluster, fat-tree(k) and BCube(n,k).
 //
 // Components are numbered densely so failure scenarios can be stored
-// in bitsets:
+// in bitsets. For a Cluster:
 //
 //	NIC(node i, rail k)  -> i*R + k        (0 ≤ id < N*R)
 //	Backplane(rail k)    -> N*R + k        (N*R ≤ id < N*R + R)
+//
+// A Fabric extends the same scheme (NICs first, then switches, then
+// trunks), and FromCluster yields bit-for-bit identical numbering to
+// the Cluster it wraps. The dense layout is an internal contract of
+// this package: outside it, obtain ids through NIC/Backplane/Switch/
+// TrunkComp and decode them with Describe — doing index arithmetic on
+// Component values directly is deprecated, since it silently breaks
+// on any non-dual-rail fabric.
 package topology
 
 import "fmt"
 
 // Component identifies one failure-prone hardware component of a
-// cluster: a NIC or a back plane.
+// cluster or fabric: a NIC, a back plane/switch, or a trunk link.
 type Component int
 
-// Kind distinguishes the two component classes of the paper's model.
+// Kind distinguishes the component classes. Clusters use the paper's
+// two (NIC, back plane); fabrics add switches and trunks.
 type Kind int
 
 const (
@@ -44,8 +52,11 @@ func (k Kind) String() string {
 	}
 }
 
-// Cluster describes a cluster's shape: Nodes servers each attached to
-// Rails independent shared networks through one NIC per rail.
+// Cluster describes the paper's flat shape: Nodes servers each
+// attached to Rails independent shared networks through one NIC per
+// rail. It is the special case of Fabric where every "switch" is a
+// shared back plane reaching all hosts; FromCluster lifts a Cluster
+// into the general model without renumbering its components.
 type Cluster struct {
 	Nodes int
 	Rails int

@@ -83,10 +83,14 @@ func (e Event) String() string {
 }
 
 // Log is a bounded, concurrency-safe event log. When the bound is
-// reached, the oldest events are discarded.
+// reached, the oldest half of the events is discarded (matching the
+// historical batch-eviction retention, but in O(1): the storage is a
+// ring, so eviction moves a cursor instead of copying megabytes).
 type Log struct {
 	mu      sync.Mutex
-	events  []Event
+	ring    []Event // ring storage; grows geometrically up to max
+	start   int     // index of the oldest retained event
+	n       int     // number of retained events
 	max     int
 	dropped int64
 }
@@ -103,22 +107,60 @@ func NewLog(max int) *Log {
 // Append records an event.
 func (l *Log) Append(e Event) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.events) == l.max {
-		// Drop the oldest half rather than shifting on every append.
-		half := l.max / 2
-		copy(l.events, l.events[half:])
-		l.events = l.events[:l.max-half]
-		l.dropped += int64(half)
+	if l.n == len(l.ring) {
+		if len(l.ring) < l.max {
+			// Grow geometrically, linearizing the ring.
+			newCap := len(l.ring) * 2
+			if newCap == 0 {
+				newCap = 256
+			}
+			if newCap > l.max {
+				newCap = l.max
+			}
+			grown := make([]Event, newCap)
+			l.copyOut(grown)
+			l.ring = grown
+			l.start = 0
+		} else {
+			// Full: drop the oldest half by advancing the cursor.
+			half := l.max / 2
+			if half == 0 {
+				half = 1
+			}
+			l.start += half
+			if l.start >= len(l.ring) {
+				l.start -= len(l.ring)
+			}
+			l.n -= half
+			l.dropped += int64(half)
+		}
 	}
-	l.events = append(l.events, e)
+	idx := l.start + l.n
+	if idx >= len(l.ring) {
+		idx -= len(l.ring)
+	}
+	l.ring[idx] = e
+	l.n++
+	l.mu.Unlock()
+}
+
+// copyOut linearizes the retained events into dst (len(dst) ≥ l.n).
+func (l *Log) copyOut(dst []Event) {
+	first := len(l.ring) - l.start
+	if first > l.n {
+		first = l.n
+	}
+	copy(dst, l.ring[l.start:l.start+first])
+	copy(dst[first:], l.ring[:l.n-first])
 }
 
 // Events returns a copy of the retained events in append order.
 func (l *Log) Events() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	out := make([]Event, l.n)
+	l.copyOut(out)
+	return out
 }
 
 // Dropped returns the number of events discarded due to the bound.
@@ -128,13 +170,22 @@ func (l *Log) Dropped() int64 {
 	return l.dropped
 }
 
+// at returns the i-th retained event (0 = oldest). Caller holds mu.
+func (l *Log) at(i int) Event {
+	idx := l.start + i
+	if idx >= len(l.ring) {
+		idx -= len(l.ring)
+	}
+	return l.ring[idx]
+}
+
 // Filter returns the retained events of the given kind, in order.
 func (l *Log) Filter(k Kind) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Event
-	for _, e := range l.events {
-		if e.Kind == k {
+	for i := 0; i < l.n; i++ {
+		if e := l.at(i); e.Kind == k {
 			out = append(out, e)
 		}
 	}
@@ -146,8 +197,8 @@ func (l *Log) Filter(k Kind) []Event {
 func (l *Log) First(k Kind, node int) (Event, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, e := range l.events {
-		if e.Kind == k && (node < 0 || e.Node == node) {
+	for i := 0; i < l.n; i++ {
+		if e := l.at(i); e.Kind == k && (node < 0 || e.Node == node) {
 			return e, true
 		}
 	}
@@ -159,8 +210,8 @@ func (l *Log) Count(k Kind) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0
-	for _, e := range l.events {
-		if e.Kind == k {
+	for i := 0; i < l.n; i++ {
+		if l.at(i).Kind == k {
 			n++
 		}
 	}
