@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke clean
+.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke daemon-smoke clean
 
 all: build test
 
@@ -90,6 +90,16 @@ failover-smoke:
 	$(GO) test ./internal/runtime/ -run 'Invariant|Failover'
 	$(GO) run ./cmd/drschaos -mode failover -nodes 4 -duration 20s -protocols failover-rotor,failover-arbor,failover-bounce,drs
 	$(GO) run ./cmd/drsim -config examples/scenarios/static-failover.json
+
+# Live daemon gate: the clock and transport seams (in-memory, UDP),
+# the hermetic multi-daemon lifecycle and clock-parity regressions,
+# drsd's -validate golden errors, and the real 3-process localhost
+# cluster: converge, SIGHUP reload, kill -9, warm rejoin, SIGTERM
+# drain. The process test binds ephemeral loopback UDP ports only.
+daemon-smoke:
+	$(GO) test ./internal/clock/ ./internal/transport/
+	$(GO) test ./internal/runtime/ -run 'HermeticLifecycle|ClockParity'
+	$(GO) test ./cmd/drsd/ -timeout 180s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"drsnet/internal/core"
+)
+
+// statusReport is one status snapshot: the daemon's route/link view
+// (DRS protocols) plus the raw protocol counters, serialized as one
+// JSON object. The smoke tests and operators read convergence,
+// crash detection and rejoin out of these.
+type statusReport struct {
+	core.Status
+	Protocol string           `json:"protocol"`
+	Pid      int              `json:"pid"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+func (i *instance) report() statusReport {
+	r := statusReport{
+		Protocol: i.spec.Protocol,
+		Pid:      os.Getpid(),
+		Counters: i.router.Metrics().Snapshot(),
+	}
+	if d, ok := i.router.(*core.Daemon); ok {
+		r.Status = d.Status()
+	} else {
+		r.Node = i.cfg.Node
+		r.Incarnation = i.inc
+	}
+	return r
+}
+
+// statusLoop emits one snapshot per period: atomically into the
+// configured file, or as a JSON line on stdout when no file is set.
+func (i *instance) statusLoop() {
+	defer i.wg.Done()
+	t := time.NewTicker(time.Duration(i.cfg.StatusEvery))
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			buf, err := json.Marshal(i.report())
+			if err != nil {
+				log.Printf("status: %v", err)
+				continue
+			}
+			if i.cfg.Status == "" {
+				os.Stdout.Write(append(buf, '\n'))
+				continue
+			}
+			if err := writeFileAtomic(i.cfg.Status, buf); err != nil {
+				log.Printf("status: %v", err)
+			}
+		case <-i.stopCh:
+			return
+		}
+	}
+}
+
+// serveHTTP exposes GET /status and /metrics on the configured
+// address. The listener dies with the instance.
+func (i *instance) serveHTTP() {
+	ln, err := net.Listen("tcp", i.cfg.HTTPAddr)
+	if err != nil {
+		log.Printf("http: %v", err)
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(i.report())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(i.router.Metrics().Snapshot())
+	})
+	srv := &http.Server{Handler: mux}
+	i.wg.Add(1)
+	go func() {
+		defer i.wg.Done()
+		<-i.stopCh
+		ln.Close()
+	}()
+	go srv.Serve(ln)
+}

@@ -1,0 +1,25 @@
+// Package clock defines the timing seam every protocol layer in this
+// repository runs behind: a Clock hands out the current time and
+// one-shot timers, nothing more. Two implementations exist — Sim,
+// backed by the deterministic simtime.Scheduler, and Wall, backed by
+// the process's monotonic clock (with a drainable manual mode for
+// tests). Protocol code written against Clock runs unmodified under
+// the simulator and inside a live daemon.
+//
+// Both implementations execute timers in (deadline, scheduling-order)
+// total order. That shared contract is what makes the clock-parity
+// regression test hold: the same scenario driven through Sim and
+// through a drained Wall produces the identical event sequence.
+package clock
+
+import "time"
+
+// Clock abstracts time so protocol code runs identically under the
+// simulator's virtual clock and the real one.
+type Clock interface {
+	// Now returns the time elapsed since an arbitrary epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn after d; the returned function cancels
+	// the timer and reports whether it was still pending.
+	AfterFunc(d time.Duration, fn func()) (cancel func() bool)
+}

@@ -1,0 +1,166 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drsnet/internal/simtime"
+)
+
+func TestManualOrdering(t *testing.T) {
+	w := NewManual()
+	var got []int
+	w.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	w.AfterFunc(10*time.Millisecond, func() { got = append(got, 0) })
+	w.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) }) // same deadline: scheduling order breaks the tie
+	if n := w.Advance(15 * time.Millisecond); n != 2 {
+		t.Fatalf("Advance ran %d timers, want 2", n)
+	}
+	if n := w.Advance(10 * time.Millisecond); n != 1 {
+		t.Fatalf("second Advance ran %d timers, want 1", n)
+	}
+	want := []int{0, 1, 2}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if w.Now() != 25*time.Millisecond {
+		t.Fatalf("Now = %v, want 25ms", w.Now())
+	}
+}
+
+func TestManualReentrantScheduling(t *testing.T) {
+	w := NewManual()
+	var fired []time.Duration
+	w.AfterFunc(10*time.Millisecond, func() {
+		fired = append(fired, w.Now())
+		w.AfterFunc(5*time.Millisecond, func() {
+			fired = append(fired, w.Now())
+		})
+	})
+	// The nested timer lands inside the window and must run in the
+	// same drain, at its own deadline.
+	if n := w.RunUntil(30 * time.Millisecond); n != 2 {
+		t.Fatalf("RunUntil ran %d timers, want 2", n)
+	}
+	if fired[0] != 10*time.Millisecond || fired[1] != 15*time.Millisecond {
+		t.Fatalf("fired at %v, want [10ms 15ms]", fired)
+	}
+}
+
+func TestManualCancel(t *testing.T) {
+	w := NewManual()
+	ran := false
+	cancel := w.AfterFunc(10*time.Millisecond, func() { ran = true })
+	if !cancel() {
+		t.Fatal("first cancel reported not pending")
+	}
+	if cancel() {
+		t.Fatal("second cancel reported pending")
+	}
+	w.Advance(time.Second)
+	if ran {
+		t.Fatal("cancelled timer ran")
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", w.Pending())
+	}
+}
+
+func TestManualPastTargetClamps(t *testing.T) {
+	w := NewManual()
+	w.Advance(50 * time.Millisecond)
+	if n := w.RunUntil(10 * time.Millisecond); n != 0 {
+		t.Fatalf("RunUntil past target ran %d timers", n)
+	}
+	if w.Now() != 50*time.Millisecond {
+		t.Fatalf("Now moved backwards to %v", w.Now())
+	}
+}
+
+func TestLiveWallFires(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	w.AfterFunc(20*time.Millisecond, func() {
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		close(done)
+	})
+	// Scheduled later but due sooner: the dispatcher must re-arm.
+	w.AfterFunc(time.Millisecond, func() {
+		mu.Lock()
+		order = append(order, 0)
+		mu.Unlock()
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timers did not fire within 5s")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("fire order %v, want [0 1]", order)
+	}
+}
+
+func TestLiveWallCancel(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	var mu sync.Mutex
+	ran := false
+	cancel := w.AfterFunc(50*time.Millisecond, func() {
+		mu.Lock()
+		ran = true
+		mu.Unlock()
+	})
+	if !cancel() {
+		t.Fatal("cancel reported not pending")
+	}
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if ran {
+		t.Fatal("cancelled timer ran")
+	}
+}
+
+func TestLiveWallStopIdempotent(t *testing.T) {
+	w := NewWall()
+	w.Stop()
+	w.Stop() // must not panic or double-close
+}
+
+func TestLiveWallMonotonicNow(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	a := w.Now()
+	time.Sleep(time.Millisecond)
+	if b := w.Now(); b <= a {
+		t.Fatalf("Now not monotonic: %v then %v", a, b)
+	}
+}
+
+func TestSimAdapter(t *testing.T) {
+	sched := simtime.NewScheduler()
+	c := Sim{Sched: sched}
+	ran := false
+	c.AfterFunc(10*time.Millisecond, func() { ran = true })
+	cancel := c.AfterFunc(20*time.Millisecond, func() { t.Error("cancelled simtime timer ran") })
+	if !cancel() {
+		t.Fatal("cancel reported not pending")
+	}
+	sched.Run(0)
+	if !ran {
+		t.Fatal("simtime timer did not run")
+	}
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v, want 10ms", c.Now())
+	}
+}

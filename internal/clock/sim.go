@@ -1,0 +1,24 @@
+package clock
+
+import (
+	"time"
+
+	"drsnet/internal/simtime"
+)
+
+// Sim adapts a simtime.Scheduler to the Clock interface. It is the
+// simulator-side implementation: time only advances when the scheduler
+// executes events, so every run is deterministic.
+type Sim struct {
+	Sched *simtime.Scheduler
+}
+
+// Now implements Clock.
+func (c Sim) Now() time.Duration { return c.Sched.Now().Duration() }
+
+// AfterFunc implements Clock.
+func (c Sim) AfterFunc(d time.Duration, fn func()) (cancel func() bool) {
+	return c.Sched.AfterFunc(d, fn)
+}
+
+var _ Clock = Sim{}

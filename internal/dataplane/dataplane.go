@@ -151,6 +151,17 @@ func (p *Plane) Enqueue(dst int, frame []byte) {
 // QueueLen returns the number of frames queued for dst.
 func (p *Plane) QueueLen(dst int) int { return len(p.queued[dst]) }
 
+// Queued returns the total number of frames parked across all
+// discovery queues — the backlog figure the daemon status reporter
+// exposes.
+func (p *Plane) Queued() int {
+	n := 0
+	for _, q := range p.queued {
+		n += len(q)
+	}
+	return n
+}
+
 // Flush removes and returns dst's queue (nil when empty).
 func (p *Plane) Flush(dst int) [][]byte {
 	q := p.queued[dst]

@@ -17,14 +17,9 @@
 // owning protocol serializes access under its own lock.
 package linkmon
 
-import "time"
+import "drsnet/internal/clock"
 
-// Clock abstracts time. It is structurally identical to routing.Clock
-// (this package sits below routing and cannot import it).
-type Clock interface {
-	// Now returns the time elapsed since an arbitrary epoch.
-	Now() time.Duration
-	// AfterFunc schedules fn after d; the returned function cancels
-	// the timer and reports whether it was still pending.
-	AfterFunc(d time.Duration, fn func()) (cancel func() bool)
-}
+// Clock abstracts time. It is the canonical seam from internal/clock
+// (this package sits below routing, which aliases the same
+// definition).
+type Clock = clock.Clock

@@ -132,6 +132,10 @@ func (t *Table) Repairs() []Repair {
 	return append([]Repair(nil), t.repairs...)
 }
 
+// RepairCount returns the number of completed repairs without copying
+// the record (status snapshots poll this).
+func (t *Table) RepairCount() int { return len(t.repairs) }
+
 // Pending returns the in-flight discovery for dst, if any.
 func (t *Table) Pending(dst int) (*Discovery, bool) {
 	q, ok := t.pending[dst]

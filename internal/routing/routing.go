@@ -19,41 +19,25 @@ package routing
 
 import (
 	"errors"
-	"time"
 
+	"drsnet/internal/clock"
 	"drsnet/internal/metrics"
+	"drsnet/internal/transport"
 )
 
 // Broadcast is the destination meaning "every node on the rail".
-const Broadcast = -1
+const Broadcast = transport.Broadcast
 
-// Transport is a node's interface to its network: one NIC per rail,
-// addressed by node index.
-type Transport interface {
-	// Node returns the local node index.
-	Node() int
-	// Nodes returns the cluster size.
-	Nodes() int
-	// Rails returns the number of independent networks.
-	Rails() int
-	// Send transmits payload on rail to dst (or Broadcast). Send never
-	// blocks; delivery is best-effort, like the hardware it models.
-	Send(rail, dst int, payload []byte) error
-	// SetReceiver installs the frame callback. The callback may be
-	// invoked concurrently by real transports; simulator transports
-	// invoke it single-threaded.
-	SetReceiver(fn func(rail, src int, payload []byte))
-}
+// Transport is a node's interface to its network. The canonical
+// definition lives in internal/transport, alongside its three
+// implementations (simulator, in-memory, UDP); the alias keeps this
+// package the one-stop vocabulary for routing implementations.
+type Transport = transport.Transport
 
 // Clock abstracts time so protocol code runs identically under the
-// simulator's virtual clock and the real one.
-type Clock interface {
-	// Now returns the time elapsed since an arbitrary epoch.
-	Now() time.Duration
-	// AfterFunc schedules fn after d; the returned function cancels
-	// the timer and reports whether it was still pending.
-	AfterFunc(d time.Duration, fn func()) (cancel func() bool)
-}
+// simulator's virtual clock and the real one. The canonical
+// definition lives in internal/clock.
+type Clock = clock.Clock
 
 // Router is the data-plane contract every routing implementation
 // satisfies. Applications hand a Router datagrams addressed by node

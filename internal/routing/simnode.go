@@ -1,68 +1,24 @@
 package routing
 
 import (
-	"time"
-
+	"drsnet/internal/clock"
 	"drsnet/internal/netsim"
-	"drsnet/internal/simtime"
+	"drsnet/internal/transport"
 )
 
 // SimNode adapts one node of a netsim.Net (dual-rail Network or
 // switched FabricNet) to the Transport interface, so protocol daemons
-// run unmodified inside the simulator.
-type SimNode struct {
-	net  netsim.Net
-	node int
-	recv func(rail, src int, payload []byte)
-}
+// run unmodified inside the simulator. The implementation moved to
+// internal/transport; the alias keeps the historical name every
+// harness and example uses.
+type SimNode = transport.Sim
 
 // NewSimNode attaches a transport to node in net. It installs itself
 // as the node's netsim handler.
 func NewSimNode(net netsim.Net, node int) *SimNode {
-	s := &SimNode{net: net, node: node}
-	net.SetHandler(node, func(fr netsim.Frame) {
-		if s.recv != nil {
-			s.recv(fr.Rail, fr.Src, fr.Payload)
-		}
-	})
-	return s
+	return transport.NewSim(net, node)
 }
 
-// Node implements Transport.
-func (s *SimNode) Node() int { return s.node }
-
-// Nodes implements Transport.
-func (s *SimNode) Nodes() int { return s.net.Nodes() }
-
-// Rails implements Transport.
-func (s *SimNode) Rails() int { return s.net.Rails() }
-
-// Send implements Transport.
-func (s *SimNode) Send(rail, dst int, payload []byte) error {
-	if dst == Broadcast {
-		dst = netsim.Broadcast
-	}
-	return s.net.Send(s.node, rail, dst, payload)
-}
-
-// SetReceiver implements Transport.
-func (s *SimNode) SetReceiver(fn func(rail, src int, payload []byte)) {
-	s.recv = fn
-}
-
-// SimClock adapts a simtime.Scheduler to the Clock interface.
-type SimClock struct {
-	Sched *simtime.Scheduler
-}
-
-// Now implements Clock.
-func (c SimClock) Now() time.Duration { return c.Sched.Now().Duration() }
-
-// AfterFunc implements Clock.
-func (c SimClock) AfterFunc(d time.Duration, fn func()) (cancel func() bool) {
-	t := c.Sched.After(d, fn)
-	return t.Cancel
-}
-
-var _ Transport = (*SimNode)(nil)
-var _ Clock = SimClock{}
+// SimClock adapts a simtime.Scheduler to the Clock interface. The
+// implementation moved to internal/clock.
+type SimClock = clock.Sim

@@ -13,19 +13,15 @@ import (
 // trailing bytes, so the comparison is prefix-wise).
 func FuzzFrame(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(Envelope(ProtoData, MarshalData(DataHeader{Origin: 1, Final: 2, TTL: 3, Seq: 4}, []byte("x"))))
-	advert, _ := MarshalAdvert(Advert{Reachable: []uint16{1, 9, 300}})
-	f.Add(Envelope(ProtoAdvert, advert))
-	f.Add(Envelope(ProtoControl, MarshalQuery(Query{Origin: 1, Target: 2, Seq: 3, TTL: 2})))
-	f.Add(Envelope(ProtoControl, MarshalOffer(Offer{Origin: 1, Target: 2, Seq: 3, Relay: 7})))
-	f.Add(Envelope(ProtoControl, MarshalHello()))
-	f.Add(Envelope(ProtoControl, MarshalGoodbye()))
-	f.Add(Envelope(ProtoControl, MarshalLSA(LSA{Origin: 5, Seq: 9, Neighbors: []Adjacency{{1, 0}, {2, 1}}})))
-	f.Add(Envelope(ProtoControl, MarshalRejoin(2)))
-	f.Add(Envelope(ProtoControl, MarshalHelloInc(3)))
-	f.Add(Envelope(ProtoControl, MarshalOfferInc(Offer{Origin: 1, Target: 2, Seq: 3, Relay: 7}, 4)))
-	f.Add(Envelope(ProtoFailover, MarshalFailover(FailoverHeader{Origin: 1, Final: 2, Seq: 3, Attempt: 1, Hops: 2}, []byte("y"))))
-	f.Add(Envelope(ProtoFailover, MarshalFailover(FailoverHeader{Origin: 9, Final: 0, Seq: 0xffffffff, Attempt: 255, Hops: 255}, nil)))
+	for _, frame := range seedFrames() {
+		f.Add(frame)
+		// A real socket delivers truncated datagrams; seed every
+		// strict prefix of every frame kind so the decoders' bounds
+		// checks are exercised from the first corpus run.
+		for cut := len(frame) - 1; cut >= 0; cut-- {
+			f.Add(frame[:cut])
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		proto, body, err := SplitEnvelope(frame)

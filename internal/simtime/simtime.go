@@ -148,6 +148,14 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
+// AfterFunc schedules fn to run d from now and returns a cancel
+// function — the shape the clock.Clock seam exposes, so a Scheduler
+// can sit directly behind a clock.Sim adapter. The returned function
+// reports whether the event was still pending.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) (cancel func() bool) {
+	return s.After(d, fn).Cancel
+}
+
 // Step runs the next pending event, advancing the clock to its
 // timestamp. It reports whether an event ran (false when the queue is
 // empty).

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drsnet/internal/clock"
+)
+
+// Mem is an in-memory cluster fabric: every node's Transport is a
+// method-call pair into shared state, with delivery deferred through
+// a clock.Clock. Under a drained clock (clock.NewManual) a
+// multi-daemon test is fully deterministic and needs no sockets;
+// under a live clock it behaves like a zero-loss LAN.
+//
+// Fault injection mirrors netsim's crash semantics: FailNode
+// blackholes a node in both directions, RestoreNode brings it back
+// with all NICs up; SetNIC kills or revives one (node, rail) NIC.
+// Receiver state is checked at delivery time, so frames in flight to
+// a node that crashes mid-latency are dropped.
+type Mem struct {
+	mu      sync.Mutex
+	clk     clock.Clock
+	latency time.Duration
+	rails   int
+	nodes   []*MemNode
+}
+
+// MemNode is one node's Transport into a Mem fabric.
+type MemNode struct {
+	m     *Mem
+	node  int
+	recv  func(rail, src int, payload []byte)
+	nicUp []bool // per rail
+	down  bool   // crashed: blackhole both directions
+}
+
+// NewMem builds an in-memory fabric of nodes×rails with the given
+// one-way delivery latency. All NICs start up.
+func NewMem(nodes, rails int, clk clock.Clock, latency time.Duration) *Mem {
+	if nodes < 1 || rails < 1 {
+		panic(fmt.Sprintf("transport: invalid Mem shape %d nodes × %d rails", nodes, rails))
+	}
+	if latency < 0 {
+		panic("transport: negative Mem latency")
+	}
+	m := &Mem{clk: clk, latency: latency, rails: rails}
+	m.nodes = make([]*MemNode, nodes)
+	for i := range m.nodes {
+		up := make([]bool, rails)
+		for r := range up {
+			up[r] = true
+		}
+		m.nodes[i] = &MemNode{m: m, node: i, nicUp: up}
+	}
+	return m
+}
+
+// Node returns node i's Transport.
+func (m *Mem) Node(i int) *MemNode { return m.nodes[i] }
+
+// FailNode crashes node i: every frame to or from it is dropped until
+// RestoreNode.
+func (m *Mem) FailNode(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[i].down = true
+}
+
+// RestoreNode revives node i with all NICs up.
+func (m *Mem) RestoreNode(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.nodes[i]
+	n.down = false
+	for r := range n.nicUp {
+		n.nicUp[r] = true
+	}
+}
+
+// SetNIC sets the up/down state of node i's NIC on rail.
+func (m *Mem) SetNIC(i, rail int, up bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[i].nicUp[rail] = up
+}
+
+// Node implements Transport.
+func (n *MemNode) Node() int { return n.node }
+
+// Nodes implements Transport.
+func (n *MemNode) Nodes() int { return len(n.m.nodes) }
+
+// Rails implements Transport.
+func (n *MemNode) Rails() int { return n.m.rails }
+
+// SetReceiver implements Transport.
+func (n *MemNode) SetReceiver(fn func(rail, src int, payload []byte)) {
+	n.m.mu.Lock()
+	defer n.m.mu.Unlock()
+	n.recv = fn
+}
+
+// Send implements Transport. The payload is copied per destination —
+// callers reuse their buffers — and delivery is scheduled after the
+// fabric latency, re-checking the receiver's NIC and crash state at
+// delivery time.
+func (n *MemNode) Send(rail, dst int, payload []byte) error {
+	m := n.m
+	if rail < 0 || rail >= m.rails {
+		return fmt.Errorf("transport: rail %d out of range [0,%d)", rail, m.rails)
+	}
+	if dst != Broadcast && (dst < 0 || dst >= len(m.nodes)) {
+		return fmt.Errorf("transport: dst %d out of range [0,%d)", dst, len(m.nodes))
+	}
+	m.mu.Lock()
+	if n.down || !n.nicUp[rail] {
+		m.mu.Unlock()
+		return nil // silently vanishes, like a dead NIC
+	}
+	m.mu.Unlock()
+	if dst == Broadcast {
+		for i := range m.nodes {
+			if i != n.node {
+				m.deliverAfter(rail, n.node, i, payload)
+			}
+		}
+		return nil
+	}
+	if dst == n.node {
+		return nil // no loopback rail
+	}
+	m.deliverAfter(rail, n.node, dst, payload)
+	return nil
+}
+
+func (m *Mem) deliverAfter(rail, src, dst int, payload []byte) {
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	m.clk.AfterFunc(m.latency, func() {
+		m.mu.Lock()
+		d := m.nodes[dst]
+		if d.down || !d.nicUp[rail] || d.recv == nil {
+			m.mu.Unlock()
+			return
+		}
+		recv := d.recv
+		m.mu.Unlock()
+		recv(rail, src, body)
+	})
+}
+
+var _ Transport = (*MemNode)(nil)

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"drsnet/internal/clock"
+)
+
+type memFrame struct {
+	rail, src int
+	payload   string
+}
+
+func collect(n *MemNode, into *[]memFrame) {
+	n.SetReceiver(func(rail, src int, payload []byte) {
+		*into = append(*into, memFrame{rail, src, string(payload)})
+	})
+}
+
+func TestMemUnicast(t *testing.T) {
+	clk := clock.NewManual()
+	m := NewMem(3, 2, clk, time.Millisecond)
+	var got []memFrame
+	collect(m.Node(1), &got)
+
+	buf := []byte("hello")
+	if err := m.Node(0).Send(1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // sender reuses its buffer; the copy must be unaffected
+	if len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	clk.Advance(time.Millisecond)
+	if len(got) != 1 || got[0] != (memFrame{1, 0, "hello"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMemBroadcast(t *testing.T) {
+	clk := clock.NewManual()
+	m := NewMem(3, 1, clk, 0)
+	var a, b, self []memFrame
+	collect(m.Node(0), &self)
+	collect(m.Node(1), &a)
+	collect(m.Node(2), &b)
+	if err := m.Node(0).Send(0, Broadcast, []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(0)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("broadcast reached %d+%d receivers, want 1+1", len(a), len(b))
+	}
+	if len(self) != 0 {
+		t.Fatal("broadcast looped back to sender")
+	}
+}
+
+func TestMemNICDown(t *testing.T) {
+	clk := clock.NewManual()
+	m := NewMem(2, 2, clk, 0)
+	var got []memFrame
+	collect(m.Node(1), &got)
+
+	m.SetNIC(1, 0, false) // receiver's rail-0 NIC dead
+	m.Node(0).Send(0, 1, []byte("lost"))
+	m.Node(0).Send(1, 1, []byte("kept"))
+	clk.Advance(0)
+	if len(got) != 1 || got[0].payload != "kept" {
+		t.Fatalf("got %v, want only the rail-1 frame", got)
+	}
+
+	m.SetNIC(0, 1, false) // sender's rail-1 NIC dead
+	m.Node(0).Send(1, 1, []byte("swallowed"))
+	clk.Advance(0)
+	if len(got) != 1 {
+		t.Fatalf("dead-NIC send delivered: %v", got)
+	}
+}
+
+func TestMemCrashDropsInFlight(t *testing.T) {
+	clk := clock.NewManual()
+	m := NewMem(2, 1, clk, 10*time.Millisecond)
+	var got []memFrame
+	collect(m.Node(1), &got)
+
+	m.Node(0).Send(0, 1, []byte("in-flight"))
+	m.FailNode(1) // crashes while the frame is in the air
+	clk.Advance(10 * time.Millisecond)
+	if len(got) != 0 {
+		t.Fatalf("crashed node received %v", got)
+	}
+
+	m.RestoreNode(1)
+	m.Node(0).Send(0, 1, []byte("after-restore"))
+	clk.Advance(10 * time.Millisecond)
+	if len(got) != 1 || got[0].payload != "after-restore" {
+		t.Fatalf("got %v after restore", got)
+	}
+}
+
+func TestMemBoundsErrors(t *testing.T) {
+	clk := clock.NewManual()
+	m := NewMem(2, 1, clk, 0)
+	if err := m.Node(0).Send(1, 1, nil); err == nil {
+		t.Fatal("out-of-range rail accepted")
+	}
+	if err := m.Node(0).Send(0, 5, nil); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package transport
+
+import "drsnet/internal/netsim"
+
+// Sim adapts one node of a netsim.Net (dual-rail Network or switched
+// FabricNet) to the Transport interface, so protocol daemons run
+// unmodified inside the simulator.
+type Sim struct {
+	net  netsim.Net
+	node int
+	recv func(rail, src int, payload []byte)
+}
+
+// NewSim attaches a transport to node in net. It installs itself as
+// the node's netsim handler.
+func NewSim(net netsim.Net, node int) *Sim {
+	s := &Sim{net: net, node: node}
+	net.SetHandler(node, func(fr netsim.Frame) {
+		if s.recv != nil {
+			s.recv(fr.Rail, fr.Src, fr.Payload)
+		}
+	})
+	return s
+}
+
+// Node implements Transport.
+func (s *Sim) Node() int { return s.node }
+
+// Nodes implements Transport.
+func (s *Sim) Nodes() int { return s.net.Nodes() }
+
+// Rails implements Transport.
+func (s *Sim) Rails() int { return s.net.Rails() }
+
+// Send implements Transport.
+func (s *Sim) Send(rail, dst int, payload []byte) error {
+	if dst == Broadcast {
+		dst = netsim.Broadcast
+	}
+	return s.net.Send(s.node, rail, dst, payload)
+}
+
+// SetReceiver implements Transport.
+func (s *Sim) SetReceiver(fn func(rail, src int, payload []byte)) {
+	s.recv = fn
+}
+
+var _ Transport = (*Sim)(nil)

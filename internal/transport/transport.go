@@ -1,0 +1,42 @@
+// Package transport defines the node-to-network seam every protocol
+// layer in this repository runs behind: a Transport is a node's view
+// of its cluster fabric — one NIC per rail, addressed by node index.
+// Three implementations exist:
+//
+//   - Sim: one node of a deterministic netsim network (dual-rail
+//     Network or switched FabricNet). The simulator path.
+//   - Mem: an in-memory cluster where delivery is deferred through a
+//     clock.Clock — hermetic multi-daemon tests with no sockets, and
+//     fully deterministic under a drained clock.
+//   - UDP: real UDP sockets between processes, framing payloads with
+//     a small validated header. The live daemon (cmd/drsd) path.
+//
+// Protocol code written against Transport runs unmodified over all
+// three. Real transports deliver short, truncated, or hostile
+// datagrams: every wire codec downstream must bounds-check (see
+// internal/routing/wire), and implementations here must validate
+// rail and source indices before handing frames up.
+package transport
+
+// Broadcast is the destination meaning "every node on the rail".
+const Broadcast = -1
+
+// Transport is a node's interface to its network: one NIC per rail,
+// addressed by node index.
+type Transport interface {
+	// Node returns the local node index.
+	Node() int
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Rails returns the number of independent networks.
+	Rails() int
+	// Send transmits payload on rail to dst (or Broadcast). Send never
+	// blocks; delivery is best-effort, like the hardware it models.
+	// Callers may reuse the payload buffer after Send returns:
+	// implementations that defer delivery must copy.
+	Send(rail, dst int, payload []byte) error
+	// SetReceiver installs the frame callback. The callback may be
+	// invoked concurrently by real transports; simulator transports
+	// invoke it single-threaded.
+	SetReceiver(fn func(rail, src int, payload []byte))
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves n loopback UDP ports and returns them as
+// listen addresses. The sockets are closed, so a subsequent bind can
+// race with another process — acceptable for a local test.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = conn.LocalAddr().String()
+		conn.Close()
+	}
+	return addrs
+}
+
+// udpPair builds a 2-node, 2-rail cluster on loopback.
+func udpPair(t *testing.T) (*UDP, *UDP) {
+	t.Helper()
+	a := freeAddrs(t, 4)
+	peers := [][]string{{a[0], a[1]}, {a[2], a[3]}}
+	u0, err := NewUDP(UDPConfig{Node: 0, Listen: peers[0], Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := NewUDP(UDPConfig{Node: 1, Listen: peers[1], Peers: peers})
+	if err != nil {
+		u0.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { u0.Close(); u1.Close() })
+	return u0, u1
+}
+
+type udpSink struct {
+	mu     sync.Mutex
+	frames []memFrame
+}
+
+func (s *udpSink) recv(rail, src int, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames = append(s.frames, memFrame{rail, src, string(payload)})
+}
+
+func (s *udpSink) wait(t *testing.T, n int) []memFrame {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		if len(s.frames) >= n {
+			out := append([]memFrame(nil), s.frames...)
+			s.mu.Unlock()
+			return out
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.Fatalf("timed out waiting for %d frames, have %v", n, s.frames)
+	return nil
+}
+
+func TestUDPExchange(t *testing.T) {
+	u0, u1 := udpPair(t)
+	var sink udpSink
+	u1.SetReceiver(sink.recv)
+
+	if err := u0.Send(0, 1, []byte("rail0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u0.Send(1, 1, []byte("rail1")); err != nil {
+		t.Fatal(err)
+	}
+	frames := sink.wait(t, 2)
+	seen := map[memFrame]bool{}
+	for _, f := range frames {
+		seen[f] = true
+	}
+	if !seen[memFrame{0, 0, "rail0"}] || !seen[memFrame{1, 0, "rail1"}] {
+		t.Fatalf("frames %v missing expected rail deliveries", frames)
+	}
+}
+
+func TestUDPBroadcast(t *testing.T) {
+	u0, u1 := udpPair(t)
+	var sink udpSink
+	u1.SetReceiver(sink.recv)
+	if err := u0.Send(0, Broadcast, []byte("bcast")); err != nil {
+		t.Fatal(err)
+	}
+	frames := sink.wait(t, 1)
+	if frames[0] != (memFrame{0, 0, "bcast"}) {
+		t.Fatalf("got %v", frames[0])
+	}
+}
+
+// TestUDPRejectsMalformed feeds the receiver raw datagrams a real
+// network could produce — truncated, wrong magic, wrong version,
+// forged source — and checks none of them reach the protocol, while
+// a valid frame after the junk still does.
+func TestUDPRejectsMalformed(t *testing.T) {
+	u0, u1 := udpPair(t)
+	var sink udpSink
+	u1.SetReceiver(sink.recv)
+
+	raddr, err := net.ResolveUDPAddr("udp", u1.conns[0].LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	junkConn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer junkConn.Close()
+
+	forgedSelf := []byte{udpMagic, udpVersion, 0, 0, 'x'}
+	binary.BigEndian.PutUint16(forgedSelf[2:4], 1) // src == receiver itself
+	outOfRange := []byte{udpMagic, udpVersion, 0, 0, 'x'}
+	binary.BigEndian.PutUint16(outOfRange[2:4], 9)
+	junk := [][]byte{
+		{},                        // empty
+		{udpMagic},                // truncated header
+		{udpMagic, udpVersion, 0}, // one byte short
+		{0xFF, udpVersion, 0, 0},  // wrong magic
+		{udpMagic, 99, 0, 0},      // wrong version
+		forgedSelf,                // reflected source
+		outOfRange,                // source index out of range
+	}
+	for _, d := range junk {
+		if _, err := junkConn.Write(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u0.Send(0, 1, []byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	frames := sink.wait(t, 1)
+	for _, f := range frames {
+		if f.payload != "legit" {
+			t.Fatalf("junk datagram delivered: %v", f)
+		}
+	}
+}
+
+func TestUDPBoundsErrors(t *testing.T) {
+	u0, _ := udpPair(t)
+	if err := u0.Send(7, 1, nil); err == nil {
+		t.Fatal("out-of-range rail accepted")
+	}
+	if err := u0.Send(0, 9, nil); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+}
+
+func TestUDPConfigValidation(t *testing.T) {
+	if _, err := NewUDP(UDPConfig{Node: 0}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	a := freeAddrs(t, 2)
+	peers := [][]string{{a[0]}, {a[1]}}
+	if _, err := NewUDP(UDPConfig{Node: 5, Listen: peers[0], Peers: peers}); err == nil {
+		t.Fatal("node index out of range accepted")
+	}
+	if _, err := NewUDP(UDPConfig{Node: 0, Listen: peers[0], Peers: [][]string{{a[0], "x"}, {a[1], "y"}}}); err == nil {
+		t.Fatal("ragged peer rails accepted")
+	}
+}
+
+func TestUDPCloseIdempotent(t *testing.T) {
+	u0, u1 := udpPair(t)
+	if err := u0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = u1
+}
