@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke daemon-smoke clean
+.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke daemon-smoke nemesis-smoke clean
 
 all: build test
 
@@ -100,6 +100,17 @@ daemon-smoke:
 	$(GO) test ./internal/clock/ ./internal/transport/
 	$(GO) test ./internal/runtime/ -run 'HermeticLifecycle|ClockParity'
 	$(GO) test ./cmd/drsd/ -timeout 180s
+
+# Nemesis gate: the fault-schedule fuzzer's own tests (determinism,
+# shrinking, invariants) under the race detector, a fixed-seed campaign
+# that must heal clean, and the pinned regression replay that must
+# still reproduce its shrunk violation (exit 1). Everything runs on
+# virtual time, bit-identical from its seeds.
+nemesis-smoke:
+	$(GO) test -race ./internal/nemesis/ ./cmd/drsnemesis/
+	$(GO) run ./cmd/drsnemesis -seed 1 -schedules 10 -horizon 6s -repro /dev/null
+	$(GO) run ./cmd/drsnemesis -replay cmd/drsnemesis/testdata/regression.json; \
+		status=$$?; test $$status -eq 1 || { echo "regression replay exited $$status, want 1"; exit 1; }
 
 clean:
 	$(GO) clean ./...

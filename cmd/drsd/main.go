@@ -114,6 +114,10 @@ func start(configPath string, inc uint32, restore *core.Checkpoint) (*instance, 
 		clk.Stop()
 		return nil, fmt.Errorf("drsd: %v", err)
 	}
+	// Socket errors land in the router's metric set, so the status and
+	// metrics endpoints report transport.rx_errors / tx_errors beside
+	// the protocol counters.
+	tr.SetMetrics(router.Metrics())
 	if err := router.Start(); err != nil {
 		tr.Close()
 		clk.Stop()

@@ -84,6 +84,12 @@ func TestDaemonSmoke(t *testing.T) {
 	// completed probe rounds.
 	for n := 0; n < nodes; n++ {
 		waitStatus(t, statusPath[n], "converge", func(s smokeStatus) bool {
+			if _, ok := s.Counters["transport.rx_errors"]; !ok {
+				return false // socket counters must ride in the status report
+			}
+			if _, ok := s.Counters["transport.tx_errors"]; !ok {
+				return false
+			}
 			return s.allDirect(nodes) && s.Counters["probes.replies"] >= 4
 		})
 	}

@@ -115,3 +115,25 @@ func TestConfigScenario(t *testing.T) {
 		t.Fatalf("scenario report missing repairs line:\n%s", out.String())
 	}
 }
+
+// TestPartitionHealGolden pins the shipped partition scenario — the
+// asymmetric one-way cut a nemesis campaign surfaced, shrunk to a
+// single episode. The 0→1 flow loses frames only until strict-evidence
+// DRS accumulates misses on the dead tx direction and fails over; the
+// reverse flow barely notices. The digits are the regression test.
+func TestPartitionHealGolden(t *testing.T) {
+	const golden = `# asymmetric partition found by drsnemesis, shrunk to one episode
+  from     to       sent  delivered       loss
+     0      1        150        144      4.00%
+     1      0        150        149      0.67%
+route repairs: 2   utilization rail0 0.0347%  rail1 0.0429%
+`
+	var out, errb bytes.Buffer
+	code := run([]string{"-config", "../../examples/scenarios/partition-heal.json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("partition-heal report drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestCampaignDeterministic: the acceptance bar — the same seed and
+// flags produce bit-identical campaign output, run after run.
+func TestCampaignDeterministic(t *testing.T) {
+	args := []string{"-seed", "3", "-schedules", "3", "-horizon", "4s", "-settle", "2s"}
+	code1, out1, _ := runCLI(t, args...)
+	code2, out2, _ := runCLI(t, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("campaign exits %d/%d, want 0; output:\n%s", code1, code2, out1)
+	}
+	if out1 != out2 {
+		t.Fatalf("two identical campaigns diverged:\n%s\n---\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "all 3 schedules healed clean") {
+		t.Fatalf("campaign summary missing:\n%s", out1)
+	}
+}
+
+// TestCampaignFindsShrinksAndWritesRepro drives the full violation
+// path: a settle window too short for reconvergence makes seed 7's
+// schedule fail, the shrinker strips it to a minimal episode set, the
+// repro file lands on disk, and replaying that file reproduces the
+// exact violation.
+func TestCampaignFindsShrinksAndWritesRepro(t *testing.T) {
+	repro := filepath.Join(t.TempDir(), "repro.json")
+	code, out, _ := runCLI(t, "-seed", "7", "-schedules", "1",
+		"-horizon", "6s", "-settle", "1ms", "-repro", repro)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (violation); output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "violation: convergence") {
+		t.Fatalf("violation not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "shrunk to 2 of 4 episodes") {
+		t.Fatalf("shrinker did not reduce the schedule:\n%s", out)
+	}
+	if _, err := os.Stat(repro); err != nil {
+		t.Fatalf("repro file not written: %v", err)
+	}
+
+	rcode, rout, _ := runCLI(t, "-replay", repro)
+	if rcode != 1 {
+		t.Fatalf("replay exit %d, want 1; output:\n%s", rcode, rout)
+	}
+	var violation string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "violation:") {
+			violation = strings.TrimSpace(line)
+		}
+	}
+	if violation == "" || !strings.Contains(rout, violation) {
+		t.Fatalf("replay did not reproduce %q:\n%s", violation, rout)
+	}
+}
+
+// TestReplayRegressionGolden pins the replay of the checked-in shrunk
+// schedule byte for byte — the nemesis equivalent of a simulator
+// golden. If protocol behavior shifts under this schedule, the diff
+// shows up here, not in production.
+func TestReplayRegressionGolden(t *testing.T) {
+	code, out, _ := runCLI(t, "-replay", "testdata/regression.json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	want := `# replay testdata/regression.json: seed 7, 3 nodes, 2 episodes
+  episode: partition 1–0 rx all rails [4.935590943s,6s)
+  episode: crash 1 (cold restart) [512.69362ms,2.094541483s)
+  violation: convergence: node 1 peer 0: route "relay" (rail 0 via 2), want direct
+FAIL — 1 invariant violations
+`
+	if out != want {
+		t.Fatalf("replay drifted from the pinned outcome:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+// TestReplayHealedSchedule: the same regression schedule with an
+// honest settle window converges — proving the pinned violation is
+// about reconvergence time, not a permanently wedged cluster.
+func TestReplayHealedSchedule(t *testing.T) {
+	buf, err := os.ReadFile("testdata/regression.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(buf), `"settle": "1ms"`, `"settle": "2s"`, 1)
+	if patched == string(buf) {
+		t.Fatal("settle not found in regression.json")
+	}
+	path := filepath.Join(t.TempDir(), "healed.json")
+	if err := os.WriteFile(path, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "-replay", path)
+	if code != 0 || !strings.Contains(out, "ok — every invariant held") {
+		t.Fatalf("exit %d, want 0 with a clean bill; output:\n%s", code, out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if code, _, _ := runCLI(t, "-replay", "testdata/no-such-file.json"); code != 2 {
+		t.Fatalf("missing replay file: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-bogus"); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nodes": 1, "horizon": "1s", "settle": "0s"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-replay", bad)
+	if code != 2 || !strings.Contains(errOut, "nodes") {
+		t.Fatalf("invalid schedule: exit %d stderr %q, want 2 with a nodes complaint", code, errOut)
+	}
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"drsnet/internal/netsim"
+	"drsnet/internal/simtime"
+)
+
+// PartitionSpec is one timed network-partition episode between a pair
+// of nodes: from Start to Stop the directed paths selected by
+// Direction are severed on Rail (netsim.AllRails = every rail), then
+// healed. Partitions are the fault the fail-stop model cannot
+// express at all — both endpoints are alive and their hardware is
+// healthy, yet frames between them vanish, possibly in one direction
+// only:
+//
+//   - DirBoth severs A↔B symmetrically — the classic split.
+//   - DirTx severs A→B only: B goes deaf to A while A still hears B.
+//   - DirRx severs B→A only: the mirror-image asymmetric cut.
+type PartitionSpec struct {
+	// A and B are the partitioned pair.
+	A, B int
+	// Rail selects one segment, or netsim.AllRails for all of them.
+	Rail int
+	// Start is when the cut lands; Stop, when nonzero, is when it
+	// heals. Zero means the partition lasts to the horizon.
+	Start, Stop time.Duration
+	// Direction selects which directed paths are cut (see above).
+	Direction netsim.Direction
+}
+
+// PartitionNet is the network surface partitions act on; the
+// dual-rail netsim.Network implements it.
+type PartitionNet interface {
+	Partition(src, dst, rail int)
+	Heal(src, dst, rail int)
+}
+
+// Validate checks one partition episode against a nodes×rails
+// cluster. The index i names the entry in error messages.
+func (s *PartitionSpec) Validate(nodes, rails, i int) error {
+	if s.A < 0 || s.A >= nodes {
+		return fmt.Errorf("chaos: partition[%d]: unknown node %d (cluster of %d)", i, s.A, nodes)
+	}
+	if s.B < 0 || s.B >= nodes {
+		return fmt.Errorf("chaos: partition[%d]: unknown node %d (cluster of %d)", i, s.B, nodes)
+	}
+	if s.A == s.B {
+		return fmt.Errorf("chaos: partition[%d]: node %d partitioned from itself", i, s.A)
+	}
+	if s.Rail != netsim.AllRails && (s.Rail < 0 || s.Rail >= rails) {
+		return fmt.Errorf("chaos: partition[%d]: rail %d outside [0,%d)", i, s.Rail, rails)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("chaos: partition[%d]: start %v before time zero", i, s.Start)
+	}
+	if s.Stop != 0 && s.Stop <= s.Start {
+		return fmt.Errorf("chaos: partition[%d]: stop %v not after start %v", i, s.Stop, s.Start)
+	}
+	switch s.Direction {
+	case netsim.DirBoth, netsim.DirTx, netsim.DirRx:
+	default:
+		return fmt.Errorf("chaos: partition[%d]: unknown direction %v", i, s.Direction)
+	}
+	return nil
+}
+
+// ValidatePartitions checks a whole partition schedule.
+func ValidatePartitions(specs []PartitionSpec, nodes, rails int) error {
+	for i := range specs {
+		if err := specs[i].Validate(nodes, rails, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply installs or heals the episode's directed cuts on the network.
+func (s *PartitionSpec) apply(net PartitionNet, heal bool) {
+	act := net.Partition
+	if heal {
+		act = net.Heal
+	}
+	if s.Direction == netsim.DirBoth || s.Direction == netsim.DirTx {
+		act(s.A, s.B, s.Rail)
+	}
+	if s.Direction == netsim.DirBoth || s.Direction == netsim.DirRx {
+		act(s.B, s.A, s.Rail)
+	}
+}
+
+// SchedulePartitions installs a validated partition schedule, in spec
+// order, on the scheduler. Call once, before advancing the simulation
+// past the earliest episode. Overlapping episodes compose in schedule
+// order: a heal removes exactly the directed cuts its episode
+// installed (an overlapping episode that cut the same directed path
+// is healed with it — directed cuts are idempotent flags, not
+// refcounts).
+func SchedulePartitions(sched *simtime.Scheduler, specs []PartitionSpec, net PartitionNet) {
+	for i := range specs {
+		s := specs[i]
+		sched.At(simtime.Time(s.Start), func() { s.apply(net, false) })
+		if s.Stop > 0 {
+			sched.At(simtime.Time(s.Stop), func() { s.apply(net, true) })
+		}
+	}
+}

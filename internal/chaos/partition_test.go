@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"drsnet/internal/netsim"
+	"drsnet/internal/simtime"
+)
+
+// fakePartNet records Partition/Heal calls in order.
+type fakePartNet struct{ calls []string }
+
+func (f *fakePartNet) Partition(src, dst, rail int) {
+	f.calls = append(f.calls, pcall("cut", src, dst, rail))
+}
+func (f *fakePartNet) Heal(src, dst, rail int) {
+	f.calls = append(f.calls, pcall("heal", src, dst, rail))
+}
+func pcall(verb string, src, dst, rail int) string {
+	return fmt.Sprintf("%s:%d>%d@%d", verb, src, dst, rail)
+}
+
+// TestValidatePartitions covers the rejection matrix with precise
+// error substrings.
+func TestValidatePartitions(t *testing.T) {
+	cases := []struct {
+		name string
+		spec PartitionSpec
+		want string // "" = valid
+	}{
+		{"valid symmetric", PartitionSpec{A: 0, B: 1, Rail: netsim.AllRails, Start: time.Second, Stop: 2 * time.Second}, ""},
+		{"valid asymmetric open-ended", PartitionSpec{A: 2, B: 0, Rail: 1, Direction: netsim.DirTx}, ""},
+		{"bad node A", PartitionSpec{A: -1, B: 1}, "unknown node -1"},
+		{"bad node B", PartitionSpec{A: 0, B: 9}, "unknown node 9"},
+		{"self partition", PartitionSpec{A: 1, B: 1}, "partitioned from itself"},
+		{"bad rail", PartitionSpec{A: 0, B: 1, Rail: 2}, "rail 2 outside [0,2)"},
+		{"negative start", PartitionSpec{A: 0, B: 1, Start: -time.Second}, "before time zero"},
+		{"stop before start", PartitionSpec{A: 0, B: 1, Start: 2 * time.Second, Stop: time.Second}, "not after start"},
+		{"bad direction", PartitionSpec{A: 0, B: 1, Direction: netsim.Direction(9)}, "unknown direction"},
+	}
+	for _, c := range cases {
+		err := ValidatePartitions([]PartitionSpec{c.spec}, 3, 2)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestSchedulePartitions: episodes land and heal at their instants,
+// expanding Direction into the right directed cuts, and an open-ended
+// episode never heals.
+func TestSchedulePartitions(t *testing.T) {
+	sched := simtime.NewScheduler()
+	net := &fakePartNet{}
+	specs := []PartitionSpec{
+		{A: 0, B: 1, Rail: 0, Start: time.Second, Stop: 3 * time.Second},                     // symmetric
+		{A: 1, B: 2, Rail: netsim.AllRails, Start: 2 * time.Second, Direction: netsim.DirTx}, // open-ended, 1→2 only
+	}
+	if err := ValidatePartitions(specs, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	SchedulePartitions(sched, specs, net)
+
+	sched.RunUntil(simtime.Time(time.Second))
+	want := []string{pcall("cut", 0, 1, 0), pcall("cut", 1, 0, 0)}
+	if !reflect.DeepEqual(net.calls, want) {
+		t.Fatalf("after 1s: calls %v, want %v", net.calls, want)
+	}
+	sched.RunUntil(simtime.Time(10 * time.Second))
+	want = append(want,
+		pcall("cut", 1, 2, netsim.AllRails), // asymmetric: 1→2 only, never healed
+		pcall("heal", 0, 1, 0),
+		pcall("heal", 1, 0, 0),
+	)
+	if !reflect.DeepEqual(net.calls, want) {
+		t.Fatalf("full schedule: calls %v, want %v", net.calls, want)
+	}
+}

@@ -1,0 +1,71 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestManualAdvanceRacesAfterFunc drives a manual Wall's Advance from
+// one goroutine while others concurrently register and cancel timers —
+// the exact overlap the nemesis runner produces when daemons arm
+// probe timers while the harness drains the clock. Under -race this is
+// the memory-safety gate; the accounting check catches lost timers.
+func TestManualAdvanceRacesAfterFunc(t *testing.T) {
+	clk := NewManual()
+	var fired, cancelled, registered atomic.Int64
+
+	const workers = 4
+	const perWorker = 200
+	stop := make(chan struct{})
+	driverDone := make(chan struct{})
+
+	// Driver: advance in small steps until told to stop.
+	go func() {
+		defer close(driverDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.Advance(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d := time.Duration(i%7) * 100 * time.Microsecond
+				registered.Add(1)
+				cancel := clk.AfterFunc(d, func() { fired.Add(1) })
+				// Some timers are cancelled immediately; a successful
+				// cancel must mean the callback never runs.
+				if (i+w)%5 == 0 && cancel() {
+					cancelled.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let the workers finish, stop the driver, then drain whatever is
+	// still pending (Advance is single-driver: wait for the goroutine
+	// to exit before draining from this one).
+	wg.Wait()
+	close(stop)
+	<-driverDone
+	clk.Advance(time.Second)
+
+	if clk.Pending() != 0 {
+		t.Fatalf("%d timers still pending after the final drain", clk.Pending())
+	}
+	if got := fired.Load() + cancelled.Load(); got != registered.Load() {
+		t.Fatalf("fired %d + cancelled %d = %d, want %d registered",
+			fired.Load(), cancelled.Load(), got, registered.Load())
+	}
+}

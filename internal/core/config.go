@@ -63,6 +63,17 @@ type Config struct {
 	// silent on every rail for this long (0 = never forget; static
 	// members are never forgotten).
 	ForgetAfter time.Duration
+	// StrictLinkEvidence restricts link-liveness evidence to round
+	// trips: only confirmed replies to our own probes clear misses or
+	// raise a rail. By default any traffic heard from a peer also
+	// counts — optimistic and fast, but it proves the peer→us
+	// direction only, so an asymmetric cut (our frames to the peer
+	// vanish while theirs arrive) is masked forever: the peer's own
+	// probes keep resetting our miss counter while our data
+	// blackholes. Strict evidence lets misses accumulate on the dead
+	// tx direction and the route fail over. Membership freshness
+	// still counts heard traffic either way.
+	StrictLinkEvidence bool
 	// FlapDamping holds a recovered (peer, rail) path down, RFC
 	// 2439-style, while its flap penalty stays high: each link-down
 	// transition charges a penalty that decays exponentially, and a

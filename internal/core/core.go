@@ -291,8 +291,9 @@ func (d *Daemon) onICMP(rail, src int, body []byte) {
 	}
 	if echo.Request {
 		// Phase 2: answer the peer's link check. Hearing a request
-		// also proves the path from src on this rail works — treat it
-		// as implicit liveness evidence.
+		// proves the src→us direction of this rail works; whether that
+		// counts as link-liveness evidence is StrictLinkEvidence's
+		// call (see noteAlive).
 		reply, err := icmp.Reply(echo)
 		if err == nil {
 			_ = d.tr.Send(rail, src, routing.Envelope(routing.ProtoICMP, reply.Marshal()))
@@ -326,8 +327,18 @@ func (d *Daemon) onICMP(rail, src int, body []byte) {
 	}
 }
 
-// noteAlive records implicit liveness evidence for (src, rail):
-// any valid traffic from the peer proves the receive path.
+// noteAlive records liveness evidence from valid traffic heard from
+// src on rail. The peer's process is certainly alive, so membership is
+// always refreshed. What it proves about the *link* is subtler: heard
+// traffic vouches for the src→us direction only, and under an
+// asymmetric partition our own frames to src may be vanishing while
+// theirs arrive. By default (the original, optimistic behavior) the
+// evidence is credited against probe misses and may re-raise the rail
+// — cheap fast recovery, but it masks one-way cuts. With
+// StrictLinkEvidence set, link state moves solely on round-trip
+// evidence — confirmed replies to our own probes — so a dead tx
+// direction accumulates misses and fails over no matter how much the
+// peer is heard.
 func (d *Daemon) noteAlive(rail, src int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -335,6 +346,9 @@ func (d *Daemon) noteAlive(rail, src int) {
 		return
 	}
 	d.members.Heard(src, d.clock.Now())
+	if d.cfg.StrictLinkEvidence {
+		return
+	}
 	st := d.links.State(src, rail)
 	st.Misses = 0
 	if !st.Up {

@@ -1,0 +1,330 @@
+package nemesis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"drsnet/internal/clock"
+	"drsnet/internal/core"
+	"drsnet/internal/routing"
+	"drsnet/internal/runtime"
+	"drsnet/internal/transport"
+)
+
+// memLatency is the hermetic fabric's one-way delivery latency.
+const memLatency = 200 * time.Microsecond
+
+// Violation is one invariant the cluster failed to restore after the
+// schedule healed.
+type Violation struct {
+	// Invariant names the broken property: "convergence",
+	// "incarnation", "membership" or "delivery".
+	Invariant string `json:"invariant"`
+	// Node is whose view is wrong; Peer is about whom (-1 when the
+	// violation is not about a specific peer).
+	Node int `json:"node"`
+	Peer int `json:"peer"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: node %d peer %d: %s", v.Invariant, v.Node, v.Peer, v.Detail)
+}
+
+// Outcome is the result of running one schedule to completion.
+type Outcome struct {
+	Schedule   Schedule    `json:"schedule"`
+	Violations []Violation `json:"violations,omitempty"`
+	// Faults counts what the fault controller did to traffic.
+	Faults transport.FaultStats `json:"-"`
+	// Statuses is each daemon's final view (DRS only), for diagnosis.
+	Statuses []core.Status `json:"-"`
+}
+
+// Failed reports whether any invariant was violated.
+func (o *Outcome) Failed() bool { return len(o.Violations) > 0 }
+
+// runner is the hermetic cluster one schedule executes against:
+// manual wall clock, in-memory transport wrapped by one shared fault
+// controller, and the same runtime.BuildNode router assembly the live
+// daemon uses. Everything runs on one goroutine (timer callbacks fire
+// synchronously inside Advance), so a schedule replays bit-identically
+// from its seed.
+type runner struct {
+	sched   Schedule
+	spec    runtime.ClusterSpec
+	clk     *clock.Wall
+	mem     *transport.Mem
+	faults  *transport.Faults
+	routers []routing.Router
+	// incarnation and checkpoint track each node's crash–restart
+	// lifecycle across episode windows.
+	incarnation []uint32
+	checkpoint  []*core.Checkpoint
+	// delivered records data-plane check receipts, keyed src*Nodes+dst.
+	delivered map[int]bool
+}
+
+// Run executes the schedule against a fresh hermetic cluster and
+// checks the post-heal invariants. The only error is an invalid
+// schedule or an unbuildable cluster; protocol misbehavior is reported
+// as Violations, not an error.
+func Run(s Schedule) (*Outcome, error) {
+	if s.Protocol == "" {
+		s.Protocol = runtime.ProtoDRS
+	}
+	if s.ProbeInterval.dur() == 0 {
+		s.ProbeInterval = Duration(100 * time.Millisecond)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	clk := clock.NewManual()
+	r := &runner{
+		sched: s,
+		spec: runtime.ClusterSpec{
+			Nodes:    s.Nodes,
+			Protocol: s.Protocol,
+			Tunables: runtime.Tunables{
+				ProbeInterval: s.ProbeInterval.dur(),
+				MissThreshold: 2,
+				// The lifecycle guards restarts; strict link evidence
+				// makes asymmetric cuts detectable instead of masked —
+				// without it every tx-only partition is a guaranteed
+				// (and uninteresting) violation.
+				Lifecycle:          true,
+				StrictLinkEvidence: true,
+			},
+		},
+		clk:         clk,
+		mem:         transport.NewMem(s.Nodes, rails, clk, memLatency),
+		faults:      transport.NewFaults(s.Seed, clk),
+		routers:     make([]routing.Router, s.Nodes),
+		incarnation: make([]uint32, s.Nodes),
+		checkpoint:  make([]*core.Checkpoint, s.Nodes),
+		delivered:   make(map[int]bool),
+	}
+	for n := 0; n < s.Nodes; n++ {
+		if err := r.boot(n, 1, nil); err != nil {
+			return nil, err
+		}
+	}
+	for i := range s.Episodes {
+		r.arm(s.Episodes[i])
+	}
+	// Fault phase, then the heal barrier (episodes all end by the
+	// horizon; HealAll also clears anything a hand-written replay file
+	// left dangling), then the settle window.
+	r.clk.RunUntil(s.Horizon.dur())
+	r.faults.HealAll()
+	r.clk.RunUntil(s.Horizon.dur() + s.Settle.dur())
+
+	out := &Outcome{Schedule: s}
+	r.checkStatusInvariants(out)
+	r.checkDelivery(out)
+	out.Faults = r.faults.Stats()
+	for _, rt := range r.routers {
+		rt.Stop()
+	}
+	return out, nil
+}
+
+// boot builds and starts one node's router at the given incarnation,
+// re-installing the data-plane receipt hook a restart would lose.
+func (r *runner) boot(n int, inc uint32, restore *core.Checkpoint) error {
+	router, err := runtime.BuildNode(r.spec, n, r.faults.Wrap(r.mem.Node(n)), r.clk, inc, restore)
+	if err != nil {
+		return fmt.Errorf("nemesis: node %d: %v", n, err)
+	}
+	dst := n
+	router.SetDeliverFunc(func(src int, data []byte) {
+		r.delivered[src*r.sched.Nodes+dst] = true
+	})
+	if err := router.Start(); err != nil {
+		return fmt.Errorf("nemesis: node %d start: %v", n, err)
+	}
+	r.routers[n] = router
+	r.incarnation[n] = inc
+	return nil
+}
+
+// arm schedules one episode's state changes on the run's clock.
+func (r *runner) arm(e Episode) {
+	switch e.Kind {
+	case KindPartition:
+		for _, cut := range cuts(e) {
+			r.faults.PartitionWindow(cut.src, cut.dst, cut.rail, e.Start.dur(), e.Stop.dur())
+		}
+	case KindCrash:
+		node, warm := e.A, e.Warm
+		r.clk.AfterFunc(e.Start.dur(), func() {
+			if d, ok := r.routers[node].(*core.Daemon); ok && warm {
+				r.checkpoint[node] = d.Checkpoint()
+			} else {
+				r.checkpoint[node] = nil
+			}
+			r.mem.FailNode(node)
+			r.routers[node].Stop()
+		})
+		r.clk.AfterFunc(e.Stop.dur(), func() {
+			r.mem.RestoreNode(node)
+			if err := r.boot(node, r.incarnation[node]+1, r.checkpoint[node]); err != nil {
+				// The spec built once already; a rebuild cannot fail.
+				panic(err)
+			}
+		})
+	case KindFlap:
+		node, rail := e.A, e.Rail
+		for at, up := e.Start.dur(), false; at < e.Stop.dur(); at, up = at+e.Period.dur(), !up {
+			state := up
+			r.clk.AfterFunc(at, func() { r.mem.SetNIC(node, rail, state) })
+		}
+		r.clk.AfterFunc(e.Stop.dur(), func() { r.mem.SetNIC(node, rail, true) })
+	case KindSkew:
+		node, skew := e.A, e.Skew.dur()
+		r.clk.AfterFunc(e.Start.dur(), func() { r.faults.SetSkew(node, skew) })
+		r.clk.AfterFunc(e.Stop.dur(), func() { r.faults.SetSkew(node, 0) })
+	}
+}
+
+type cutSpec struct{ src, dst, rail int }
+
+// cuts expands a partition episode into its directed (src, dst, rail)
+// cuts: "both" is two directed cuts, "tx"/"rx" one.
+func cuts(e Episode) []cutSpec {
+	var out []cutSpec
+	if e.Direction != DirRx {
+		out = append(out, cutSpec{e.A, e.B, e.Rail})
+	}
+	if e.Direction != DirTx {
+		out = append(out, cutSpec{e.B, e.A, e.Rail})
+	}
+	return out
+}
+
+// checkStatusInvariants inspects each daemon's post-settle view. Only
+// the DRS exposes a Status; other protocols get the data-plane check
+// alone.
+func (r *runner) checkStatusInvariants(out *Outcome) {
+	statuses := make([]*core.Status, r.sched.Nodes)
+	for n, rt := range r.routers {
+		if d, ok := rt.(*core.Daemon); ok {
+			s := d.Status()
+			statuses[n] = &s
+			out.Statuses = append(out.Statuses, s)
+		}
+	}
+	add := func(inv string, node, peer int, format string, args ...any) {
+		out.Violations = append(out.Violations, Violation{
+			Invariant: inv, Node: node, Peer: peer, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	for n, s := range statuses {
+		if s == nil {
+			continue
+		}
+		for peer := 0; peer < r.sched.Nodes; peer++ {
+			if peer == n {
+				continue
+			}
+			p, ok := peerView(s, peer)
+			if !ok {
+				add("membership", n, peer, "no membership entry after settle")
+				continue
+			}
+			// Convergence: with every fault healed and both rails up,
+			// steady state is a direct route to everyone.
+			if p.Route != "direct" {
+				add("convergence", n, peer, "route %q (rail %d via %d), want direct", p.Route, p.Rail, p.Via)
+			}
+			// Incarnation: a view of a previous life after its
+			// successor rejoined means the rejoin purge leaked. Zero is
+			// legitimate ignorance — incarnations are only learned from
+			// stamped control frames, and a node that restarted after a
+			// peer's boot-time announce may never have seen one.
+			if want := r.incarnation[peer]; p.Incarnation != 0 && p.Incarnation != want {
+				add("incarnation", n, peer, "sees incarnation %d, peer is running %d", p.Incarnation, want)
+			}
+			// Membership: the peer must have been heard recently — more
+			// than a few silent probe rounds at check time means the
+			// failure detector never recovered from the faults.
+			stale := r.sched.Horizon.dur() + r.sched.Settle.dur() - 3*r.sched.ProbeInterval.dur()
+			if p.LastHeard < stale {
+				add("membership", n, peer, "last heard %v, silent since (checked at %v)",
+					p.LastHeard, r.sched.Horizon.dur()+r.sched.Settle.dur())
+			}
+		}
+	}
+	sortViolations(out.Violations)
+}
+
+func peerView(s *core.Status, peer int) (core.PeerStatus, bool) {
+	for _, p := range s.Peers {
+		if p.Peer == peer {
+			return p, true
+		}
+	}
+	return core.PeerStatus{}, false
+}
+
+// deliveryWindow is how long the data-plane check waits for its
+// datagrams — generous (many probe rounds) on purpose: unlike the
+// settle-bounded status invariants, a delivery failure here means the
+// cluster lost a route it never gets back.
+func (r *runner) deliveryWindow() time.Duration {
+	w := 10 * r.sched.ProbeInterval.dur()
+	if w < 500*time.Millisecond {
+		w = 500 * time.Millisecond
+	}
+	return w
+}
+
+// checkDelivery sends one datagram along every ordered pair and runs
+// the clock a generous window; anything undelivered is a violation.
+func (r *runner) checkDelivery(out *Outcome) {
+	noRoute := make(map[int]bool)
+	for src := 0; src < r.sched.Nodes; src++ {
+		for dst := 0; dst < r.sched.Nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			payload := []byte(fmt.Sprintf("nemesis %d->%d", src, dst))
+			if err := r.routers[src].SendData(dst, payload); err != nil {
+				noRoute[src*r.sched.Nodes+dst] = true
+			}
+		}
+	}
+	r.clk.Advance(r.deliveryWindow())
+	var vs []Violation
+	for src := 0; src < r.sched.Nodes; src++ {
+		for dst := 0; dst < r.sched.Nodes; dst++ {
+			key := src*r.sched.Nodes + dst
+			if src == dst || r.delivered[key] {
+				continue
+			}
+			detail := "datagram never delivered"
+			if noRoute[key] {
+				detail = "send refused: no route"
+			}
+			vs = append(vs, Violation{Invariant: "delivery", Node: src, Peer: dst, Detail: detail})
+		}
+	}
+	sortViolations(vs)
+	out.Violations = append(out.Violations, vs...)
+}
+
+// sortViolations orders violations (invariant, node, peer) so outcome
+// rendering is deterministic regardless of how checks accumulate.
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Invariant != vs[j].Invariant {
+			return vs[i].Invariant < vs[j].Invariant
+		}
+		if vs[i].Node != vs[j].Node {
+			return vs[i].Node < vs[j].Node
+		}
+		return vs[i].Peer < vs[j].Peer
+	})
+}

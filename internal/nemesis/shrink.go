@@ -1,0 +1,34 @@
+package nemesis
+
+// Shrink reduces a failing schedule to a minimal one: repeatedly
+// re-run the schedule with one episode removed, keep any removal that
+// still violates an invariant, and stop when no single episode can be
+// dropped — every surviving episode is necessary for the failure. The
+// runs are deterministic, so shrinking is too, and the result replays
+// to the same violations every time.
+//
+// Shrink returns the reduced schedule and its outcome. A schedule that
+// does not fail (or fails to run at all) is returned unchanged with a
+// nil outcome — shrinking is only meaningful from a failing start.
+func Shrink(s Schedule) (Schedule, *Outcome) {
+	out, err := Run(s)
+	if err != nil || !out.Failed() {
+		return s, nil
+	}
+	for {
+		reduced := false
+		for i := 0; i < len(s.Episodes); i++ {
+			candidate := s.without(i)
+			cout, err := Run(candidate)
+			if err != nil || !cout.Failed() {
+				continue
+			}
+			s, out = candidate, cout
+			reduced = true
+			i-- // the next episode slid into slot i
+		}
+		if !reduced {
+			return s, out
+		}
+	}
+}

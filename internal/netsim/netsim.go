@@ -222,6 +222,10 @@ type SegmentStats struct {
 	// daemon process was fail-stopped (crash lifecycle): the NICs are
 	// electrically up but nothing behind them sends or receives.
 	DroppedNodeDown int64
+	// DroppedPartitioned counts frames eaten by an installed network
+	// partition (Partition): the directed (src, dst, rail) path was
+	// blocked at delivery time.
+	DroppedPartitioned int64
 	// Corrupted counts frames whose payload was mangled in transit by
 	// an impairment; they still occupy the wire and are delivered.
 	Corrupted int64
@@ -262,6 +266,10 @@ type Network struct {
 	impRnd *rng.Source
 	// tap, when non-nil, observes every frame (see Tap).
 	tap Tap
+	// part holds the installed network partitions (nil until the first
+	// Partition, so partition-free runs pay nothing): directed
+	// (src, dst, rail) paths whose frames vanish at delivery.
+	part map[partKey]struct{}
 	// Delivery-event recycling: hub-mode deliveries are never
 	// cancelled, so their event records cycle through a freelist and
 	// the pre-bound deliverEv method value instead of allocating a
@@ -587,6 +595,10 @@ func (n *Network) completeDelivery(seg *segment, fr Frame, node int, corrupt boo
 		seg.stats.DroppedRxNIC++
 		return
 	}
+	if n.partitioned(fr.Src, node, fr.Rail) {
+		seg.stats.DroppedPartitioned++
+		return
+	}
 	if n.params.LossRate > 0 && n.rnd.Float64() < n.params.LossRate {
 		seg.stats.DroppedLoss++
 		return
@@ -756,8 +768,9 @@ func (n *Network) CarrierUp(src, peer, rail int) bool {
 // Reachable reports ground-truth connectivity from src to dst at this
 // simulated instant: whether any chain of live forwarding hops exists,
 // where a hop u→v needs u's transmit NIC, the segment and v's receive
-// NIC alive on some rail, and every node on the chain (including src
-// and dst) must have its daemon process running. This is the oracle
+// NIC alive on some rail with no partition blocking the directed
+// (u, v, rail) path, and every node on the chain (including src and
+// dst) must have its daemon process running. This is the oracle
 // invariant checkers use to tell a legitimate "provably disconnected"
 // packet loss from a routing failure.
 func (n *Network) Reachable(src, dst int) bool {
@@ -782,7 +795,7 @@ func (n *Network) Reachable(src, dst int) bool {
 				continue
 			}
 			for r := 0; r < n.cluster.Rails; r++ {
-				if n.nicTx[u][r] && n.segs[r].up && n.nicRx[v][r] {
+				if n.nicTx[u][r] && n.segs[r].up && n.nicRx[v][r] && !n.partitioned(u, v, r) {
 					if v == dst {
 						return true
 					}

@@ -28,6 +28,7 @@ func buildDRS(ctx BuildContext) (routing.Router, error) {
 	cfg.MissThreshold = ctx.Spec.Tunables.MissThreshold
 	cfg.StaggerProbes = ctx.Spec.Tunables.StaggerProbes
 	cfg.PreferLowLatency = ctx.Spec.Tunables.PreferLowLatency
+	cfg.StrictLinkEvidence = ctx.Spec.Tunables.StrictLinkEvidence
 	cfg.FlapDamping = ctx.Spec.Tunables.FlapDamping
 	cfg.AdaptiveRTO = ctx.Spec.Tunables.AdaptiveRTO
 	cfg.Incarnation = ctx.Incarnation

@@ -48,7 +48,8 @@ func (s carrierSensor) CarrierUp(peer, rail int) bool {
 // The canonical event-scheduling order — the determinism contract —
 // is Start (routers in node order), ScheduleFlows (spec order),
 // ScheduleFaults (spec order), ScheduleImpairments (spec order),
-// ScheduleCrashes (spec order), then RunUntil.
+// ScheduleCrashes (spec order), SchedulePartitions (spec order), then
+// RunUntil.
 type Cluster struct {
 	spec    ClusterSpec
 	sched   *simtime.Scheduler
@@ -71,12 +72,13 @@ type Cluster struct {
 	pastRepairs  [][]Repair
 	lifecycleErr error
 
-	started          bool
-	stopped          bool
-	flowsScheduled   bool
-	faultsScheduled  bool
-	impairsScheduled bool
-	crashesScheduled bool
+	started             bool
+	stopped             bool
+	flowsScheduled      bool
+	faultsScheduled     bool
+	impairsScheduled    bool
+	crashesScheduled    bool
+	partitionsScheduled bool
 }
 
 // Build assembles a cluster from the spec: deterministic scheduler,
@@ -315,6 +317,20 @@ func (c *Cluster) ScheduleCrashes() {
 	chaos.ScheduleCrashes(c.sched, c.spec.Crashes, c)
 }
 
+// SchedulePartitions installs the spec's network-partition script, in
+// spec order (validated at Build time; the spec layer restricts
+// partitions to dual-rail clusters, whose Network implements the cut).
+func (c *Cluster) SchedulePartitions() {
+	if c.partitionsScheduled {
+		return
+	}
+	c.partitionsScheduled = true
+	if len(c.spec.Partitions) == 0 {
+		return
+	}
+	chaos.SchedulePartitions(c.sched, c.spec.Partitions, c.Network())
+}
+
 // Crash fail-stops node's routing process: the daemon is stopped and
 // the network blackholes every frame the node sends or would receive,
 // while its NICs stay electrically up. When warm, a checkpoint is
@@ -534,6 +550,7 @@ func Run(spec ClusterSpec) (*Result, error) {
 		return nil, err
 	}
 	c.ScheduleCrashes()
+	c.SchedulePartitions()
 	c.RunUntil(spec.Duration)
 	c.StopRouters()
 	if err := c.LifecycleErr(); err != nil {

@@ -25,6 +25,12 @@ type Tunables struct {
 	StaggerProbes bool
 	// PreferLowLatency steers DRS routes toward the lower-RTT rail.
 	PreferLowLatency bool
+	// StrictLinkEvidence makes DRS count only round-trip probe
+	// confirmations as link-liveness evidence, so asymmetric cuts
+	// (peer heard, peer deaf to us) are detected instead of masked.
+	// Off by default — the optimistic behavior matches the deployed
+	// DRS and the seeded goldens.
+	StrictLinkEvidence bool
 	// AdvertiseInterval is the reactive advertisement period and the
 	// link-state hello period (default 1 s).
 	AdvertiseInterval time.Duration
@@ -163,6 +169,11 @@ type ClusterSpec struct {
 	// electrically up, frames blackhole — and optionally restarts cold
 	// or warm. A non-empty script implies Tunables.Lifecycle.
 	Crashes []chaos.CrashSpec
+	// Partitions is the network-partition script (see
+	// chaos.PartitionSpec): timed symmetric or asymmetric cuts between
+	// node pairs, per rail or across all rails, invisible to carrier
+	// sensing. Dual-rail clusters only.
+	Partitions []chaos.PartitionSpec
 	// Invariant, if non-nil, runs the whole simulation under the
 	// forwarding-trace invariant checker (loop-freedom, delivery or
 	// provable disconnection, bounded stretch; see internal/invariant).
@@ -291,6 +302,12 @@ func (s *ClusterSpec) normalize() error {
 		return fmt.Errorf("runtime: %v", err)
 	}
 	if err := chaos.ValidateCrashes(s.Crashes, s.Nodes); err != nil {
+		return fmt.Errorf("runtime: %v", err)
+	}
+	if len(s.Partitions) > 0 && s.fabric != nil {
+		return fmt.Errorf("runtime: partitions are dual-rail only (fabric %q)", s.Topology.Kind)
+	}
+	if err := chaos.ValidatePartitions(s.Partitions, s.Nodes, s.Rails); err != nil {
 		return fmt.Errorf("runtime: %v", err)
 	}
 	if len(s.Crashes) > 0 {

@@ -140,6 +140,26 @@ type CrashSpec struct {
 	Warm bool `json:"warm,omitempty"`
 }
 
+// PartitionSpec is one timed network-partition episode between a pair
+// of nodes: from "start" to "stop" frames between them vanish on the
+// selected rail — in both directions, or one only — while every link
+// light stays on. Dual-rail topologies only.
+type PartitionSpec struct {
+	// A and B are the partitioned pair.
+	A int `json:"a"`
+	B int `json:"b"`
+	// Rail selects one segment; -1 cuts every rail.
+	Rail int `json:"rail"`
+	// Start is when the cut lands; Stop, when present, is when it
+	// heals (absent means the partition lasts to the horizon).
+	Start Duration `json:"start"`
+	Stop  Duration `json:"stop,omitempty"`
+	// Direction is "both" (default, the classic symmetric split),
+	// "tx" (A→B frames vanish, B goes deaf to A) or "rx" (the
+	// mirror-image one-way cut).
+	Direction string `json:"direction,omitempty"`
+}
+
 // InvariantSpec turns on the forwarding-trace invariant harness
 // (internal/invariant) for the run: loop-freedom and bounded stretch
 // are always asserted; requireDelivery additionally demands delivery
@@ -179,6 +199,10 @@ type Scenario struct {
 	StaggerProbes bool     `json:"staggerProbes,omitempty"`
 	// PreferLowLatency enables latency-aware rail steering (DRS only).
 	PreferLowLatency bool `json:"preferLowLatency,omitempty"`
+	// StrictLinkEvidence restricts DRS link liveness to round-trip
+	// probe confirmations, so asymmetric partitions are detected
+	// instead of masked by the peer's own heard traffic (DRS only).
+	StrictLinkEvidence bool `json:"strictLinkEvidence,omitempty"`
 	// FlapDamping enables RFC 2439-style route-flap damping (DRS
 	// only) with linkmon.DefaultDamping thresholds; the Damp* fields
 	// override individual thresholds (zero keeps the default).
@@ -210,6 +234,8 @@ type Scenario struct {
 	Impairments []ImpairmentSpec `json:"impairments,omitempty"`
 	// Crashes is the daemon crash–restart script.
 	Crashes []CrashSpec `json:"crashes,omitempty"`
+	// Partitions is the network-partition script (dual-rail only).
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
 
 	// fab is the resolved switched fabric, cached by Validate (nil for
 	// dual-rail documents).
@@ -385,6 +411,9 @@ func (s *Scenario) Validate() error {
 	if err := s.validateCrashes(); err != nil {
 		return err
 	}
+	if err := s.validatePartitions(); err != nil {
+		return err
+	}
 	if _, err := s.damping(); err != nil {
 		return err
 	}
@@ -419,6 +448,59 @@ func (s *Scenario) validateCrashes() error {
 		return fmt.Errorf("scenario: %v", err)
 	}
 	return nil
+}
+
+// validatePartitions checks the partition script: dual-rail only,
+// episodes inside the horizon, then the field rules the chaos layer
+// enforces.
+func (s *Scenario) validatePartitions() error {
+	if len(s.Partitions) == 0 {
+		return nil
+	}
+	if s.fab != nil {
+		return fmt.Errorf("scenario: partitions are dual-rail only (topology %q)", s.Topology.Kind)
+	}
+	for i, p := range s.Partitions {
+		if p.Start > s.Duration || p.Stop > s.Duration {
+			return fmt.Errorf("scenario: partitions[%d] outside [0,%v]", i, time.Duration(s.Duration))
+		}
+		if _, err := parseDirection(p.Direction); err != nil {
+			return fmt.Errorf("scenario: partitions[%d] %v", i, err)
+		}
+	}
+	specs, err := s.partitionSpecs()
+	if err != nil {
+		return err
+	}
+	if err := chaos.ValidatePartitions(specs, s.Nodes, 2); err != nil {
+		return fmt.Errorf("scenario: %v", err)
+	}
+	return nil
+}
+
+// partitionSpecs maps the document's partition script onto the chaos
+// layer.
+func (s *Scenario) partitionSpecs() ([]chaos.PartitionSpec, error) {
+	if len(s.Partitions) == 0 {
+		return nil, nil
+	}
+	specs := make([]chaos.PartitionSpec, 0, len(s.Partitions))
+	for i, p := range s.Partitions {
+		dir, err := parseDirection(p.Direction)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: partitions[%d] %v", i, err)
+		}
+		rail := p.Rail
+		if rail < 0 {
+			rail = netsim.AllRails
+		}
+		specs = append(specs, chaos.PartitionSpec{
+			A: p.A, B: p.B, Rail: rail,
+			Start: time.Duration(p.Start), Stop: time.Duration(p.Stop),
+			Direction: dir,
+		})
+	}
+	return specs, nil
 }
 
 // crashSpecs maps the document's crash script onto the chaos layer.
@@ -639,18 +721,23 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 		Seed:     s.Seed,
 		Duration: time.Duration(s.Duration),
 		Tunables: runtime.Tunables{
-			ProbeInterval:     time.Duration(s.ProbeInterval),
-			MissThreshold:     s.MissThreshold,
-			StaggerProbes:     s.StaggerProbes,
-			PreferLowLatency:  s.PreferLowLatency,
-			FlapDamping:       damp,
-			AdaptiveRTO:       rto,
-			AdvertiseInterval: time.Duration(s.AdvertiseInterval),
-			RouteTimeout:      time.Duration(s.RouteTimeout),
-			FailoverTTL:       s.FailoverTTL,
-			Lifecycle:         len(s.Crashes) > 0,
+			ProbeInterval:      time.Duration(s.ProbeInterval),
+			MissThreshold:      s.MissThreshold,
+			StaggerProbes:      s.StaggerProbes,
+			PreferLowLatency:   s.PreferLowLatency,
+			StrictLinkEvidence: s.StrictLinkEvidence,
+			FlapDamping:        damp,
+			AdaptiveRTO:        rto,
+			AdvertiseInterval:  time.Duration(s.AdvertiseInterval),
+			RouteTimeout:       time.Duration(s.RouteTimeout),
+			FailoverTTL:        s.FailoverTTL,
+			Lifecycle:          len(s.Crashes) > 0,
 		},
 		Crashes: s.crashSpecs(),
+	}
+	spec.Partitions, err = s.partitionSpecs()
+	if err != nil {
+		return runtime.ClusterSpec{}, err
 	}
 	if t := s.Topology; t != nil {
 		// Nodes was derived (or checked) against the shape in Validate;

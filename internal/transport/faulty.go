@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drsnet/internal/clock"
+	"drsnet/internal/rng"
+)
+
+// AllRails, as a rail argument to the partition methods, selects every
+// rail of the pair.
+const AllRails = -1
+
+// FaultSpec is the per-frame impairment policy a Faults controller
+// applies. Probabilities are independent per frame; the zero value
+// passes every frame through untouched.
+type FaultSpec struct {
+	// Drop, Duplicate and Corrupt are per-frame probabilities in
+	// [0,1]. A corrupted frame has one byte flipped — downstream wire
+	// codecs must survive it (and the header checks usually discard
+	// it), which is exactly the point.
+	Drop, Duplicate, Corrupt float64
+	// Reorder is the probability a frame is held back ReorderDelay
+	// while frames behind it pass — genuine reordering, not jitter.
+	Reorder float64
+	// ReorderDelay is how long a reordered frame is held (default
+	// 1ms when Reorder > 0).
+	ReorderDelay time.Duration
+	// Delay postpones every frame; Jitter adds a uniform random
+	// extra in [0, Jitter).
+	Delay, Jitter time.Duration
+}
+
+// validate panics on a malformed spec — fault injection is test
+// machinery, and a bad campaign config is a programming error.
+func (s FaultSpec) validate() {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", s.Drop}, {"duplicate", s.Duplicate}, {"corrupt", s.Corrupt}, {"reorder", s.Reorder}} {
+		if p.v < 0 || p.v > 1 {
+			panic(fmt.Sprintf("transport: fault %s probability %v outside [0,1]", p.name, p.v))
+		}
+	}
+	if s.ReorderDelay < 0 || s.Delay < 0 || s.Jitter < 0 {
+		panic("transport: negative fault delay")
+	}
+}
+
+// FaultStats counts what a Faults controller did to traffic.
+type FaultStats struct {
+	Delivered   int64 // frames handed up, possibly late or corrupted
+	Dropped     int64
+	Duplicated  int64
+	Reordered   int64
+	Corrupted   int64
+	Partitioned int64 // frames eaten by a directed cut
+}
+
+// Faults is a shared fault-injection controller for a cluster of
+// transports: build one, Wrap each node's Transport with it, and every
+// frame the cluster delivers passes through the same seeded policy.
+// It applies drop, duplicate, reorder, delay and corrupt impairments,
+// directed (src, dst, rail) partitions — symmetric splits are two
+// directed cuts — and per-node skew windows, all on the receive path,
+// so it composes identically over Sim, Mem and UDP transports.
+//
+// Every random decision comes from one rng.Source substream, so under
+// a deterministic inner transport (Mem on a manual clock, Sim) a
+// campaign replays bit-identically from its seed. Over UDP the
+// decisions are still seeded but goroutine interleaving orders them.
+//
+// Timed partition windows (PartitionWindow) run through the
+// controller's clock.Clock, keeping schedules on simulated time.
+type Faults struct {
+	mu    sync.Mutex
+	rng   *rng.Source
+	clk   clock.Clock
+	spec  FaultSpec
+	cuts  map[cutKey]struct{}
+	skew  map[int]time.Duration
+	stats FaultStats
+}
+
+type cutKey struct{ src, dst, rail int }
+
+// NewFaults builds a controller whose decisions replay from seed and
+// whose deferred deliveries and partition windows run on clk.
+func NewFaults(seed uint64, clk clock.Clock) *Faults {
+	return &Faults{
+		rng:  rng.New(seed).Split(0xfa017),
+		clk:  clk,
+		cuts: make(map[cutKey]struct{}),
+		skew: make(map[int]time.Duration),
+	}
+}
+
+// SetSpec replaces the impairment policy (the zero spec clears it).
+func (f *Faults) SetSpec(spec FaultSpec) {
+	spec.validate()
+	if spec.Reorder > 0 && spec.ReorderDelay == 0 {
+		spec.ReorderDelay = time.Millisecond
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.spec = spec
+}
+
+// Partition installs a directed cut: frames src→dst on rail (AllRails
+// = every rail) vanish. Idempotent.
+func (f *Faults) Partition(src, dst, rail int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts[cutKey{src, dst, rail}] = struct{}{}
+}
+
+// Heal removes the directed cut installed with the same arguments.
+func (f *Faults) Heal(src, dst, rail int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cuts, cutKey{src, dst, rail})
+}
+
+// HealAll removes every cut and skew window.
+func (f *Faults) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts = make(map[cutKey]struct{})
+	f.skew = make(map[int]time.Duration)
+}
+
+// PartitionWindow schedules a directed cut from start to stop on the
+// controller's clock (stop ≤ start: the cut lasts forever). Both are
+// delays from now, matching clock.Clock's AfterFunc.
+func (f *Faults) PartitionWindow(src, dst, rail int, start, stop time.Duration) {
+	f.clk.AfterFunc(start, func() { f.Partition(src, dst, rail) })
+	if stop > start {
+		f.clk.AfterFunc(stop, func() { f.Heal(src, dst, rail) })
+	}
+}
+
+// SetSkew delays every delivery to node by d (0 clears it) — a crude
+// but effective model of the node's clock running behind the cluster:
+// relative to its own timers, everything arrives late.
+func (f *Faults) SetSkew(node int, d time.Duration) {
+	if d < 0 {
+		panic("transport: negative skew")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d == 0 {
+		delete(f.skew, node)
+		return
+	}
+	f.skew[node] = d
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// cut reports whether src→dst on rail is severed. Caller holds f.mu.
+func (f *Faults) cut(src, dst, rail int) bool {
+	if _, ok := f.cuts[cutKey{src, dst, rail}]; ok {
+		return true
+	}
+	_, ok := f.cuts[cutKey{src, dst, AllRails}]
+	return ok
+}
+
+// Wrap returns inner's fault-injecting view. Wrap every node of a
+// cluster with the same controller so partitions see both directions.
+func (f *Faults) Wrap(inner Transport) Transport {
+	return &Faulty{f: f, inner: inner}
+}
+
+// Faulty is one node's fault-injecting Transport, produced by
+// Faults.Wrap. Sends pass through untouched; received frames run the
+// controller's policy before reaching the node's receiver.
+type Faulty struct {
+	f     *Faults
+	inner Transport
+}
+
+// Node implements Transport.
+func (t *Faulty) Node() int { return t.inner.Node() }
+
+// Nodes implements Transport.
+func (t *Faulty) Nodes() int { return t.inner.Nodes() }
+
+// Rails implements Transport.
+func (t *Faulty) Rails() int { return t.inner.Rails() }
+
+// Send implements Transport, delegating to the wrapped transport.
+func (t *Faulty) Send(rail, dst int, payload []byte) error {
+	return t.inner.Send(rail, dst, payload)
+}
+
+// SetReceiver implements Transport, interposing the fault policy
+// between the wire and the node's receiver.
+func (t *Faulty) SetReceiver(fn func(rail, src int, payload []byte)) {
+	if fn == nil {
+		t.inner.SetReceiver(nil)
+		return
+	}
+	dst := t.inner.Node()
+	t.inner.SetReceiver(func(rail, src int, payload []byte) {
+		t.f.deliver(dst, rail, src, payload, fn)
+	})
+}
+
+// deliver runs one received frame through the policy: partition check,
+// drop/duplicate/corrupt/reorder draws, then immediate or deferred
+// hand-off. Deferred copies the payload (the wire buffer is the inner
+// transport's to reuse).
+func (f *Faults) deliver(dst, rail, src int, payload []byte, fn func(rail, src int, payload []byte)) {
+	f.mu.Lock()
+	if f.cut(src, dst, rail) {
+		f.stats.Partitioned++
+		f.mu.Unlock()
+		return
+	}
+	s := f.spec
+	drop := s.Drop > 0 && f.rng.Float64() < s.Drop
+	dup := s.Duplicate > 0 && f.rng.Float64() < s.Duplicate
+	corrupt := s.Corrupt > 0 && f.rng.Float64() < s.Corrupt
+	reorder := s.Reorder > 0 && f.rng.Float64() < s.Reorder
+	delay := s.Delay
+	if s.Jitter > 0 {
+		delay += time.Duration(f.rng.Uint64n(uint64(s.Jitter)))
+	}
+	if drop {
+		f.stats.Dropped++
+		f.mu.Unlock()
+		return
+	}
+	if corrupt && len(payload) > 0 {
+		f.stats.Corrupted++
+		mangled := make([]byte, len(payload))
+		copy(mangled, payload)
+		mangled[f.rng.Intn(len(mangled))] ^= 0xFF
+		payload = mangled
+	}
+	if reorder {
+		f.stats.Reordered++
+		delay += s.ReorderDelay
+	}
+	delay += f.skew[dst]
+	copies := 1
+	if dup {
+		f.stats.Duplicated++
+		copies = 2
+	}
+	f.stats.Delivered += int64(copies)
+	f.mu.Unlock()
+
+	if delay <= 0 {
+		for i := 0; i < copies; i++ {
+			fn(rail, src, payload)
+		}
+		return
+	}
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	f.clk.AfterFunc(delay, func() {
+		for i := 0; i < copies; i++ {
+			fn(rail, src, body)
+		}
+	})
+}
+
+var _ Transport = (*Faulty)(nil)

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"drsnet/internal/clock"
+)
+
+// faultyPair builds a 3-node Mem fabric on a manual clock with every
+// node wrapped by one shared Faults controller, and per-node delivery
+// recorders.
+func faultyPair(t *testing.T, seed uint64) (*clock.Wall, *Faults, []Transport, []*[]string) {
+	t.Helper()
+	clk := clock.NewManual()
+	mem := NewMem(3, 2, clk, 100*time.Microsecond)
+	f := NewFaults(seed, clk)
+	trs := make([]Transport, 3)
+	logs := make([]*[]string, 3)
+	for i := range trs {
+		trs[i] = f.Wrap(mem.Node(i))
+		log := &[]string{}
+		logs[i] = log
+		trs[i].SetReceiver(func(rail, src int, payload []byte) {
+			*log = append(*log, string(payload))
+		})
+	}
+	return clk, f, trs, logs
+}
+
+// TestFaultyPassThrough: a zero-spec controller is invisible — frames
+// arrive exactly as the inner transport delivered them.
+func TestFaultyPassThrough(t *testing.T) {
+	clk, f, trs, logs := faultyPair(t, 1)
+	if trs[0].Node() != 0 || trs[0].Nodes() != 3 || trs[0].Rails() != 2 {
+		t.Fatalf("identity not delegated: node=%d nodes=%d rails=%d",
+			trs[0].Node(), trs[0].Nodes(), trs[0].Rails())
+	}
+	if err := trs[0].Send(0, 1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Send(1, 0, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(*logs[1]) != 1 || (*logs[1])[0] != "hello" {
+		t.Fatalf("node 1 got %v", *logs[1])
+	}
+	if len(*logs[0]) != 1 || (*logs[0])[0] != "back" {
+		t.Fatalf("node 0 got %v", *logs[0])
+	}
+	if st := f.Stats(); st.Delivered != 2 || st.Dropped+st.Corrupted+st.Partitioned != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFaultyAsymmetricPartition: a directed cut eats one direction of
+// one pair — the reverse direction, other pairs, and broadcast to
+// unpartitioned nodes still deliver — and healing restores it.
+func TestFaultyAsymmetricPartition(t *testing.T) {
+	clk, f, trs, logs := faultyPair(t, 2)
+	f.Partition(0, 1, AllRails)
+
+	if err := trs[0].Send(0, Broadcast, []byte("from0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Send(0, 0, []byte("from1")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(*logs[1]) != 0 {
+		t.Fatalf("partitioned node 1 heard %v", *logs[1])
+	}
+	if len(*logs[2]) != 1 {
+		t.Fatalf("bystander node 2 got %v", *logs[2])
+	}
+	if len(*logs[0]) != 1 || (*logs[0])[0] != "from1" {
+		t.Fatalf("reverse direction blocked: node 0 got %v", *logs[0])
+	}
+	if st := f.Stats(); st.Partitioned != 1 {
+		t.Fatalf("partitioned count %d, want 1", st.Partitioned)
+	}
+
+	f.Heal(0, 1, AllRails)
+	if err := trs[0].Send(0, 1, []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(*logs[1]) != 1 || (*logs[1])[0] != "healed" {
+		t.Fatalf("post-heal node 1 got %v", *logs[1])
+	}
+}
+
+// TestFaultyPartitionWindow: cut and heal land at their scheduled
+// instants on the controller's clock.
+func TestFaultyPartitionWindow(t *testing.T) {
+	clk, f, trs, logs := faultyPair(t, 3)
+	f.PartitionWindow(0, 1, 0, 10*time.Millisecond, 20*time.Millisecond)
+
+	send := func(tag string) {
+		t.Helper()
+		if err := trs[0].Send(0, 1, []byte(tag)); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(5 * time.Millisecond)
+	}
+	send("before") // delivered: window not open at t=0
+	send("during") // sent at t=5ms; the 10ms Advance crosses the cut... no: sent at 5ms, delivered 5.1ms
+	send("cut")    // sent at 10ms, cut active → eaten
+	send("cut2")   // sent at 15ms → eaten
+	send("after")  // sent at 20ms, heal landed → delivered
+	want := []string{"before", "during", "after"}
+	if got := *logs[1]; len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("window deliveries %v, want %v", got, want)
+	}
+}
+
+// TestFaultyDropAndDeterminism: a lossy controller drops a seeded,
+// replayable subset — same seed, same survivors; different seed,
+// (overwhelmingly) different ones.
+func TestFaultyDropAndDeterminism(t *testing.T) {
+	deliverPattern := func(seed uint64) string {
+		clk, f, trs, logs := faultyPair(t, seed)
+		f.SetSpec(FaultSpec{Drop: 0.5})
+		for i := 0; i < 64; i++ {
+			if err := trs[0].Send(0, 1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(200 * time.Microsecond)
+		}
+		pat := make([]byte, 0, 64)
+		for _, s := range *logs[1] {
+			pat = append(pat, s[0])
+		}
+		return string(pat)
+	}
+	a, b, c := deliverPattern(42), deliverPattern(42), deliverPattern(43)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%x\n%x", a, b)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("drop 0.5 delivered %d/64 frames", len(a))
+	}
+}
+
+// TestFaultyDuplicateCorruptReorder: each impairment does what it says
+// — dup doubles a frame, corrupt flips exactly one byte of a copy,
+// reorder holds a frame back past its successors.
+func TestFaultyDuplicateCorruptReorder(t *testing.T) {
+	// Duplicate everything: every frame arrives exactly twice.
+	clk, f, trs, logs := faultyPair(t, 4)
+	f.SetSpec(FaultSpec{Duplicate: 1})
+	if err := trs[0].Send(0, 1, []byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if got := *logs[1]; len(got) != 2 || got[0] != "dup" || got[1] != "dup" {
+		t.Fatalf("duplicate: got %v", got)
+	}
+
+	// Corrupt everything: one byte differs, length preserved, and the
+	// sender's buffer is untouched.
+	clk, f, trs, logs = faultyPair(t, 5)
+	f.SetSpec(FaultSpec{Corrupt: 1})
+	orig := []byte("payload")
+	sent := append([]byte(nil), orig...)
+	if err := trs[0].Send(0, 1, sent); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if !bytes.Equal(sent, orig) {
+		t.Fatal("corruption mutated the sender's buffer")
+	}
+	got := (*logs[1])[0]
+	if len(got) != len(orig) {
+		t.Fatalf("corrupt changed length: %d vs %d", len(got), len(orig))
+	}
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt flipped %d bytes, want exactly 1", diff)
+	}
+
+	// Reorder everything with a hold longer than the spacing between
+	// two frames: the second frame overtakes the first.
+	clk, f, trs, logs = faultyPair(t, 6)
+	f.SetSpec(FaultSpec{Reorder: 1, ReorderDelay: 10 * time.Millisecond})
+	if err := trs[0].Send(0, 1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	f.SetSpec(FaultSpec{}) // second frame passes clean
+	if err := trs[0].Send(0, 1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(20 * time.Millisecond)
+	if got := *logs[1]; len(got) != 2 || got[0] != "second" || got[1] != "first" {
+		t.Fatalf("reorder: got %v, want [second first]", got)
+	}
+}
+
+// TestFaultySkew: a skewed node's deliveries all arrive late by the
+// skew; clearing it restores prompt delivery.
+func TestFaultySkew(t *testing.T) {
+	clk, f, trs, logs := faultyPair(t, 7)
+	f.SetSkew(1, 5*time.Millisecond)
+	if err := trs[0].Send(0, 1, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(*logs[1]) != 0 {
+		t.Fatal("skewed delivery arrived early")
+	}
+	clk.Advance(5 * time.Millisecond)
+	if len(*logs[1]) != 1 {
+		t.Fatal("skewed delivery never arrived")
+	}
+	f.SetSkew(1, 0)
+	if err := trs[0].Send(0, 1, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Millisecond)
+	if len(*logs[1]) != 2 {
+		t.Fatal("cleared skew still delayed delivery")
+	}
+}
+
+// TestFaultSpecValidation: malformed specs panic loudly.
+func TestFaultSpecValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	clk := clock.NewManual()
+	f := NewFaults(1, clk)
+	mustPanic("drop > 1", func() { f.SetSpec(FaultSpec{Drop: 1.5}) })
+	mustPanic("negative delay", func() { f.SetSpec(FaultSpec{Delay: -time.Second}) })
+	mustPanic("negative skew", func() { f.SetSkew(0, -time.Second) })
+}

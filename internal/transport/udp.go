@@ -5,6 +5,28 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"drsnet/internal/metrics"
+)
+
+// Counter names a UDP transport registers when given a metrics set.
+const (
+	// CtrRxErrors counts socket-level receive errors (not malformed
+	// datagrams — those are silent, they're the internet's problem).
+	CtrRxErrors = "transport.rx_errors"
+	// CtrTxErrors counts swallowed per-peer WriteToUDP errors. Sends
+	// stay best-effort — the counter is how an operator sees a rail
+	// quietly eating frames.
+	CtrTxErrors = "transport.tx_errors"
+)
+
+// rxBackoff bounds the receive loop's exponential backoff on
+// persistent socket errors: 1ms doubling to 250ms, reset on the first
+// successful read.
+const (
+	rxBackoffMin = time.Millisecond
+	rxBackoffMax = 250 * time.Millisecond
 )
 
 // UDP frame header, prepended to every wire payload. A real socket
@@ -55,6 +77,8 @@ type UDP struct {
 
 	mu     sync.Mutex
 	recv   func(rail, src int, payload []byte)
+	rxErr  *metrics.Counter
+	txErr  *metrics.Counter
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -73,7 +97,8 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 	if cfg.Node < 0 || cfg.Node >= nodes {
 		return nil, fmt.Errorf("transport: node %d out of range [0,%d)", cfg.Node, nodes)
 	}
-	u := &UDP{node: cfg.Node, nodes: nodes, rails: rails}
+	u := &UDP{node: cfg.Node, nodes: nodes, rails: rails,
+		rxErr: &metrics.Counter{}, txErr: &metrics.Counter{}}
 	u.peers = make([][]*net.UDPAddr, nodes)
 	for i, row := range cfg.Peers {
 		if len(row) != rails {
@@ -124,10 +149,29 @@ func (u *UDP) SetReceiver(fn func(rail, src int, payload []byte)) {
 	u.recv = fn
 }
 
+// SetMetrics redirects the transport's error counters into set (under
+// CtrRxErrors and CtrTxErrors), so socket trouble shows up next to the
+// protocol counters in a daemon's status report. Errors counted before
+// the call stay on the internal counters.
+func (u *UDP) SetMetrics(set *metrics.Set) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.rxErr = set.Counter(CtrRxErrors)
+	u.txErr = set.Counter(CtrTxErrors)
+}
+
+// counters returns the current error counters under the lock.
+func (u *UDP) counters() (rx, tx *metrics.Counter) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.rxErr, u.txErr
+}
+
 // Send implements Transport. Sends are best-effort: a socket-level
 // error on one destination is swallowed, exactly as a frame into a
-// dead segment vanishes in the simulator. Only malformed requests
-// error.
+// dead segment vanishes in the simulator — but counted under
+// CtrTxErrors, so the quiet loss is visible in the daemon's metrics.
+// Only malformed requests error.
 func (u *UDP) Send(rail, dst int, payload []byte) error {
 	if rail < 0 || rail >= u.rails {
 		return fmt.Errorf("transport: rail %d out of range [0,%d)", rail, u.rails)
@@ -140,10 +184,13 @@ func (u *UDP) Send(rail, dst int, payload []byte) error {
 	buf[1] = udpVersion
 	binary.BigEndian.PutUint16(buf[2:4], uint16(u.node))
 	copy(buf[udpHeaderLen:], payload)
+	_, txErr := u.counters()
 	if dst == Broadcast {
 		for i := 0; i < u.nodes; i++ {
 			if i != u.node {
-				u.conns[rail].WriteToUDP(buf, u.peers[i][rail])
+				if _, err := u.conns[rail].WriteToUDP(buf, u.peers[i][rail]); err != nil {
+					txErr.Inc()
+				}
 			}
 		}
 		return nil
@@ -151,15 +198,21 @@ func (u *UDP) Send(rail, dst int, payload []byte) error {
 	if dst == u.node {
 		return nil
 	}
-	u.conns[rail].WriteToUDP(buf, u.peers[dst][rail])
+	if _, err := u.conns[rail].WriteToUDP(buf, u.peers[dst][rail]); err != nil {
+		txErr.Inc()
+	}
 	return nil
 }
 
 // rxLoop reads rail's socket until Close, validating each datagram's
-// header before dispatching it.
+// header before dispatching it. Receive errors are counted and backed
+// off exponentially (1ms doubling to 250ms, reset on success): a
+// transient error keeps the rail alive, a persistent one — a
+// force-closed socket, a dead interface — must not busy-spin a core.
 func (u *UDP) rxLoop(rail int) {
 	defer u.wg.Done()
 	buf := make([]byte, maxDatagram)
+	backoff := rxBackoffMin
 	for {
 		n, _, err := u.conns[rail].ReadFromUDP(buf)
 		if err != nil {
@@ -169,8 +222,15 @@ func (u *UDP) rxLoop(rail int) {
 			if closed {
 				return
 			}
-			continue // transient receive error; keep the rail alive
+			rxErr, _ := u.counters()
+			rxErr.Inc()
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > rxBackoffMax {
+				backoff = rxBackoffMax
+			}
+			continue
 		}
+		backoff = rxBackoffMin
 		if n < udpHeaderLen || buf[0] != udpMagic || buf[1] != udpVersion {
 			continue // not ours
 		}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"drsnet/internal/metrics"
 )
 
 // freeAddrs reserves n loopback UDP ports and returns them as
@@ -188,4 +190,69 @@ func TestUDPCloseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = u1
+}
+
+// TestUDPTxErrorsCounted: a send the socket refuses (oversized
+// datagram) stays best-effort — no error to the caller — but lands in
+// transport.tx_errors, both on unicast and per-peer on broadcast.
+func TestUDPTxErrorsCounted(t *testing.T) {
+	u0, _ := udpPair(t)
+	set := metrics.NewSet()
+	u0.SetMetrics(set)
+	huge := make([]byte, 1<<20) // over any UDP datagram limit
+	if err := u0.Send(0, 1, huge); err != nil {
+		t.Fatalf("oversized send errored: %v", err)
+	}
+	if got := set.Counter(CtrTxErrors).Value(); got != 1 {
+		t.Fatalf("tx_errors after unicast = %d, want 1", got)
+	}
+	if err := u0.Send(0, Broadcast, huge); err != nil {
+		t.Fatalf("oversized broadcast errored: %v", err)
+	}
+	if got := set.Counter(CtrTxErrors).Value(); got != 2 {
+		t.Fatalf("tx_errors after broadcast = %d, want 2 (one peer)", got)
+	}
+}
+
+// TestUDPRxErrorBackoff: a socket stuck returning errors (read
+// deadline in the past) is counted under transport.rx_errors and
+// backed off instead of busy-spun — a bounded handful of retries over
+// the window, not thousands — and the rail recovers when the socket
+// does.
+func TestUDPRxErrorBackoff(t *testing.T) {
+	u0, u1 := udpPair(t)
+	set := metrics.NewSet()
+	u1.SetMetrics(set)
+	var sink udpSink
+	u1.SetReceiver(sink.recv)
+
+	u1.conns[0].SetReadDeadline(time.Unix(1, 0)) // every read times out
+	time.Sleep(120 * time.Millisecond)
+	errs := set.Counter(CtrRxErrors).Value()
+	if errs == 0 {
+		t.Fatal("rx_errors not counted on a failing socket")
+	}
+	// 120ms of 1-2-4-...ms exponential backoff is ~7 retries; a spin
+	// would be tens of thousands.
+	if errs > 20 {
+		t.Fatalf("rx_errors = %d in 120ms — receive loop is spinning, not backing off", errs)
+	}
+
+	u1.conns[0].SetReadDeadline(time.Time{}) // socket recovers
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := u0.Send(0, 1, []byte("revived")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		sink.mu.Lock()
+		n := len(sink.frames)
+		sink.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rail did not recover after the socket error cleared")
+		}
+	}
 }
