@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke daemon-smoke nemesis-smoke clean
+.PHONY: all build test race bench benchsmoke fabric-smoke cover fuzz fuzzsmoke chaos-smoke crash-smoke failover-smoke daemon-smoke nemesis-smoke storm-smoke clean
 
 all: build test
 
@@ -111,6 +111,20 @@ nemesis-smoke:
 	$(GO) run ./cmd/drsnemesis -seed 1 -schedules 10 -horizon 6s -repro /dev/null
 	$(GO) run ./cmd/drsnemesis -replay cmd/drsnemesis/testdata/regression.json; \
 		status=$$?; test $$status -eq 1 || { echo "regression replay exited $$status, want 1"; exit 1; }
+
+# Overload-protection gate: the budget/queue/governor primitives and
+# the wiring tests across the stack (core overload behaviors, tunable
+# plumbing, scenario schema, drsd gauges), the storm-campaign harness
+# (golden table, worker-count determinism, budget-bound property), the
+# budgeted nemesis invariant, then one live correlated-failure storm
+# campaign. Deterministic end to end, so any diff is a real regression.
+storm-smoke:
+	$(GO) test ./internal/overload/ ./internal/dataplane/
+	$(GO) test ./internal/core/ ./internal/runtime/ ./internal/scenario/ -run 'Overload|Storm'
+	$(GO) test ./cmd/drsd/ -run 'Overload|MetricsSnapshot'
+	$(GO) test ./cmd/drschaos/ -run 'Storm'
+	$(GO) test ./internal/nemesis/ -run 'Budget'
+	$(GO) run ./cmd/drschaos -mode storm -nodes 5 -duration 30s -levels 0,0.5 -seed 3
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,15 @@
 // checkpoint restored) — reporting delivery availability and the mean
 // recovery latency from restart to the node's first repaired route.
 //
+// A fifth mode is the overload campaign: -mode storm sweeps the
+// correlated-failure fraction — rail 0's backplane dies and that
+// fraction of the cluster crash-restarts in lock-step — and runs every
+// cell twice, once with the DRS control-plane budgets off and once
+// with the overload-protection layer on. The table reports delivery
+// availability next to the shed/degraded counters and the maximum
+// per-node control-traffic counts, so the budgets' bound is visible in
+// the same row that shows what they cost.
+//
 // A fourth mode is the static fast-failover head-to-head: -mode
 // failover runs every protocol through a fixed regime ladder — clean,
 // loss, flap, crash and the Dai & Foerster dynamic regime (two NICs on
@@ -27,7 +36,7 @@
 //
 // Usage:
 //
-//	drschaos [-mode loss|flap|crash|failover] [-protocols list]
+//	drschaos [-mode loss|flap|crash|failover|storm] [-protocols list]
 //	         [-levels list] [-nodes n] [-duration d] [-seed s]
 //	         [-damping] [-rto] [-workers n] [-plot]
 package main
@@ -47,6 +56,8 @@ import (
 	"drsnet/internal/invariant"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/netsim"
+	"drsnet/internal/overload"
+	"drsnet/internal/routing"
 	"drsnet/internal/runtime"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
@@ -78,6 +89,7 @@ type cell struct {
 	protocol        string
 	intensity       float64
 	warm            bool
+	budgeted        bool
 	regime          string
 	sent, delivered int
 	flaps, damped   int
@@ -89,12 +101,19 @@ type cell struct {
 	loops           int
 	revisits        int
 	drops           int
+	// Storm-mode columns, reduced from Result.Counters: total budget
+	// sheds and degraded-mode entries across the cluster, and the
+	// worst single node's retransmit and query-frame counts.
+	shed       int64
+	degraded   int64
+	maxRetrans int64
+	maxQueries int64
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("drschaos", flag.ContinueOnError)
 	flags.SetOutput(stderr)
-	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss), flap (NIC duty-cycle flapping), crash (daemon crash-restart MTTR sweep) or failover (static fast-failover head-to-head across fault regimes)")
+	mode := flags.String("mode", "loss", "campaign mode: loss (backplane frame loss), flap (NIC duty-cycle flapping), crash (daemon crash-restart MTTR sweep), failover (static fast-failover head-to-head across fault regimes) or storm (correlated-failure fraction sweep, budgets off vs on)")
 	protocols := flags.String("protocols", "drs,reactive,linkstate,static", "protocols to torment, comma separated (failover mode defaults to the static family plus the convergence protocols)")
 	levels := flags.String("levels", "", "intensity ladder, comma separated (loss probabilities, flap duty cycles or crash MTTRs in seconds; default per mode)")
 	nodes := flags.Int("nodes", 6, "cluster size")
@@ -118,12 +137,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers:  *workers,
 	}
 	switch c.mode {
-	case "loss", "flap", "crash", "failover":
+	case "loss", "flap", "crash", "failover", "storm":
 	default:
-		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss, flap, crash or failover)\n", c.mode)
+		fmt.Fprintf(stderr, "drschaos: unknown mode %q (want loss, flap, crash, failover or storm)\n", c.mode)
 		return 1
 	}
 	protocolList := *protocols
+	if c.mode == "storm" {
+		// The budget on/off comparison is a DRS feature; the baselines
+		// ignore the overload tunable, so their row pairs would be
+		// identical. Default to the DRS unless the user picked a lineup.
+		explicit := false
+		flags.Visit(func(f *flag.Flag) {
+			if f.Name == "protocols" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			protocolList = "drs"
+		}
+		if *plot {
+			fmt.Fprintf(stderr, "drschaos: -plot cannot render storm mode's budget on/off row pairs\n")
+			return 1
+		}
+	}
 	if c.mode == "failover" {
 		// The head-to-head compares the whole static family against the
 		// convergence protocols unless the user picked a lineup.
@@ -162,6 +199,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ladder = "0,0.2,0.4,0.6"
 		case "crash":
 			ladder = "0,2,8"
+		case "storm":
+			ladder = "0,0.25,0.5,0.75"
 		case "failover":
 			ladder = "" // the regime ladder replaces numeric intensities
 		}
@@ -192,6 +231,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if c.mode == "crash" || c.mode == "failover" {
 		minNodes = 3 // the scenarios fault node 2's NIC and torment node 1
 	}
+	if c.mode == "storm" {
+		minNodes = 4 // a fraction of the cluster crashes; someone must survive to route
+	}
 	if c.nodes < minNodes {
 		fmt.Fprintf(stderr, "drschaos: mode %s needs at least %d nodes, have %d\n", c.mode, minNodes, c.nodes)
 		return 1
@@ -219,9 +261,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // spec builds the deterministic simulation for one campaign cell. The
-// warm flag only matters in crash mode, where it selects warm-start
-// recovery for the scripted restarts.
-func (c *campaign) spec(protocol string, intensity float64, warm bool) runtime.ClusterSpec {
+// variant flag only matters in crash mode, where it selects warm-start
+// recovery for the scripted restarts, and in storm mode, where it
+// enables the overload-protection budgets.
+func (c *campaign) spec(protocol string, intensity float64, variant bool) runtime.ClusterSpec {
 	cl := topology.Dual(c.nodes)
 	spec := runtime.ClusterSpec{
 		Nodes:    c.nodes,
@@ -278,11 +321,39 @@ func (c *campaign) spec(protocol string, intensity float64, warm bool) runtime.C
 			crashAts = crashAts[:1]
 		}
 		for _, at := range crashAts {
-			cs := chaos.CrashSpec{Node: 1, At: at, Warm: warm && mttr > 0}
+			cs := chaos.CrashSpec{Node: 1, At: at, Warm: variant && mttr > 0}
 			if mttr > 0 {
 				cs.RestartAt = at + mttr
 			}
 			spec.Crashes = append(spec.Crashes, cs)
+		}
+	case "storm":
+		// Correlated failure storm: rail 0's backplane dies at 5 s
+		// (healing at 20 s) and the intensity fraction of the cluster
+		// crashes with it, every victim restarting cold at the same
+		// instant — a synchronized rejoin burst on a degraded network,
+		// the worst case the budgets exist for. Adaptive RTO is always
+		// on (retransmit pressure is the point of the exercise); the
+		// variant flag turns on the overload-protection layer.
+		spec.Tunables.AdaptiveRTO = linkmon.DefaultRTO()
+		spec.Tunables.Lifecycle = true // keep f=0 rows wire-comparable
+		if variant {
+			spec.Tunables.Overload = overload.Default()
+		}
+		spec.Faults = append(spec.Faults,
+			runtime.Fault{At: 5 * time.Second, Comp: cl.Backplane(0)},
+			runtime.Fault{At: 20 * time.Second, Comp: cl.Backplane(0), Restore: true})
+		k := int(intensity * float64(c.nodes))
+		if intensity > 0 && k < 1 {
+			k = 1
+		}
+		if k > c.nodes-1 {
+			k = c.nodes - 1 // node 0 always survives to measure from
+		}
+		for n := 1; n <= k; n++ {
+			spec.Crashes = append(spec.Crashes, chaos.CrashSpec{
+				Node: n, At: 5 * time.Second, RestartAt: 8 * time.Second,
+			})
 		}
 	}
 	return spec
@@ -388,9 +459,13 @@ func (c *campaign) sweep() ([]cell, error) {
 			for _, lv := range c.levels {
 				specs = append(specs, c.spec(p, lv, false))
 				cells = append(cells, cell{protocol: p, intensity: lv})
-				if c.mode == "crash" && lv > 0 {
+				switch {
+				case c.mode == "crash" && lv > 0:
 					specs = append(specs, c.spec(p, lv, true))
 					cells = append(cells, cell{protocol: p, intensity: lv, warm: true})
+				case c.mode == "storm":
+					specs = append(specs, c.spec(p, lv, true))
+					cells = append(cells, cell{protocol: p, intensity: lv, budgeted: true})
 				}
 			}
 		}
@@ -417,6 +492,19 @@ func (c *campaign) sweep() ([]cell, error) {
 		if c.mode == "crash" {
 			cells[i].crashes = res.Trace.Count(trace.KindNodeCrashed)
 			cells[i].meanRecovery, cells[i].recovered = crashRecovery(res.Trace, 1)
+		}
+		if c.mode == "storm" {
+			cells[i].crashes = res.Trace.Count(trace.KindNodeCrashed)
+			for _, m := range res.Counters {
+				cells[i].shed += m[routing.CtrProbeShed] + m[routing.CtrQueryShed]
+				cells[i].degraded += m[routing.CtrDegradedEnter]
+				if v := m[routing.CtrProbeRetransmits]; v > cells[i].maxRetrans {
+					cells[i].maxRetrans = v
+				}
+				if v := m[routing.CtrQueriesSent]; v > cells[i].maxQueries {
+					cells[i].maxQueries = v
+				}
+			}
 		}
 		if rep := res.Invariant; rep != nil {
 			cells[i].loops = rep.Loops
@@ -476,6 +564,8 @@ func (c *campaign) title() string {
 		what = "node-1 crash MTTR"
 	case "failover":
 		what = "static fast-failover head-to-head"
+	case "storm":
+		what = "correlated-failure storm fraction"
 	}
 	damp := ""
 	if c.damping {
@@ -498,6 +588,9 @@ func (c *campaign) writeTable(w io.Writer, cells []cell) error {
 	}
 	if c.mode == "failover" {
 		return c.writeFailoverTable(w, cells)
+	}
+	if c.mode == "storm" {
+		return c.writeStormTable(w, cells)
 	}
 	fmt.Fprintf(w, "%10s %10s %8s %7s %7s %8s %13s\n",
 		"protocol", "intensity", "avail%", "flaps", "damped", "repairs", "mean-failover")
@@ -527,6 +620,30 @@ func (c *campaign) writeFailoverTable(w io.Writer, cells []cell) error {
 		fmt.Fprintf(w, "%15s %8s %8.2f %6d %9d %6d %8d\n",
 			cl.protocol, cl.regime, 100*cl.availability(),
 			cl.loops, cl.revisits, cl.drops, cl.repairs)
+	}
+	return nil
+}
+
+// writeStormTable renders storm mode's budget off/on row pairs:
+// fraction is the share of the cluster that crash-restarted in
+// lock-step, shed and degraded sum the budget refusals and
+// degraded-mode entries across the cluster, and max-rt / max-qry are
+// the worst single node's probe-retransmit and query-frame counts —
+// the numbers the budgets bound. An unbudgeted row shows what the
+// storm costs without admission control; its budgeted twin shows the
+// bound holding.
+func (c *campaign) writeStormTable(w io.Writer, cells []cell) error {
+	fmt.Fprintf(w, "%10s %9s %7s %8s %8s %8s %6s %9s %7s %8s\n",
+		"protocol", "fraction", "budget", "avail%", "crashes", "repairs", "shed", "degraded", "max-rt", "max-qry")
+	for i := range cells {
+		cl := &cells[i]
+		budget := "off"
+		if cl.budgeted {
+			budget = "on"
+		}
+		fmt.Fprintf(w, "%10s %9.2f %7s %8.2f %8d %8d %6d %9d %7d %8d\n",
+			cl.protocol, cl.intensity, budget, 100*cl.availability(),
+			cl.crashes, cl.repairs, cl.shed, cl.degraded, cl.maxRetrans, cl.maxQueries)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -52,10 +53,13 @@ func TestFlapCampaignGolden(t *testing.T) {
 // restored checkpoint must show as strictly higher availability and
 // a shorter post-restart recovery for the DRS. The reactive baseline
 // has no checkpoint to restore, so its warm rows equal its cold ones.
+// (The mttr-0 repair count dropped by one when the one-way-crash
+// double count was fixed: the dead node's banked repairs used to be
+// re-read from its still-registered router at Finish.)
 func TestCrashCampaignGolden(t *testing.T) {
 	const golden = `# chaos campaign: node-1 crash MTTR (4 nodes, 30s, seed 3)
   protocol   mttr-s  start   avail%  crashes  repairs   recovery
-       drs     0.00   cold    62.50        1        9          -
+       drs     0.00   cold    62.50        1        8          -
        drs     2.00   cold    90.83        1       12         2s
        drs     2.00   warm    92.50        1       11         0s
        drs     8.00   cold    83.96        1       12         2s
@@ -84,7 +88,7 @@ func TestCrashCampaignGolden(t *testing.T) {
 func TestCrashCampaignAdaptiveRTOGolden(t *testing.T) {
 	const golden = `# chaos campaign: node-1 crash MTTR (4 nodes, 30s, seed 3, adaptive rto)
   protocol   mttr-s  start   avail%  crashes  repairs   recovery
-       drs     0.00   cold    65.42        1        9          -
+       drs     0.00   cold    65.42        1        8          -
        drs     2.00   cold    96.04        1       12         1s
        drs     2.00   warm    96.88        1       11         0s
        drs     8.00   cold    87.71        1       12         1s
@@ -258,6 +262,85 @@ func TestFailoverModeFlagErrors(t *testing.T) {
 		{"-mode", "failover", "-levels", "0,0.5"},
 		{"-mode", "failover", "-plot"},
 		{"-mode", "failover", "-nodes", "2"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("args %v produced no diagnostics", args)
+		}
+	}
+}
+
+// TestStormCampaignGolden pins the correlated-failure storm sweep to
+// the digit. Each fraction level yields a budget-off and a budget-on
+// row; the headline property is in the max-rt column: without budgets
+// the worst node's probe retransmits grow with the crash fraction,
+// with budgets they stay pinned under the token-bucket bound
+// (rate·T + burst = 2·30 + 4 = 64) while the shed and degraded
+// columns show the protection engaging.
+func TestStormCampaignGolden(t *testing.T) {
+	const golden = `# chaos campaign: correlated-failure storm fraction (5 nodes, 30s, seed 3)
+  protocol  fraction  budget   avail%  crashes  repairs   shed  degraded  max-rt  max-qry
+       drs      0.00     off    98.33        0       20      0         0     128        0
+       drs      0.00      on    98.33        0       20    310         5      54        0
+       drs      0.50     off    93.33        2       26      0         0     144       14
+       drs      0.50      on    89.50        2       30    207         3      55        4
+`
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "storm", "-nodes", "5", "-duration", "30s",
+		"-levels", "0,0.5", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("storm campaign drifted:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+	// Beyond the exact bytes, assert the property the table exists to
+	// demonstrate so a regenerated golden can't silently lose it: every
+	// budgeted row's max-rt must sit under the bucket bound.
+	const bound = 2*30 + 4
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, " on ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if rt, err := strconv.Atoi(f[len(f)-2]); err != nil || rt > bound {
+			t.Errorf("budgeted row exceeds retransmit bound %d: %q", bound, line)
+		}
+	}
+}
+
+// TestStormWorkersIdentical: the storm sweep runs budget-off/on pairs
+// per fraction level across the parallel engine; the per-node counter
+// collection must stay byte-identical at any worker count.
+func TestStormWorkersIdentical(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		args := []string{"-mode", "storm", "-nodes", "4", "-duration", "20s",
+			"-levels", "0,0.5", "-workers", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := render("1")
+	for _, w := range []string{"2", "8", "0"} {
+		if got := render(w); got != ref {
+			t.Fatalf("workers=%s output differs:\n--- got ---\n%s--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestStormModeFlagErrors: the storm table has no plot rendering, the
+// fraction axis must stay below 1 (at least one survivor), and the
+// campaign needs enough nodes for a meaningful correlated kill.
+func TestStormModeFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "storm", "-plot"},
+		{"-mode", "storm", "-levels", "0,1"},
+		{"-mode", "storm", "-nodes", "3"},
 	} {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code == 0 {

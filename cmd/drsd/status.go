@@ -37,6 +37,41 @@ func (i *instance) report() statusReport {
 	return r
 }
 
+// metricsSnapshot is the /metrics document: the raw counter set, plus
+// — when overload protection is configured — the live control-plane
+// gauges sampled as integers, so a flat scrape sees the deferred-queue
+// depth, remaining budget tokens (in milli-tokens: the buckets refill
+// fractionally), pinned-route count and degraded bit beside the
+// monotonic overload.* counters.
+func (i *instance) metricsSnapshot() map[string]int64 {
+	snap := i.router.Metrics().Snapshot()
+	d, ok := i.router.(*core.Daemon)
+	if !ok {
+		return snap
+	}
+	ov := d.Status().Overload
+	if ov == nil {
+		return snap
+	}
+	if snap == nil {
+		snap = make(map[string]int64)
+	}
+	var depth int64
+	for _, n := range ov.Deferred {
+		depth += int64(n)
+	}
+	snap["overload.gauge_queue_depth"] = depth
+	snap["overload.gauge_probe_tokens_milli"] = int64(ov.ProbeTokens * 1000)
+	snap["overload.gauge_query_tokens_milli"] = int64(ov.QueryTokens * 1000)
+	snap["overload.gauge_pinned"] = int64(ov.Pinned)
+	if ov.Degraded {
+		snap["overload.gauge_degraded"] = 1
+	} else {
+		snap["overload.gauge_degraded"] = 0
+	}
+	return snap
+}
+
 // statusLoop emits one snapshot per period: atomically into the
 // configured file, or as a JSON line on stdout when no file is set.
 func (i *instance) statusLoop() {
@@ -79,7 +114,7 @@ func (i *instance) serveHTTP() {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(i.router.Metrics().Snapshot())
+		json.NewEncoder(w).Encode(i.metricsSnapshot())
 	})
 	srv := &http.Server{Handler: mux}
 	i.wg.Add(1)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"drsnet/internal/linkmon"
+	"drsnet/internal/overload"
 	"drsnet/internal/trace"
 )
 
@@ -98,6 +99,16 @@ type Config struct {
 	// seeded instead of re-learned. Requires an Incarnation newer than
 	// the checkpoint's. nil starts cold.
 	Restore *Checkpoint
+	// Overload enables the control-plane overload-protection layer:
+	// token-bucket budgets on probe retransmits and discovery
+	// broadcasts, deterministic jitter on RTO deadlines, hello storm
+	// suppression, a prioritized control queue for deferred work, and
+	// the degraded-mode governor that pins last-known-good routes when
+	// budgets saturate. The zero value disables the layer entirely and
+	// keeps seeded goldens byte-identical; enable with
+	// overload.Default() or explicit budgets. An extension beyond the
+	// paper, motivated by correlated-failure storm campaigns.
+	Overload overload.Config
 	// AdaptiveRTO replaces the fixed once-per-round probe deadline
 	// with a Jacobson/Karels adaptive timeout: each probe arms a timer
 	// at srtt + 4·rttvar (clamped, exponentially backed off on
@@ -149,6 +160,9 @@ func (c *Config) normalize(nodes, self int) error {
 		return fmt.Errorf("core: %v", err)
 	}
 	if err := c.AdaptiveRTO.Normalize(); err != nil {
+		return fmt.Errorf("core: %v", err)
+	}
+	if err := c.Overload.Normalize(); err != nil {
 		return fmt.Errorf("core: %v", err)
 	}
 	if c.Restore != nil && c.Incarnation == 0 {

@@ -49,6 +49,7 @@ import (
 	"drsnet/internal/icmp"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
+	"drsnet/internal/overload"
 	"drsnet/internal/routetable"
 	"drsnet/internal/routing"
 	"drsnet/internal/trace"
@@ -100,6 +101,20 @@ type Daemon struct {
 	routes  *routetable.Table   // routes, repairs, discovery lifecycle
 	plane   *dataplane.Plane    // data frames + discovery queues
 
+	// Overload protection (all nil/zero unless cfg.Overload.Enabled;
+	// guarded by mu). gov is the degraded-mode governor, jitter the
+	// per-node deterministic timer spread, ctrlQ the prioritized queue
+	// of deferred control intents. pinned marks peers whose
+	// last-known-good route was kept while degraded, to re-repair on
+	// exit; nextHello is the earliest instant the next membership
+	// hello may broadcast.
+	gov        *overload.Governor
+	jitter     *overload.Jitter
+	ctrlQ      *dataplane.ControlQueue
+	pinned     map[int]bool
+	nextHello  time.Duration
+	drainArmed bool
+
 	// frameBuf is scratch for frames sent immediately (never queued):
 	// the simulated wire copies payloads on Send, so the buffer is
 	// free for reuse as soon as Send returns. Guarded by mu.
@@ -128,6 +143,24 @@ func New(tr routing.Transport, clock routing.Clock, cfg Config) (*Daemon, error)
 	}
 	d.plane = dataplane.New(tr.Node(), tr.Nodes(), cfg.DataTTL, cfg.QueueCapacity,
 		d.mset.Counter(routing.CtrQueueOverflow))
+	if ov := cfg.Overload; ov.Enabled {
+		d.links.SetRetransmitBudget(overload.NewBucket(ov.ProbeRate, ov.ProbeBurst))
+		d.routes.SetQueryBudget(overload.NewBucket(ov.QueryRate, ov.QueryBurst))
+		d.gov = overload.NewGovernor(ov)
+		// The jitter stream is seeded per (node, incarnation): every
+		// node draws a distinct deterministic sequence, so a seeded
+		// simulation replays bit-identically while lock-stepped timers
+		// spread out.
+		d.jitter = overload.NewJitter(uint64(tr.Node())<<32 | uint64(cfg.Incarnation))
+		d.ctrlQ = dataplane.NewControlQueue(ov.QueueCapacity,
+			d.mset.Counter(routing.CtrCtrlDeferred),
+			[dataplane.NumClasses]*metrics.Counter{
+				dataplane.ClassLiveness:  d.mset.Counter(routing.CtrCtrlShedLiveness),
+				dataplane.ClassRepair:    d.mset.Counter(routing.CtrCtrlShedRepair),
+				dataplane.ClassDiscovery: d.mset.Counter(routing.CtrCtrlShedDiscovery),
+			})
+		d.pinned = make(map[int]bool)
+	}
 	for _, p := range cfg.Monitor {
 		d.addPeerLocked(p, 0)
 		d.members.MarkStatic(p)

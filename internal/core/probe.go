@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"drsnet/internal/core/membership"
+	"drsnet/internal/dataplane"
 	"drsnet/internal/icmp"
 	"drsnet/internal/routing"
 	"drsnet/internal/trace"
@@ -24,6 +24,9 @@ func (d *Daemon) probeRound() {
 		return
 	}
 	now := d.clock.Now()
+	// Overload housekeeping first: re-evaluate degraded mode and
+	// drain whatever deferred control work the budgets now admit.
+	d.overloadRoundLocked(now)
 	// Dynamic membership: forget peers that have been silent too long
 	// before probing them again.
 	if d.cfg.DynamicMembership && d.cfg.ForgetAfter > 0 {
@@ -62,7 +65,7 @@ func (d *Daemon) probeRound() {
 			}
 			p := probe{peer: peer, rail: rail, seq: seq}
 			if rto.Enabled() {
-				p.deadline = d.links.State(peer, rail).Deadline(rto)
+				p.deadline = d.rtoDeadlineLocked(d.links.State(peer, rail))
 			}
 			probes = append(probes, p)
 		}
@@ -70,27 +73,28 @@ func (d *Daemon) probeRound() {
 	self := uint16(d.tr.Node())
 	stagger := d.cfg.StaggerProbes && len(probes) > 1
 	dynamic := d.cfg.DynamicMembership
-	d.mu.Unlock()
-
-	if dynamic {
+	sendHello := dynamic
+	if dynamic && d.gov != nil && !d.helloAllowedLocked(now) {
+		// Hello storm suppression: while degraded, or inside the
+		// min-interval gate, this round's hello is withheld. The
+		// intent parks on the control queue so chatter resumes the
+		// moment the gate reopens — jittered, not in lock-step.
+		sendHello = false
+		d.mset.Counter(routing.CtrHelloSuppressed).Inc()
+		d.deferControlLocked(dataplane.ControlItem{Class: dataplane.ClassDiscovery, Peer: -1})
+	}
+	if sendHello {
 		// Announce ourselves so unknown peers learn us (and we learn
 		// them from their hellos). With the lifecycle enabled the hello
 		// carries our incarnation so peers can spot reboots they missed.
-		if d.cfg.Incarnation > 0 {
-			membership.AnnounceInc(d.tr, d.cfg.Incarnation)
-		} else {
-			membership.Announce(d.tr)
-		}
+		// (announceLocked sends under mu — transports never call back
+		// inline — and closes the overload min-interval gate.)
+		d.announceLocked(now)
 	}
+	d.mu.Unlock()
 
 	send := func(p probe) {
-		// The probe carries its send time; the echoed copy yields an
-		// RTT sample with no per-probe state at the sender.
-		ts := make([]byte, 8)
-		binary.BigEndian.PutUint64(ts, uint64(d.clock.Now()))
-		echo := icmp.Echo{Request: true, ID: self, Seq: p.seq, Data: ts}
-		payload := routing.Envelope(routing.ProtoICMP, echo.Marshal())
-		if err := d.tr.Send(p.rail, p.peer, payload); err == nil {
+		if err := d.tr.Send(p.rail, p.peer, probeFrame(self, p.seq, d.clock.Now())); err == nil {
 			d.mset.Counter(routing.CtrProbesSent).Inc()
 		}
 		if p.deadline > 0 {
@@ -131,18 +135,37 @@ func (d *Daemon) probeExpired(peer, rail int, seq uint16) {
 	if st.Misses >= d.cfg.MissThreshold {
 		d.markDownLocked(peer, rail, now)
 	}
+	if d.gov != nil && !d.links.AllowRetransmit(now) {
+		// Budget exhausted: shed this retransmit instead of feeding
+		// the storm. A liveness intent parks on the control queue so
+		// the path re-probes as soon as tokens return (and the next
+		// round re-probes regardless).
+		d.mset.Counter(routing.CtrProbeShed).Inc()
+		d.shedLocked(now)
+		d.deferControlLocked(dataplane.ControlItem{Class: dataplane.ClassLiveness, Peer: peer})
+		d.mu.Unlock()
+		return
+	}
 	nseq, _ := d.links.BeginProbe(peer, rail, d.cfg.MissThreshold)
-	deadline := st.Deadline(d.cfg.AdaptiveRTO)
+	deadline := d.rtoDeadlineLocked(st)
 	self := uint16(d.tr.Node())
 	d.mu.Unlock()
 
-	ts := make([]byte, 8)
-	binary.BigEndian.PutUint64(ts, uint64(now))
-	echo := icmp.Echo{Request: true, ID: self, Seq: nseq, Data: ts}
-	if err := d.tr.Send(rail, peer, routing.Envelope(routing.ProtoICMP, echo.Marshal())); err == nil {
+	if err := d.tr.Send(rail, peer, probeFrame(self, nseq, now)); err == nil {
 		d.mset.Counter(routing.CtrProbesSent).Inc()
+		d.mset.Counter(routing.CtrProbeRetransmits).Inc()
 	}
 	d.clock.AfterFunc(deadline, func() { d.probeExpired(peer, rail, nseq) })
+}
+
+// probeFrame builds one echo-request frame carrying its send time;
+// the echoed copy yields an RTT sample with no per-probe state at the
+// sender.
+func probeFrame(self, seq uint16, now time.Duration) []byte {
+	ts := make([]byte, 8)
+	binary.BigEndian.PutUint64(ts, uint64(now))
+	echo := icmp.Echo{Request: true, ID: self, Seq: seq, Data: ts}
+	return routing.Envelope(routing.ProtoICMP, echo.Marshal())
 }
 
 // steerByLatencyLocked moves direct routes to a clearly faster rail.
@@ -273,11 +296,26 @@ func (d *Daemon) releaseDampedLocked(now time.Duration) {
 }
 
 // repairLocked replaces the route to peer: second usable direct rail
-// first (damped rails are not trusted), then relay discovery.
+// first (damped rails are not trusted), then relay discovery. In
+// degraded mode an existing route is pinned last-known-good instead
+// of being torn down and requeried: during a correlated storm the
+// discovery would mostly fail anyway, and suppressing the churn is
+// the point — the route is re-evaluated when the episode exits.
 func (d *Daemon) repairLocked(peer int, now time.Duration) {
 	if rail, ok := d.links.FirstUsable(peer); ok {
 		d.installLocked(peer, Route{Kind: RouteDirect, Rail: rail, Via: peer}, now)
 		return
+	}
+	if d.gov != nil && d.gov.Degraded() {
+		if rt := d.routes.Route(peer); rt.Kind != RouteNone {
+			if !d.pinned[peer] {
+				d.pinned[peer] = true
+				d.mset.Counter(routing.CtrRoutePinned).Inc()
+				d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRoutePinned,
+					Peer: peer, Rail: rt.Rail, Detail: fmt.Sprintf("%s via %d", rt.Kind, rt.Via)})
+			}
+			return
+		}
 	}
 	// No direct path remains: note the loss and ask the cluster.
 	if d.routes.Route(peer).Kind != RouteNone {
@@ -300,6 +338,7 @@ func (d *Daemon) installLocked(peer int, rt Route, now time.Duration) {
 	if !d.routes.Install(peer, rt, now) {
 		return
 	}
+	delete(d.pinned, peer) // a fresh install supersedes any pin
 	d.event(trace.Event{At: now, Node: d.tr.Node(), Kind: trace.KindRouteInstalled,
 		Peer: peer, Rail: rt.Rail, Detail: fmt.Sprintf("%s via %d", rt.Kind, rt.Via)})
 	d.mset.Counter(routing.CtrRepairs).Inc()
@@ -311,8 +350,25 @@ func (d *Daemon) installLocked(peer int, rt Route, now time.Duration) {
 	}
 }
 
-// startQueryLocked begins (or refreshes) relay discovery for peer.
+// startQueryLocked begins (or refreshes) relay discovery for peer,
+// budget permitting: a discovery the token bucket refuses is counted,
+// reported to the degraded-mode governor, and deferred to the control
+// queue — drained when tokens return — instead of broadcast.
 func (d *Daemon) startQueryLocked(peer int, now time.Duration) {
+	if d.gov != nil {
+		if _, pending := d.routes.Pending(peer); !pending && !d.routes.AllowQuery(now) {
+			d.mset.Counter(routing.CtrQueryShed).Inc()
+			d.shedLocked(now)
+			d.deferControlLocked(dataplane.ControlItem{Class: dataplane.ClassRepair, Peer: peer})
+			return
+		}
+	}
+	d.sendQueryLocked(peer, now)
+}
+
+// sendQueryLocked is the unbudgeted tail of startQueryLocked (the
+// control-queue drain calls it directly after spending the token).
+func (d *Daemon) sendQueryLocked(peer int, now time.Duration) {
 	q := d.routes.Begin(peer, now)
 	if q == nil {
 		return // one discovery in flight per target

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"drsnet/internal/dataplane"
+)
 
 // Status is a point-in-time, JSON-serializable snapshot of a running
 // daemon: the live daemon's status reporter emits one per interval,
@@ -18,6 +22,27 @@ type Status struct {
 	Queued int `json:"queued"`
 	// Peers holds the per-peer view, in ascending peer order.
 	Peers []PeerStatus `json:"peers,omitempty"`
+	// Overload reports the overload-protection layer's gauges; nil
+	// when the layer is disabled.
+	Overload *OverloadStatus `json:"overload,omitempty"`
+}
+
+// OverloadStatus is the snapshot of the overload-protection layer:
+// whether the daemon is riding out a storm in degraded mode, how much
+// control budget remains, and how much deferred work is parked.
+type OverloadStatus struct {
+	// Degraded reports whether the degraded-mode governor currently
+	// holds routes pinned last-known-good.
+	Degraded bool `json:"degraded"`
+	// ProbeTokens and QueryTokens are the budget tokens available
+	// right now for probe retransmits and discovery broadcasts.
+	ProbeTokens float64 `json:"probeTokens"`
+	QueryTokens float64 `json:"queryTokens"`
+	// Deferred holds per-class control-queue depths, indexed by
+	// dataplane.Class (liveness, repair, discovery).
+	Deferred []int `json:"deferred"`
+	// Pinned counts routes held last-known-good by degraded mode.
+	Pinned int `json:"pinned"`
 }
 
 // PeerStatus is the snapshot of one monitored peer.
@@ -78,6 +103,20 @@ func (d *Daemon) Status() Status {
 			}
 		}
 		s.Peers = append(s.Peers, ps)
+	}
+	if d.gov != nil {
+		now := d.clock.Now()
+		os := &OverloadStatus{
+			Degraded:    d.gov.Degraded(),
+			ProbeTokens: d.links.RetransmitTokens(now),
+			QueryTokens: d.routes.QueryTokens(now),
+			Deferred:    make([]int, dataplane.NumClasses),
+			Pinned:      len(d.pinned),
+		}
+		for c := dataplane.Class(0); c < dataplane.NumClasses; c++ {
+			os.Deferred[c] = d.ctrlQ.Depth(c)
+		}
+		s.Overload = os
 	}
 	return s
 }

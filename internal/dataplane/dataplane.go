@@ -133,12 +133,21 @@ func (p *Plane) Classify(body []byte) (wire.DataHeader, []byte, Action) {
 func (p *Plane) CanQueue() bool { return p.capacity > 0 }
 
 // Enqueue buffers a frame for dst while discovery is in flight. When
-// the queue is full the oldest frame is evicted — deterministically,
+// the queue is full the oldest frames are evicted — deterministically,
 // from the head — so the freshest traffic survives the wait, and the
-// overflow counter records the loss.
+// overflow counter records exactly one increment per evicted frame: a
+// burst that displaces several frames in one call counts each loss
+// once, never more. With queueing disabled (capacity 0) the frame
+// itself is the eviction.
 func (p *Plane) Enqueue(dst int, frame []byte) {
 	q := p.queued[dst]
-	if len(q) >= p.capacity {
+	if p.capacity <= 0 {
+		if p.overflow != nil {
+			p.overflow.Inc()
+		}
+		return
+	}
+	for len(q) >= p.capacity {
 		copy(q, q[1:])
 		q = q[:len(q)-1]
 		if p.overflow != nil {

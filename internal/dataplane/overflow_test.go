@@ -1,0 +1,59 @@
+package dataplane
+
+import (
+	"fmt"
+	"testing"
+
+	"drsnet/internal/metrics"
+)
+
+// Regression for the overflow-accounting audit: every evicted frame
+// increments queue.overflow exactly once — a burst far past capacity
+// counts one loss per displaced frame, never more, never fewer — and
+// destinations account independently.
+func TestEnqueueOverflowBurstAccounting(t *testing.T) {
+	mset := metrics.NewSet()
+	ctr := mset.Counter("queue.overflow")
+	p := New(0, 8, 4, 4, ctr)
+	const burst = 100
+	for i := 0; i < burst; i++ {
+		p.Enqueue(2, []byte(fmt.Sprintf("a-%d", i)))
+	}
+	if got, want := ctr.Value(), int64(burst-4); got != want {
+		t.Fatalf("overflow after %d enqueues at capacity 4 = %d, want %d", burst, got, want)
+	}
+	if n := p.QueueLen(2); n != 4 {
+		t.Fatalf("queue length = %d, want 4", n)
+	}
+	// The survivors are exactly the four freshest, in order.
+	for i, frame := range p.Flush(2) {
+		if want := fmt.Sprintf("a-%d", burst-4+i); string(frame) != want {
+			t.Fatalf("survivor[%d] = %q, want %q", i, frame, want)
+		}
+	}
+	// A second destination's queue neither shares frames nor counts.
+	before := ctr.Value()
+	for i := 0; i < 4; i++ {
+		p.Enqueue(3, []byte("b"))
+	}
+	if got := ctr.Value(); got != before {
+		t.Fatalf("filling a fresh queue to capacity counted %d overflows", got-before)
+	}
+}
+
+// With queueing disabled the frame itself is the loss: counted once,
+// no queue growth, and — regression — no panic slicing an empty queue.
+func TestEnqueueZeroCapacityCountsFrame(t *testing.T) {
+	mset := metrics.NewSet()
+	ctr := mset.Counter("queue.overflow")
+	p := New(0, 4, 4, 0, ctr)
+	for i := 0; i < 3; i++ {
+		p.Enqueue(1, []byte("x"))
+	}
+	if got := ctr.Value(); got != 3 {
+		t.Fatalf("overflow = %d, want 3", got)
+	}
+	if p.QueueLen(1) != 0 {
+		t.Fatal("capacity-0 plane queued frames")
+	}
+}

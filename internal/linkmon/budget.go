@@ -1,0 +1,33 @@
+package linkmon
+
+import (
+	"time"
+
+	"drsnet/internal/overload"
+)
+
+// Probe-retransmit budgeting. The adaptive RTO turns every silent
+// peer into a retransmit source (each expiry sends a replacement
+// probe under backoff), and a correlated failure storm fires those
+// retransmits on every node at once. A Table can carry a token bucket
+// that admits retransmits at a configured rate; the round-start probe
+// is never budgeted — only the RTO-driven extras — so detection
+// latency under normal operation is untouched.
+
+// SetRetransmitBudget installs (or, with nil, removes) the probe
+// retransmit token bucket. Not goroutine-safe; call under the owning
+// protocol's lock, like every other Table method.
+func (t *Table) SetRetransmitBudget(b *overload.Bucket) { t.retransmitBudget = b }
+
+// AllowRetransmit spends one retransmit token, reporting false when
+// the budget is exhausted. Without an installed budget every
+// retransmit is admitted.
+func (t *Table) AllowRetransmit(now time.Duration) bool {
+	return t.retransmitBudget.Take(now)
+}
+
+// RetransmitTokens reports the tokens currently available (-1 when
+// unbudgeted), for status gauges.
+func (t *Table) RetransmitTokens(now time.Duration) float64 {
+	return t.retransmitBudget.Tokens(now)
+}

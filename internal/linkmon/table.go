@@ -1,6 +1,10 @@
 package linkmon
 
-import "time"
+import (
+	"time"
+
+	"drsnet/internal/overload"
+)
 
 // RTTStats is the smoothed round-trip estimate of one monitored path.
 type RTTStats struct {
@@ -79,6 +83,9 @@ type Table struct {
 	rails int
 	links [][]State // nil row = unmonitored peer
 	seq   uint16
+	// retransmitBudget, when non-nil, rate-limits RTO-driven probe
+	// retransmits (see budget.go). Nil means unbudgeted.
+	retransmitBudget *overload.Bucket
 }
 
 // NewTable returns a table for a cluster of nodes×rails with no peer

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"drsnet/internal/routing"
 	"drsnet/internal/runtime"
 )
 
@@ -222,6 +223,84 @@ func TestDeliveryOnlyProtocols(t *testing.T) {
 	}
 }
 
+// TestBudgetScheduleHoldsBound: with the budget block armed, a
+// partition-plus-crash campaign must heal clean AND every daemon's
+// control traffic must sit under the token-bucket admission bound —
+// the budget invariant holding on a run where the faults actually
+// pressured the retransmit and discovery paths.
+func TestBudgetScheduleHoldsBound(t *testing.T) {
+	s := Schedule{
+		Seed: 21, Nodes: 3,
+		ProbeInterval: Duration(100 * time.Millisecond),
+		Budget:        &BudgetSpec{},
+		Horizon:       Duration(4 * time.Second),
+		Settle:        Duration(2 * time.Second),
+		Episodes: []Episode{
+			{Kind: KindPartition, A: 0, B: 1, Rail: AllRails, Direction: DirBoth, Start: Duration(500 * time.Millisecond), Stop: Duration(2 * time.Second)},
+			{Kind: KindCrash, A: 2, Start: Duration(time.Second), Stop: Duration(3 * time.Second), Warm: true},
+		},
+	}
+	out, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("budgeted campaign violated: %v", out.Violations)
+	}
+	if len(out.Statuses) == 0 {
+		t.Fatal("no daemon statuses")
+	}
+	for _, st := range out.Statuses {
+		if st.Overload == nil {
+			t.Fatalf("node %d reports no overload block — the budget was not wired in", st.Node)
+		}
+	}
+	// Determinism holds with the budget layer in the loop.
+	again, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Statuses, out.Statuses) {
+		t.Fatal("budgeted run is not bit-identical on replay")
+	}
+}
+
+// TestBudgetCheckerFlagsExcess unit-tests the invariant itself: a
+// counter snapshot exactly at the bucket ceiling passes, one past it
+// is a violation.
+func TestBudgetCheckerFlagsExcess(t *testing.T) {
+	cfg, err := (&BudgetSpec{}).config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := 10 * time.Second
+	probeCeil := budgetCeiling(cfg.ProbeRate, cfg.ProbeBurst, window)
+	queryCeil := budgetCeiling(cfg.QueryRate, cfg.QueryBurst, window) * rails
+	atCeiling := map[string]int64{
+		routing.CtrProbeRetransmits: probeCeil,
+		routing.CtrQueriesSent:      queryCeil,
+	}
+	if vs := budgetViolations(0, atCeiling, cfg, window); len(vs) != 0 {
+		t.Fatalf("snapshot at the ceiling flagged: %v", vs)
+	}
+	over := map[string]int64{
+		routing.CtrProbeRetransmits: probeCeil + 1,
+		routing.CtrQueriesSent:      queryCeil + 1,
+	}
+	vs := budgetViolations(4, over, cfg, window)
+	if len(vs) != 2 {
+		t.Fatalf("%d violations, want 2: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Invariant != "budget" || v.Node != 4 {
+			t.Fatalf("malformed violation %+v", v)
+		}
+	}
+	if !strings.Contains(vs[0].Detail, "probe") || !strings.Contains(vs[1].Detail, "query") {
+		t.Fatalf("details do not name the exceeded budgets: %v", vs)
+	}
+}
+
 func TestScheduleValidation(t *testing.T) {
 	base := violatingSchedule()
 	cases := []struct {
@@ -241,6 +320,7 @@ func TestScheduleValidation(t *testing.T) {
 		{"flap without period", func(s *Schedule) { s.Episodes[2].Period = 0 }, "period"},
 		{"skew without skew", func(s *Schedule) { s.Episodes[0].Skew = 0 }, "skew"},
 		{"unknown kind", func(s *Schedule) { s.Episodes[0].Kind = "meteor" }, "unknown kind"},
+		{"negative budget rate", func(s *Schedule) { s.Budget = &BudgetSpec{ProbeRate: -1} }, "budget"},
 		{"overlapping crashes", func(s *Schedule) {
 			s.Episodes = append(s.Episodes,
 				Episode{Kind: KindCrash, A: 0, Start: Duration(time.Second), Stop: Duration(2 * time.Second)},
@@ -264,12 +344,16 @@ func TestScheduleValidation(t *testing.T) {
 // serialization exactly, durations as readable strings.
 func TestScheduleJSONRoundTrip(t *testing.T) {
 	s := Generate(42, quickCfg())
+	s.Budget = &BudgetSpec{ProbeRate: 3, QueryBurst: 5}
 	buf, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(string(buf), `"horizon": "6s"`) {
 		t.Fatalf("durations not serialized as strings:\n%s", buf)
+	}
+	if !strings.Contains(string(buf), `"probeRate": 3`) {
+		t.Fatalf("budget block not serialized:\n%s", buf)
 	}
 	var back Schedule
 	if err := json.Unmarshal(buf, &back); err != nil {

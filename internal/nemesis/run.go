@@ -7,6 +7,8 @@ import (
 
 	"drsnet/internal/clock"
 	"drsnet/internal/core"
+	"drsnet/internal/linkmon"
+	"drsnet/internal/overload"
 	"drsnet/internal/routing"
 	"drsnet/internal/runtime"
 	"drsnet/internal/transport"
@@ -55,6 +57,7 @@ func (o *Outcome) Failed() bool { return len(o.Violations) > 0 }
 type runner struct {
 	sched   Schedule
 	spec    runtime.ClusterSpec
+	budget  overload.Config // zero when the schedule has no budget block
 	clk     *clock.Wall
 	mem     *transport.Mem
 	faults  *transport.Faults
@@ -81,6 +84,10 @@ func Run(s Schedule) (*Outcome, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	var budget overload.Config
+	if s.Budget != nil {
+		budget, _ = s.Budget.config() // Validate already vetted it
+	}
 	clk := clock.NewManual()
 	r := &runner{
 		sched: s,
@@ -98,6 +105,7 @@ func Run(s Schedule) (*Outcome, error) {
 				StrictLinkEvidence: true,
 			},
 		},
+		budget:      budget,
 		clk:         clk,
 		mem:         transport.NewMem(s.Nodes, rails, clk, memLatency),
 		faults:      transport.NewFaults(s.Seed, clk),
@@ -105,6 +113,12 @@ func Run(s Schedule) (*Outcome, error) {
 		incarnation: make([]uint32, s.Nodes),
 		checkpoint:  make([]*core.Checkpoint, s.Nodes),
 		delivered:   make(map[int]bool),
+	}
+	if s.Budget != nil {
+		// Budgets bound the RTO retransmit storm, so the retransmits
+		// must exist: the budget block implies the adaptive RTO.
+		r.spec.Tunables.Overload = budget
+		r.spec.Tunables.AdaptiveRTO = linkmon.DefaultRTO()
 	}
 	for n := 0; n < s.Nodes; n++ {
 		if err := r.boot(n, 1, nil); err != nil {
@@ -124,6 +138,7 @@ func Run(s Schedule) (*Outcome, error) {
 	out := &Outcome{Schedule: s}
 	r.checkStatusInvariants(out)
 	r.checkDelivery(out)
+	r.checkBudget(out)
 	out.Faults = r.faults.Stats()
 	for _, rt := range r.routers {
 		rt.Stop()
@@ -310,6 +325,54 @@ func (r *runner) checkDelivery(out *Outcome) {
 			}
 			vs = append(vs, Violation{Invariant: "delivery", Node: src, Peer: dst, Detail: detail})
 		}
+	}
+	sortViolations(vs)
+	out.Violations = append(out.Violations, vs...)
+}
+
+// budgetCeiling is the most admissions a token bucket (rate tokens
+// per second refilling a burst-deep bucket that starts full) can have
+// granted over a window.
+func budgetCeiling(rate float64, burst int, window time.Duration) int64 {
+	return int64(rate*window.Seconds() + float64(burst))
+}
+
+// budgetViolations checks one node's counter snapshot against the
+// budget's hard admission bound over the run window. Split from the
+// runner so the checker is unit-testable without a cluster run.
+func budgetViolations(node int, snap map[string]int64, cfg overload.Config, window time.Duration) []Violation {
+	var vs []Violation
+	if n, ceil := snap[routing.CtrProbeRetransmits], budgetCeiling(cfg.ProbeRate, cfg.ProbeBurst, window); n > ceil {
+		vs = append(vs, Violation{Invariant: "budget", Node: node, Peer: -1,
+			Detail: fmt.Sprintf("%d probe retransmits, bucket admits at most %d over %v", n, ceil, window)})
+	}
+	// The query counter counts frames — one per rail per admitted
+	// discovery — so the bucket bound scales by the rail count.
+	if n, ceil := snap[routing.CtrQueriesSent], budgetCeiling(cfg.QueryRate, cfg.QueryBurst, window)*rails; n > ceil {
+		vs = append(vs, Violation{Invariant: "budget", Node: node, Peer: -1,
+			Detail: fmt.Sprintf("%d query frames, bucket admits at most %d over %v", n, ceil, window)})
+	}
+	return vs
+}
+
+// checkBudget is the post-heal control-traffic-bound invariant: with a
+// budget block armed, every daemon's probe-retransmit and discovery
+// counters must sit under what its token buckets could have admitted
+// across the entire run — faults, heal, settle and delivery window
+// included. A counter above the ceiling means a control path escaped
+// its budget. (A restarted node's counters cover its last life only,
+// which the full-run ceiling bounds a fortiori.)
+func (r *runner) checkBudget(out *Outcome) {
+	if r.sched.Budget == nil {
+		return
+	}
+	window := r.sched.Horizon.dur() + r.sched.Settle.dur() + r.deliveryWindow()
+	var vs []Violation
+	for n, rt := range r.routers {
+		if _, ok := rt.(*core.Daemon); !ok {
+			continue
+		}
+		vs = append(vs, budgetViolations(n, rt.Metrics().Snapshot(), r.budget, window)...)
 	}
 	sortViolations(vs)
 	out.Violations = append(out.Violations, vs...)

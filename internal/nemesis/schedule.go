@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"drsnet/internal/overload"
 	"drsnet/internal/transport"
 )
 
@@ -141,6 +142,10 @@ type Schedule struct {
 	Protocol string `json:"protocol,omitempty"`
 	// ProbeInterval is the DRS probe cadence (default 100ms).
 	ProbeInterval Duration `json:"probeInterval,omitempty"`
+	// Budget, when present, enables control-plane overload protection
+	// on every DRS daemon and arms the post-heal budget invariant.
+	// Absent means disabled — existing repro files replay unchanged.
+	Budget *BudgetSpec `json:"budget,omitempty"`
 	// Horizon is when every fault is healed: partitions lifted, crashed
 	// nodes restarted, flaps ended, skew cleared. Episodes must end by
 	// it.
@@ -157,6 +162,46 @@ type Schedule struct {
 // rails is fixed: the hermetic cluster is the paper's dual-rail shape.
 const rails = 2
 
+// BudgetSpec is a schedule's optional overload-protection block. Its
+// presence turns on the token-bucket budgets (and the adaptive RTO
+// whose retransmits the probe bucket bounds) for every DRS daemon of
+// the run, and arms the post-heal budget invariant: no node's
+// control-traffic counters may exceed what its buckets could have
+// admitted over the whole run. Zero fields take the overload
+// defaults. The degraded-mode governor stays off — the nemesis
+// invariant is about the budgets' hard admission bound; the degraded
+// state machine has its own tests and the storm campaign.
+type BudgetSpec struct {
+	// ProbeRate/ProbeBurst bound RTO-driven probe retransmits.
+	ProbeRate  float64 `json:"probeRate,omitempty"`
+	ProbeBurst int     `json:"probeBurst,omitempty"`
+	// QueryRate/QueryBurst bound route-discovery broadcasts.
+	QueryRate  float64 `json:"queryRate,omitempty"`
+	QueryBurst int     `json:"queryBurst,omitempty"`
+}
+
+// config maps the block onto a normalized overload.Config.
+func (b *BudgetSpec) config() (overload.Config, error) {
+	cfg := overload.Default()
+	cfg.DegradedSheds = -1 // budgets without the governor
+	if b.ProbeRate != 0 {
+		cfg.ProbeRate = b.ProbeRate
+	}
+	if b.ProbeBurst != 0 {
+		cfg.ProbeBurst = b.ProbeBurst
+	}
+	if b.QueryRate != 0 {
+		cfg.QueryRate = b.QueryRate
+	}
+	if b.QueryBurst != 0 {
+		cfg.QueryBurst = b.QueryBurst
+	}
+	if err := cfg.Normalize(); err != nil {
+		return overload.Config{}, err
+	}
+	return cfg, nil
+}
+
 // Validate checks the schedule is executable. Generate always returns
 // valid schedules; Validate guards hand-written -replay files.
 func (s *Schedule) Validate() error {
@@ -171,6 +216,11 @@ func (s *Schedule) Validate() error {
 	}
 	if s.ProbeInterval.dur() < 0 {
 		return fmt.Errorf("nemesis: negative probe interval %v", s.ProbeInterval.dur())
+	}
+	if s.Budget != nil {
+		if _, err := s.Budget.config(); err != nil {
+			return fmt.Errorf("nemesis: budget: %v", err)
+		}
 	}
 	type window struct{ start, stop time.Duration }
 	crashes := make(map[int][]window)

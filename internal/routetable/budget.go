@@ -1,0 +1,32 @@
+package routetable
+
+import (
+	"time"
+
+	"drsnet/internal/overload"
+)
+
+// Discovery budgeting. Every node that loses its last direct rail to
+// a peer broadcasts a route query on every rail, and a correlated
+// failure storm makes the whole cluster do it at once — plus retries
+// each query timeout while senders wait. A Table can carry a token
+// bucket that admits discovery broadcasts at a configured rate; the
+// owning protocol defers (queues) or sheds what the bucket refuses.
+
+// SetQueryBudget installs (or, with nil, removes) the discovery
+// token bucket. Not goroutine-safe; call under the owning protocol's
+// lock, like every other Table method.
+func (t *Table) SetQueryBudget(b *overload.Bucket) { t.queryBudget = b }
+
+// AllowQuery spends one discovery token, reporting false when the
+// budget is exhausted. Without an installed budget every discovery
+// is admitted.
+func (t *Table) AllowQuery(now time.Duration) bool {
+	return t.queryBudget.Take(now)
+}
+
+// QueryTokens reports the tokens currently available (-1 when
+// unbudgeted), for status gauges.
+func (t *Table) QueryTokens(now time.Duration) float64 {
+	return t.queryBudget.Tokens(now)
+}

@@ -14,6 +14,8 @@ package routetable
 import (
 	"fmt"
 	"time"
+
+	"drsnet/internal/overload"
 )
 
 // Kind classifies an installed route. Package core exports it as
@@ -87,6 +89,9 @@ type Table struct {
 	// seen dedupes heard queries by (origin, seq) across rails and
 	// rebroadcasts.
 	seen map[uint64]time.Duration
+	// queryBudget, when non-nil, rate-limits discovery broadcasts
+	// (see budget.go). Nil means unbudgeted.
+	queryBudget *overload.Bucket
 }
 
 // New returns an empty table for a cluster of nodes.

@@ -102,4 +102,27 @@ const (
 	// CtrRTOExpired counts adaptive probe deadlines that fired before
 	// the reply arrived (each is a miss counted ahead of the round).
 	CtrRTOExpired = "probe.rto_expired"
+	// CtrProbeRetransmits counts RTO-driven replacement probes
+	// actually sent — the traffic the overload probe budget bounds.
+	CtrProbeRetransmits = "probe.retransmits"
+	// Overload-protection counters (zero unless the layer is enabled).
+	// CtrProbeShed counts probe retransmits refused by the budget;
+	// CtrQueryShed counts discovery broadcasts refused (deferred to
+	// the control queue); CtrHelloSuppressed counts membership hellos
+	// withheld by the min-interval/degraded gates; CtrCtrlDeferred
+	// counts intents parked on the prioritized control queue, and the
+	// CtrCtrlShed* family counts intents that queue evicted, by class.
+	CtrProbeShed         = "overload.probe_shed"
+	CtrQueryShed         = "overload.query_shed"
+	CtrHelloSuppressed   = "overload.hello_suppressed"
+	CtrCtrlDeferred      = "overload.deferred"
+	CtrCtrlShedLiveness  = "overload.shed_liveness"
+	CtrCtrlShedRepair    = "overload.shed_repair"
+	CtrCtrlShedDiscovery = "overload.shed_discovery"
+	// CtrDegradedEnter counts degraded-mode episodes; CtrDegradedNs
+	// accumulates nanoseconds spent degraded; CtrRoutePinned counts
+	// routes pinned (kept last-known-good) while degraded.
+	CtrDegradedEnter = "overload.degraded"
+	CtrDegradedNs    = "overload.degraded_ns"
+	CtrRoutePinned   = "overload.route_pinned"
 )

@@ -31,6 +31,7 @@ func buildDRS(ctx BuildContext) (routing.Router, error) {
 	cfg.StrictLinkEvidence = ctx.Spec.Tunables.StrictLinkEvidence
 	cfg.FlapDamping = ctx.Spec.Tunables.FlapDamping
 	cfg.AdaptiveRTO = ctx.Spec.Tunables.AdaptiveRTO
+	cfg.Overload = ctx.Spec.Tunables.Overload
 	cfg.Incarnation = ctx.Incarnation
 	cfg.Restore = ctx.Restore
 	cfg.Trace = ctx.Spec.Trace

@@ -65,11 +65,17 @@ type Cluster struct {
 	// Crash–restart lifecycle state (allocated only when the spec's
 	// Tunables.Lifecycle is on): the incarnation number each node's
 	// next build gets, the checkpoint pending a warm restart, and the
-	// repair records of each node's dead incarnations (a restart
-	// replaces the router, so Finish would otherwise lose them).
+	// repair and counter records of each node's dead incarnations (a
+	// restart replaces the router, so Finish would otherwise lose them).
 	incarnation  []uint32
 	checkpoints  []*core.Checkpoint
 	pastRepairs  [][]Repair
+	pastCounters []map[string]int64
+	// banked marks nodes whose current router's records were already
+	// banked at crash time and not yet replaced by a restart; Finish
+	// must not read the dead router again or a one-way crash would
+	// double-count its repairs and counters.
+	banked       []bool
 	lifecycleErr error
 
 	started             bool
@@ -135,6 +141,8 @@ func Build(spec ClusterSpec) (*Cluster, error) {
 		}
 		c.checkpoints = make([]*core.Checkpoint, spec.Nodes)
 		c.pastRepairs = make([][]Repair, spec.Nodes)
+		c.pastCounters = make([]map[string]int64, spec.Nodes)
+		c.banked = make([]bool, spec.Nodes)
 	}
 	for node := 0; node < spec.Nodes; node++ {
 		r, err := c.buildRouter(node)
@@ -348,6 +356,10 @@ func (c *Cluster) Crash(node int, warm bool) {
 		// repair records so Finish still reports them.
 		c.pastRepairs[node] = append(c.pastRepairs[node], daemonRepairs(node, d)...)
 	}
+	// Bank the dead incarnation's counters too: Result.Counters must
+	// cover the node's whole lifetime, not just its last life.
+	c.pastCounters[node] = mergeCounters(c.pastCounters[node], c.routers[node].Metrics().Snapshot())
+	c.banked[node] = true
 	c.routers[node].Stop()
 	c.net.FailNode(node)
 	detail := "cold"
@@ -391,6 +403,7 @@ func (c *Cluster) Restart(node int) {
 		return
 	}
 	c.routers[node] = r
+	c.banked[node] = false
 	if err := r.Start(); err != nil && c.lifecycleErr == nil {
 		c.lifecycleErr = fmt.Errorf("runtime: restarting node %d: %v", node, err)
 	}
@@ -455,6 +468,12 @@ type Result struct {
 	// Repairs lists every completed DRS route repair, in node order
 	// (empty for protocols without repair accounting).
 	Repairs []Repair
+	// Counters holds each node's protocol counter totals, indexed by
+	// node. Under the crash–restart lifecycle the totals span every
+	// incarnation (dead lives are banked at crash time), so per-node
+	// control-traffic accounting — the overload campaign's core
+	// metric — survives restarts.
+	Counters []map[string]int64
 	// Utilization is the fraction of each rail's capacity consumed.
 	Utilization []float64
 	// Trace is the protocol event log of the run.
@@ -483,6 +502,30 @@ func daemonRepairs(node int, d *core.Daemon) []Repair {
 	return out
 }
 
+// mergeCounters adds src's counts into dst (allocating dst when nil)
+// and returns it.
+func mergeCounters(dst, src map[string]int64) map[string]int64 {
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for name, v := range src {
+		dst[name] += v
+	}
+	return dst
+}
+
+// cloneCounters copies a counter map (nil stays nil).
+func cloneCounters(src map[string]int64) map[string]int64 {
+	if src == nil {
+		return nil
+	}
+	dst := make(map[string]int64, len(src))
+	for name, v := range src {
+		dst[name] = v
+	}
+	return dst
+}
+
 // DeliveriesFor returns the delivery timestamps recorded for the
 // (from, to) pair.
 func (c *Cluster) DeliveriesFor(from, to int) []time.Duration {
@@ -508,10 +551,26 @@ func (c *Cluster) Finish() *Result {
 		totalSent += c.sent[i]
 		totalDelivered += len(del)
 	}
+	res.Counters = make([]map[string]int64, len(c.routers))
 	for node := range c.routers {
 		if c.pastRepairs != nil {
 			res.Repairs = append(res.Repairs, c.pastRepairs[node]...)
 		}
+		var past map[string]int64
+		if c.pastCounters != nil {
+			past = c.pastCounters[node]
+		}
+		res.Counters[node] = cloneCounters(past)
+		if c.banked != nil && c.banked[node] {
+			// The node died without a restart: its records were banked
+			// at crash time, and reading the dead router again would
+			// double-count them.
+			if res.Counters[node] == nil {
+				res.Counters[node] = map[string]int64{}
+			}
+			continue
+		}
+		res.Counters[node] = mergeCounters(res.Counters[node], c.routers[node].Metrics().Snapshot())
 		d, ok := c.Daemon(node)
 		if !ok {
 			continue

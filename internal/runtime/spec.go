@@ -8,6 +8,7 @@ import (
 	"drsnet/internal/invariant"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/metrics"
+	"drsnet/internal/overload"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
 )
@@ -50,6 +51,14 @@ type Tunables struct {
 	// value keeps the classic fixed deadline (and the seeded goldens
 	// byte-identical); see linkmon.DefaultRTO for stock settings.
 	AdaptiveRTO linkmon.RTO
+	// Overload enables the DRS control-plane overload-protection layer
+	// (ignored by the baselines): token-bucket budgets on probe
+	// retransmits and discovery broadcasts, jittered RTO deadlines,
+	// hello storm suppression and the degraded-mode governor that pins
+	// last-known-good routes when budgets saturate. The zero value
+	// disables the layer (and keeps seeded goldens byte-identical); see
+	// overload.Default for stock settings.
+	Overload overload.Config
 	// FailoverTTL stamps the static fast-failover variants' ProtoData
 	// frames (rotor and arborescence; default 6). Defence in depth
 	// only — the variants' loop-freedom does not rest on it.
@@ -299,6 +308,9 @@ func (s *ClusterSpec) normalize() error {
 		return fmt.Errorf("runtime: %v", err)
 	}
 	if err := s.Tunables.AdaptiveRTO.Normalize(); err != nil {
+		return fmt.Errorf("runtime: %v", err)
+	}
+	if err := s.Tunables.Overload.Normalize(); err != nil {
 		return fmt.Errorf("runtime: %v", err)
 	}
 	if err := chaos.ValidateCrashes(s.Crashes, s.Nodes); err != nil {

@@ -16,6 +16,7 @@ import (
 	"drsnet/internal/invariant"
 	"drsnet/internal/linkmon"
 	"drsnet/internal/netsim"
+	"drsnet/internal/overload"
 	"drsnet/internal/runtime"
 	"drsnet/internal/topology"
 	"drsnet/internal/trace"
@@ -217,6 +218,10 @@ type Scenario struct {
 	AdaptiveRTO bool     `json:"adaptiveRTO,omitempty"`
 	RTOMin      Duration `json:"rtoMin,omitempty"`
 	RTOMax      Duration `json:"rtoMax,omitempty"`
+	// Overload, when present, enables the DRS control-plane
+	// overload-protection layer with overload.Default settings; its
+	// fields override individual knobs (zero keeps the default).
+	Overload *OverloadSpec `json:"overload,omitempty"`
 	// Reactive tunables.
 	AdvertiseInterval Duration `json:"advertiseInterval,omitempty"`
 	RouteTimeout      Duration `json:"routeTimeout,omitempty"`
@@ -420,6 +425,9 @@ func (s *Scenario) Validate() error {
 	if _, err := s.rto(); err != nil {
 		return err
 	}
+	if _, err := s.overload(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -518,6 +526,53 @@ func (s *Scenario) crashSpecs() []chaos.CrashSpec {
 		})
 	}
 	return specs
+}
+
+// OverloadSpec configures the DRS control-plane overload-protection
+// layer: token-bucket budgets on probe retransmits and discovery
+// broadcasts, hello storm suppression, and the degraded-mode governor
+// that pins last-known-good routes when budgets saturate. Presence of
+// the block enables the layer; zero fields keep overload.Default
+// settings. degradedSheds < 0 disables the governor (budgets still
+// apply).
+type OverloadSpec struct {
+	ProbeRate        float64  `json:"probeRate,omitempty"`
+	ProbeBurst       int      `json:"probeBurst,omitempty"`
+	QueryRate        float64  `json:"queryRate,omitempty"`
+	QueryBurst       int      `json:"queryBurst,omitempty"`
+	HelloMinInterval Duration `json:"helloMinInterval,omitempty"`
+	QueueCapacity    int      `json:"queueCapacity,omitempty"`
+	DegradedSheds    int      `json:"degradedSheds,omitempty"`
+	DegradedWindow   Duration `json:"degradedWindow,omitempty"`
+	DegradedQuiet    Duration `json:"degradedQuiet,omitempty"`
+	JitterFrac       float64  `json:"jitterFrac,omitempty"`
+}
+
+// overload builds the DRS overload-protection config from the
+// document's block: disabled when absent, defaults from
+// overload.Default, individual knobs overridable.
+func (s *Scenario) overload() (overload.Config, error) {
+	if s.Overload == nil {
+		return overload.Config{}, nil
+	}
+	o := s.Overload
+	c := overload.Config{
+		Enabled:          true,
+		ProbeRate:        o.ProbeRate,
+		ProbeBurst:       o.ProbeBurst,
+		QueryRate:        o.QueryRate,
+		QueryBurst:       o.QueryBurst,
+		HelloMinInterval: time.Duration(o.HelloMinInterval),
+		QueueCapacity:    o.QueueCapacity,
+		DegradedSheds:    o.DegradedSheds,
+		DegradedWindow:   time.Duration(o.DegradedWindow),
+		DegradedQuiet:    time.Duration(o.DegradedQuiet),
+		JitterFrac:       o.JitterFrac,
+	}
+	if err := c.Normalize(); err != nil {
+		return overload.Config{}, fmt.Errorf("scenario: %v", err)
+	}
+	return c, nil
 }
 
 // rto builds the DRS adaptive-RTO config from the document's knobs:
@@ -713,6 +768,10 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 	if err != nil {
 		return runtime.ClusterSpec{}, err
 	}
+	ovl, err := s.overload()
+	if err != nil {
+		return runtime.ClusterSpec{}, err
+	}
 	spec := runtime.ClusterSpec{
 		Nodes:    s.Nodes,
 		Protocol: s.Protocol,
@@ -728,6 +787,7 @@ func (s *Scenario) Spec() (runtime.ClusterSpec, error) {
 			StrictLinkEvidence: s.StrictLinkEvidence,
 			FlapDamping:        damp,
 			AdaptiveRTO:        rto,
+			Overload:           ovl,
 			AdvertiseInterval:  time.Duration(s.AdvertiseInterval),
 			RouteTimeout:       time.Duration(s.RouteTimeout),
 			FailoverTTL:        s.FailoverTTL,

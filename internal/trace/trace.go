@@ -37,6 +37,13 @@ const (
 	KindNodeCrashed
 	KindNodeRestarted
 	KindPeerRejoined
+	// KindDegradedEnter and KindDegradedExit bracket an overload
+	// degraded-mode episode: budget saturation entered it, a sustained
+	// quiet period ended it. KindRoutePinned marks a route the
+	// degraded node kept (last-known-good) instead of churning.
+	KindDegradedEnter
+	KindDegradedExit
+	KindRoutePinned
 )
 
 var kindNames = map[Kind]string{
@@ -56,6 +63,9 @@ var kindNames = map[Kind]string{
 	KindNodeCrashed:    "node-crashed",
 	KindNodeRestarted:  "node-restarted",
 	KindPeerRejoined:   "peer-rejoined",
+	KindDegradedEnter:  "degraded-enter",
+	KindDegradedExit:   "degraded-exit",
+	KindRoutePinned:    "route-pinned",
 }
 
 // String implements fmt.Stringer.

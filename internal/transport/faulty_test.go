@@ -207,6 +207,95 @@ func TestFaultyDuplicateCorruptReorder(t *testing.T) {
 	}
 }
 
+// TestFaultyCompositionDeterministic: reorder, base delay with jitter
+// and duplication all active at once — the composition the correlated
+// storm campaigns lean on. The impairments must compose losslessly
+// (no frame vanishes: every sequence number still arrives, late or
+// twice), honour the base delay floor, actually invert delivery order,
+// and replay bit-identically from the seed.
+func TestFaultyCompositionDeterministic(t *testing.T) {
+	const frames = 40
+	spec := FaultSpec{
+		Duplicate:    0.25,
+		Reorder:      0.3,
+		ReorderDelay: 3 * time.Millisecond,
+		Delay:        500 * time.Microsecond,
+		Jitter:       300 * time.Microsecond,
+	}
+	run := func(seed uint64) ([]byte, []time.Duration, FaultStats) {
+		clk := clock.NewManual()
+		mem := NewMem(2, 1, clk, 100*time.Microsecond)
+		f := NewFaults(seed, clk)
+		tr0, tr1 := f.Wrap(mem.Node(0)), f.Wrap(mem.Node(1))
+		var ids []byte
+		var at []time.Duration
+		tr1.SetReceiver(func(rail, src int, payload []byte) {
+			ids = append(ids, payload[0])
+			at = append(at, clk.Now())
+		})
+		f.SetSpec(spec)
+		for i := 0; i < frames; i++ {
+			if err := tr0.Send(0, 1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			clk.Advance(time.Millisecond)
+		}
+		clk.Advance(50 * time.Millisecond) // drain every held-back frame
+		return ids, at, f.Stats()
+	}
+
+	ids, at, st := run(11)
+	if st.Dropped != 0 || st.Partitioned != 0 || st.Corrupted != 0 {
+		t.Fatalf("composition spec lost frames: %+v", st)
+	}
+	if st.Duplicated == 0 || st.Reordered == 0 {
+		t.Fatalf("impairments never engaged: %+v", st)
+	}
+	if st.Delivered != frames+st.Duplicated || int64(len(ids)) != st.Delivered {
+		t.Fatalf("delivered %d frames (stats %+v), want %d + %d duplicates",
+			len(ids), st, frames, st.Duplicated)
+	}
+	seen := make(map[byte]bool)
+	inversions := 0
+	for i, id := range ids {
+		seen[id] = true
+		if i > 0 && ids[i-1] > id {
+			inversions++
+		}
+	}
+	if len(seen) != frames {
+		t.Fatalf("only %d of %d distinct frames arrived", len(seen), frames)
+	}
+	if inversions == 0 {
+		t.Fatal("reorder+delay composition never inverted delivery order")
+	}
+	// Every arrival respects the floor: fabric latency plus base delay
+	// past the frame's send instant (frame i was sent at i·1ms).
+	floor := 100*time.Microsecond + spec.Delay
+	for i, id := range ids {
+		sent := time.Duration(id) * time.Millisecond
+		if at[i] < sent+floor {
+			t.Fatalf("frame %d arrived %v after send, under the %v floor", id, at[i]-sent, floor)
+		}
+	}
+
+	// Same seed: bit-identical delivery order, instants and stats.
+	ids2, at2, st2 := run(11)
+	if !bytes.Equal(ids, ids2) || st != st2 {
+		t.Fatalf("same seed diverged:\n%v %+v\n%v %+v", ids, st, ids2, st2)
+	}
+	for i := range at {
+		if at[i] != at2[i] {
+			t.Fatalf("same seed delivery instant %d diverged: %v vs %v", i, at[i], at2[i])
+		}
+	}
+	// Different seed: a different interleaving (overwhelmingly).
+	ids3, _, _ := run(12)
+	if bytes.Equal(ids, ids3) {
+		t.Fatal("different seeds produced identical composed schedules")
+	}
+}
+
 // TestFaultySkew: a skewed node's deliveries all arrive late by the
 // skew; clearing it restores prompt delivery.
 func TestFaultySkew(t *testing.T) {
